@@ -1,0 +1,45 @@
+//! Criterion micro-benchmark: the BMA combination stage (Table V reports it
+//! at 0.1 ms on the paper's workstation; it is "simple linear calculation").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use uniloc_core::confidence::{adaptive_tau, confidence};
+use uniloc_core::error_model::ErrorPrediction;
+
+fn bma_round(preds: &[ErrorPrediction], positions: &[(f64, f64)]) -> (f64, f64) {
+    let tau = adaptive_tau(preds).expect("non-empty predictions");
+    let confs: Vec<f64> = preds.iter().map(|&p| confidence(p, tau)).collect();
+    let total: f64 = confs.iter().sum();
+    let mut x = 0.0;
+    let mut y = 0.0;
+    for (c, (px, py)) in confs.iter().zip(positions) {
+        x += c / total * px;
+        y += c / total * py;
+    }
+    (x, y)
+}
+
+fn bench_bma(c: &mut Criterion) {
+    let preds = vec![
+        ErrorPrediction { mean: 13.5, sigma: 9.4 },
+        ErrorPrediction { mean: 3.0, sigma: 4.7 },
+        ErrorPrediction { mean: 8.0, sigma: 8.2 },
+        ErrorPrediction { mean: 2.5, sigma: 1.2 },
+        ErrorPrediction { mean: 2.0, sigma: 0.9 },
+    ];
+    let positions = vec![(5.0, 5.0), (6.0, 4.0), (9.0, 8.0), (5.5, 4.5), (5.8, 4.9)];
+    c.bench_function("bma_five_schemes", |b| {
+        b.iter(|| bma_round(black_box(&preds), black_box(&positions)))
+    });
+
+    // Scaling: 20 integrated schemes.
+    let many_preds: Vec<ErrorPrediction> = (0..20)
+        .map(|i| ErrorPrediction { mean: 2.0 + i as f64, sigma: 1.0 + i as f64 * 0.3 })
+        .collect();
+    let many_pos: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 20.0 - i as f64)).collect();
+    c.bench_function("bma_twenty_schemes", |b| {
+        b.iter(|| bma_round(black_box(&many_preds), black_box(&many_pos)))
+    });
+}
+
+criterion_group!(benches, bench_bma);
+criterion_main!(benches);

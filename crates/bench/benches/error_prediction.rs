@@ -1,0 +1,64 @@
+//! Criterion micro-benchmark: online error prediction for all five schemes
+//! (Table V reports 6.0 ms on the paper's workstation — ours is pure linear
+//! algebra over a handful of coefficients, so expect microseconds).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use uniloc_core::error_model::{train, ErrorModelSet, TrainingSample};
+use uniloc_iodetect::IoState;
+use uniloc_schemes::SchemeId;
+
+/// Builds a synthetic but fully populated model set (no venue simulation in
+/// the hot loop).
+fn synthetic_models() -> ErrorModelSet {
+    let mut samples = Vec::new();
+    for (scheme, arity) in [
+        (SchemeId::Wifi, 2usize),
+        (SchemeId::Cellular, 3),
+        (SchemeId::Motion, 2),
+        (SchemeId::Fusion, 3),
+    ] {
+        for indoor in [true, false] {
+            let arity = if scheme == SchemeId::Fusion && !indoor { 2 } else { arity };
+            for i in 0..60 {
+                let features: Vec<f64> =
+                    (0..arity).map(|j| ((i * 3 + j * 7) % 11) as f64 + 0.5).collect();
+                let error = features.iter().sum::<f64>() * 0.7 + (i % 4) as f64 * 0.2;
+                samples.push(TrainingSample { scheme, indoor, features, error });
+            }
+        }
+    }
+    for i in 0..60 {
+        samples.push(TrainingSample {
+            scheme: SchemeId::Gps,
+            indoor: false,
+            features: vec![],
+            error: 13.5 + (i % 9) as f64 - 4.0,
+        });
+    }
+    train(&samples).expect("synthetic training data is well-formed")
+}
+
+fn bench_error_prediction(c: &mut Criterion) {
+    let models = synthetic_models();
+    let queries: [(SchemeId, IoState, Vec<f64>); 5] = [
+        (SchemeId::Gps, IoState::Outdoor, vec![]),
+        (SchemeId::Wifi, IoState::Indoor, vec![2.0, 4.0]),
+        (SchemeId::Cellular, IoState::Indoor, vec![2.0, 4.0, 4.0]),
+        (SchemeId::Motion, IoState::Indoor, vec![30.0, 3.0]),
+        (SchemeId::Fusion, IoState::Indoor, vec![30.0, 3.0, 2.0]),
+    ];
+    c.bench_function("error_prediction_five_schemes", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (id, io, f) in black_box(&queries) {
+                if let Some(p) = models.predict(*id, *io, f) {
+                    acc += p.mean + p.sigma;
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_error_prediction);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion micro-benchmark: RADAR-style fingerprint matching — the
+//! dominant cost of the WiFi/cellular schemes (Table V's per-scheme server
+//! compute).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniloc_env::ApId;
+use uniloc_schemes::fingerprint::FingerprintDb;
+use uniloc_geom::Point;
+use uniloc_sensors::WifiScan;
+
+/// A synthetic database of `n` fingerprints with ~8 APs each.
+fn db_of(n: usize) -> FingerprintDb<WifiScan> {
+    FingerprintDb::from_entries((0..n).map(|i| {
+        let p = Point::new((i % 60) as f64 * 1.5, (i / 60) as f64 * 1.5);
+        let readings = (0..8)
+            .map(|a| {
+                (
+                    ApId(a),
+                    -40.0 - ((i * (a as usize + 3)) % 50) as f64,
+                )
+            })
+            .collect();
+        (p, WifiScan { readings })
+    }))
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let scan = WifiScan {
+        readings: (0..8).map(|a| (ApId(a), -55.0 - a as f64 * 3.0)).collect(),
+    };
+    let mut group = c.benchmark_group("fingerprint_match");
+    for n in [300usize, 1_000, 3_000] {
+        let db = db_of(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| db.match_scan(black_box(&scan), 3))
+        });
+    }
+    group.finish();
+
+    // The density feature lookup (beta_1).
+    let db = db_of(1_000);
+    c.bench_function("local_density_1000fp", |b| {
+        b.iter(|| db.local_density(black_box(Point::new(30.0, 10.0)), 20.0))
+    });
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Fig. 8 — error CDFs in the urban venues and with heterogeneous devices.
+//!
+//! * (a) shopping mall, (b) urban open space, (c) office — UniLoc2 gains
+//!   ~1.7x at both the 50th and 90th percentiles vs individual schemes,
+//!   even though the error models were trained elsewhere.
+//! * (d) heterogeneous device (LG G3 against a Nexus-5X-trained database):
+//!   online RSSI offset calibration recovers most of the loss (~1.9x at the
+//!   90th percentile).
+//!
+//! Run with: `cargo run --release -p uniloc-bench --bin fig8_environments`
+
+use uniloc_bench::{
+    cdf_summary, learn_calibration, pooled_errors, print_table, trained_models, SYSTEM_LABELS,
+};
+use uniloc_core::pipeline::{self, EpochRecord, PipelineConfig};
+use uniloc_env::{venues, Scenario};
+use uniloc_sensors::DeviceProfile;
+
+fn run_set(
+    scenarios: &[Scenario],
+    models: &uniloc_core::error_model::ErrorModelSet,
+    cfg: &PipelineConfig,
+    seed: u64,
+) -> Vec<Vec<EpochRecord>> {
+    scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, sc)| pipeline::run_walk(sc, models, cfg, seed + i as u64 * 13))
+        .collect()
+}
+
+fn venue_table(title: &str, runs: &[Vec<EpochRecord>]) {
+    let mut rows = Vec::new();
+    for label in SYSTEM_LABELS {
+        let errors = pooled_errors(runs, label);
+        match cdf_summary(&errors) {
+            Some((p50, p90, mean)) => rows.push(vec![
+                label.to_owned(),
+                format!("{p50:.2}"),
+                format!("{p90:.2}"),
+                format!("{mean:.2}"),
+            ]),
+            None => rows.push(vec![label.to_owned(), "-".into(), "-".into(), "-".into()]),
+        }
+    }
+    print_table(title, &["system", "p50 (m)", "p90 (m)", "mean (m)"], &rows);
+}
+
+fn main() {
+    let cfg = PipelineConfig::default();
+    let models = trained_models(1);
+
+    // (a) shopping mall: 10 trajectories of ~300 m.
+    let malls = venues::shopping_mall(40, 10);
+    let mall_runs = run_set(&malls, &models, &cfg, 400);
+    venue_table("Fig. 8a — shopping mall (10 x ~300 m)", &mall_runs);
+
+    // (b) urban open space: 10 trajectories.
+    let spaces = venues::urban_open_space(41, 10);
+    let space_runs = run_set(&spaces, &models, &cfg, 500);
+    venue_table("Fig. 8b — urban open space (10 trajectories)", &space_runs);
+
+    // (c) office (a new office, not the training one).
+    let office = vec![venues::office("fig8-office", 42, 50.0, 18.0)];
+    let office_runs = run_set(&office, &models, &cfg, 600);
+    venue_table("Fig. 8c — office", &office_runs);
+
+    // (d) heterogeneous devices on the office + mall, with and without the
+    // online RSSI offset calibration.
+    println!("\nFig. 8d — LG G3 against the Nexus-5X-trained fingerprints");
+    let hetero: Vec<Scenario> = office.into_iter().chain(malls.into_iter().take(3)).collect();
+    for (label, calibrate) in [("with calibration", true), ("without calibration", false)] {
+        let runs: Vec<Vec<EpochRecord>> = hetero
+            .iter()
+            .enumerate()
+            .map(|(i, sc)| {
+                let cfg = PipelineConfig {
+                    device: DeviceProfile::lg_g3(),
+                    calibration: if calibrate {
+                        learn_calibration(sc, 700 + i as u64)
+                    } else {
+                        None
+                    },
+                    ..PipelineConfig::default()
+                };
+                pipeline::run_walk(sc, &models, &cfg, 800 + i as u64 * 13)
+            })
+            .collect();
+        let wifi = cdf_summary(&pooled_errors(&runs, "wifi"));
+        let uniloc2 = cdf_summary(&pooled_errors(&runs, "uniloc2"));
+        if let (Some(w), Some(u)) = (wifi, uniloc2) {
+            println!(
+                "  {label:<20} wifi p50={:5.2} p90={:5.2}   uniloc2 p50={:5.2} p90={:5.2}",
+                w.0, w.1, u.0, u.1
+            );
+        }
+    }
+    println!("\npaper: calibration recovers most heterogeneity loss (~1.9x at p90),");
+    println!("and UniLoc assimilates the per-scheme heterogeneity handling.");
+}

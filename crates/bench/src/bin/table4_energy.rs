@@ -1,0 +1,64 @@
+//! Table IV — power and energy consumption along the daily path.
+//!
+//! Paper targets: the motion-based PDR is the cheapest scheme; UniLoc adds
+//! only ~14% on top of it (all low-power sensors plus a duty-cycled GPS);
+//! outdoors, the duty cycling cuts GPS energy ~2.1x vs the stock receiver.
+//!
+//! Run with: `cargo run --release -p uniloc-bench --bin table4_energy`
+
+use uniloc_bench::trained_models;
+use uniloc_core::energy::PowerProfile;
+use uniloc_core::pipeline::{self, PipelineConfig};
+use uniloc_env::campus;
+use uniloc_schemes::SchemeId;
+
+fn main() {
+    let cfg = PipelineConfig::default();
+    let models = trained_models(1);
+    let profile = PowerProfile::default();
+
+    println!("Table IV — power/energy along daily path 1 (Galaxy S2 power profile)");
+    let scenario = campus::daily_path(3);
+    let records = pipeline::run_walk(&scenario, &models, &cfg, 12);
+    let rows = profile.tabulate(&records);
+    println!("{:<16}{:>12}{:>10}{:>12}", "system", "power (mW)", "time (s)", "energy (J)");
+    for r in &rows {
+        println!(
+            "{:<16}{:>12.0}{:>10.1}{:>12.1}",
+            r.system, r.power_mw, r.time_s, r.energy_j
+        );
+    }
+
+    let motion = profile.scheme_power_mw(SchemeId::Motion);
+    let duty = records.iter().filter(|r| r.gps_enabled).count() as f64 / records.len() as f64;
+    let uniloc = profile.uniloc_power_mw(duty);
+    println!(
+        "\nUniLoc overhead vs motion PDR: {:+.1}%   (paper: +14%)",
+        (uniloc / motion - 1.0) * 100.0
+    );
+    println!("GPS receiver duty cycle on path 1: {:.1}% of epochs", duty * 100.0);
+
+    // Outdoor GPS saving, pooled over all eight paths (longer outdoor
+    // stretches are where the policy earns its keep).
+    let mut outdoor = 0usize;
+    let mut enabled = 0usize;
+    for (i, sc) in campus::all_paths(3).into_iter().enumerate() {
+        let recs = pipeline::run_walk(&sc, &models, &cfg, 900 + i as u64 * 13);
+        outdoor += recs.iter().filter(|r| !r.indoor).count();
+        enabled += recs.iter().filter(|r| !r.indoor && r.gps_enabled).count();
+    }
+    if enabled > 0 {
+        println!(
+            "\noutdoor GPS saving over the eight paths: {:.1}x (receiver on {}/{} outdoor epochs)",
+            outdoor as f64 / enabled as f64,
+            enabled,
+            outdoor
+        );
+    } else {
+        println!(
+            "\noutdoor GPS saving: receiver never enabled ({outdoor} outdoor epochs) — the"
+        );
+        println!("other schemes' predicted errors stayed below the GPS constant (13.5 m).");
+    }
+    println!("paper: 2.1x outdoor saving from turning GPS off when it cannot win.");
+}

@@ -1,0 +1,252 @@
+//! `uniloc` — command-line driver for the UniLoc reproduction.
+//!
+//! ```text
+//! uniloc train [--seed N] [--out FILE]          train error models, write JSON
+//! uniloc run   --models FILE [--scenario NAME]  walk a venue with trained models
+//!              [--seed N] [--device nexus5x|lgg3] [--json]
+//! uniloc inspect --models FILE                  print trained coefficients
+//! uniloc scenarios                              list available venues
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency policy has no
+//! CLI crate); flags are order-independent `--key value` pairs.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use uniloc_core::error_model::{train, ErrorModelSet};
+use uniloc_core::pipeline::{self, PipelineConfig};
+use uniloc_env::{campus, venues, Scenario};
+use uniloc_iodetect::IoState;
+use uniloc_schemes::SchemeId;
+use uniloc_sensors::DeviceProfile;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "train" => cmd_train(&flags),
+        "run" => cmd_run(&flags),
+        "inspect" => cmd_inspect(&flags),
+        "scenarios" => cmd_scenarios(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  uniloc train [--seed N] [--out FILE]
+  uniloc run --models FILE [--scenario NAME] [--seed N] [--device nexus5x|lgg3] [--json]
+  uniloc inspect --models FILE
+  uniloc scenarios";
+
+/// Parses `--key value` pairs (and bare `--flag` booleans).
+fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
+    let mut flags = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got `{}`", args[i]))?;
+        if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+            flags.insert(key.to_owned(), args[i + 1].clone());
+            i += 2;
+        } else {
+            flags.insert(key.to_owned(), "true".to_owned());
+            i += 1;
+        }
+    }
+    Ok(flags)
+}
+
+fn seed_flag(flags: &BTreeMap<String, String>) -> Result<u64, String> {
+    match flags.get("seed") {
+        Some(s) => s.parse().map_err(|_| format!("--seed must be an integer, got `{s}`")),
+        None => Ok(1),
+    }
+}
+
+fn cmd_train(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let seed = seed_flag(flags)?;
+    let out = flags.get("out").map(String::as_str).unwrap_or("uniloc-models.json");
+    let cfg = PipelineConfig::default();
+    eprintln!("collecting training data (office + open space, seed {seed}) ...");
+    let mut samples = pipeline::collect_training(&venues::training_office(seed), &cfg, seed + 10);
+    samples.extend(pipeline::collect_training(
+        &venues::training_open_space(seed + 1),
+        &cfg,
+        seed + 11,
+    ));
+    eprintln!("  {} samples", samples.len());
+    let models = train(&samples).map_err(|e| format!("training failed: {e}"))?;
+    let json =
+        serde_json::to_string_pretty(&models).map_err(|e| format!("serialize: {e}"))?;
+    std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!("wrote {out}");
+    Ok(())
+}
+
+fn load_models(flags: &BTreeMap<String, String>) -> Result<ErrorModelSet, String> {
+    let path = flags.get("models").ok_or("--models FILE is required")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn scenario_by_name(name: &str, seed: u64) -> Result<Scenario, String> {
+    match name {
+        "path1" | "daily" => Ok(campus::daily_path(seed)),
+        "path2" | "path3" | "path4" | "path5" | "path6" | "path7" | "path8" => {
+            let idx: usize = name[4..].parse().expect("digit-suffixed name");
+            Ok(campus::all_paths(seed).swap_remove(idx - 1))
+        }
+        "mall" => Ok(venues::shopping_mall(seed, 1).swap_remove(0)),
+        "open-space" => Ok(venues::urban_open_space(seed, 1).swap_remove(0)),
+        "office" => Ok(venues::office("cli-office", seed, 50.0, 18.0)),
+        other => Err(format!("unknown scenario `{other}` (try `uniloc scenarios`)")),
+    }
+}
+
+fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let models = load_models(flags)?;
+    let seed = seed_flag(flags)?;
+    let name = flags.get("scenario").map(String::as_str).unwrap_or("path1");
+    let scenario = scenario_by_name(name, seed)?;
+    let device = match flags.get("device").map(String::as_str) {
+        None | Some("nexus5x") => DeviceProfile::nexus_5x(),
+        Some("lgg3") => DeviceProfile::lg_g3(),
+        Some(other) => return Err(format!("unknown device `{other}`")),
+    };
+    let cfg = PipelineConfig { device, ..PipelineConfig::default() };
+    eprintln!("walking {} ({:.0} m) ...", scenario.name, scenario.route.length());
+    let records = pipeline::run_walk(&scenario, &models, &cfg, seed + 100);
+
+    if flags.contains_key("json") {
+        let json = serde_json::to_string(&records).map_err(|e| format!("serialize: {e}"))?;
+        println!("{json}");
+        return Ok(());
+    }
+
+    println!("{:<10}{:>10}{:>12}", "system", "mean (m)", "available");
+    for id in SchemeId::BUILTIN {
+        let mean = pipeline::scheme_mean_error(&records, id);
+        let avail = records
+            .iter()
+            .filter(|r| r.scheme_errors.iter().any(|(s, e)| *s == id && e.is_some()))
+            .count() as f64
+            / records.len() as f64;
+        match mean {
+            Some(m) => println!("{:<10}{m:>10.2}{:>11.1}%", id.to_string(), avail * 100.0),
+            None => println!("{:<10}{:>10}{:>11.1}%", id.to_string(), "-", avail * 100.0),
+        }
+    }
+    for (label, v) in [
+        ("oracle", pipeline::mean_defined(records.iter().map(|r| r.oracle_error))),
+        ("uniloc1", pipeline::mean_defined(records.iter().map(|r| r.uniloc1_error))),
+        ("uniloc2", pipeline::mean_defined(records.iter().map(|r| r.uniloc2_error))),
+    ] {
+        match v {
+            Some(m) => println!("{label:<10}{m:>10.2}"),
+            None => println!("{label:<10}{:>10}", "-"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_inspect(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let models = load_models(flags)?;
+    for io in [IoState::Indoor, IoState::Outdoor] {
+        println!("== {io} ==");
+        for id in SchemeId::BUILTIN {
+            match models.model(id, io) {
+                Some(m) => println!(
+                    "  {id:<9} intercept={:+7.2} coeffs={:?} sigma={:.2} R2={:.2} n={}",
+                    m.intercept,
+                    m.coefficients
+                        .iter()
+                        .map(|c| (c * 1000.0).round() / 1000.0)
+                        .collect::<Vec<_>>(),
+                    m.sigma,
+                    m.r_squared,
+                    m.n_obs
+                ),
+                None => println!("  {id:<9} (no model)"),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_scenarios() -> Result<(), String> {
+    println!("available scenarios:");
+    println!("  path1 .. path8   the eight daily campus paths (path1 = the 320 m daily path)");
+    println!("  mall             shopping-mall floor, ~300 m trajectory");
+    println!("  open-space       urban open space");
+    println!("  office           a 50 x 18 m office floor");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_key_value_pairs() {
+        let f = parse_flags(&args(&["--seed", "7", "--out", "x.json"])).unwrap();
+        assert_eq!(f.get("seed").unwrap(), "7");
+        assert_eq!(f.get("out").unwrap(), "x.json");
+    }
+
+    #[test]
+    fn parse_bare_booleans() {
+        let f = parse_flags(&args(&["--json", "--models", "m.json"])).unwrap();
+        assert_eq!(f.get("json").unwrap(), "true");
+        assert_eq!(f.get("models").unwrap(), "m.json");
+    }
+
+    #[test]
+    fn parse_rejects_positional() {
+        assert!(parse_flags(&args(&["oops"])).is_err());
+    }
+
+    #[test]
+    fn seed_parses_or_defaults() {
+        let f = parse_flags(&args(&["--seed", "42"])).unwrap();
+        assert_eq!(seed_flag(&f).unwrap(), 42);
+        let f = parse_flags(&args(&[])).unwrap();
+        assert_eq!(seed_flag(&f).unwrap(), 1);
+        let f = parse_flags(&args(&["--seed", "nope"])).unwrap();
+        assert!(seed_flag(&f).is_err());
+    }
+
+    #[test]
+    fn scenario_lookup() {
+        assert_eq!(scenario_by_name("path1", 1).unwrap().name, "path1");
+        assert_eq!(scenario_by_name("path5", 1).unwrap().name, "path5");
+        assert!(scenario_by_name("mall", 1).unwrap().name.starts_with("mall"));
+        assert!(scenario_by_name("mars", 1).is_err());
+    }
+}

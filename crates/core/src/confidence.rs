@@ -1,0 +1,91 @@
+//! Eq. 2: probabilistic confidence in a scheme's output.
+//!
+//! "When a scheme provides a location estimation at time `t`, its
+//! localization error can be predicted as a variable with Gaussian
+//! distribution `Y_t ~ N(mu_t, sigma_eps)`. [...] We estimate the
+//! confidence of one localization scheme as the probability that its
+//! localization error is less than a threshold `tau`. [...] `tau` is set
+//! adaptively at different locations, as the average predicted error of all
+//! available schemes."
+
+use crate::error_model::ErrorPrediction;
+use uniloc_stats::Normal;
+
+/// The adaptive threshold `tau`: the mean of the available schemes'
+/// predicted errors. Returns `None` when nothing is available.
+pub fn adaptive_tau(predictions: &[ErrorPrediction]) -> Option<f64> {
+    if predictions.is_empty() {
+        return None;
+    }
+    Some(predictions.iter().map(|p| p.mean).sum::<f64>() / predictions.len() as f64)
+}
+
+/// Eq. 2: `c_t = P(Y_t <= tau)` with `Y_t ~ N(mean, sigma)`.
+///
+/// # Examples
+///
+/// ```
+/// use uniloc_core::confidence::confidence;
+/// use uniloc_core::error_model::ErrorPrediction;
+///
+/// let good = ErrorPrediction { mean: 2.0, sigma: 1.0 };
+/// let bad = ErrorPrediction { mean: 10.0, sigma: 1.0 };
+/// let tau = 6.0;
+/// assert!(confidence(good, tau) > 0.99);
+/// assert!(confidence(bad, tau) < 0.01);
+/// ```
+pub fn confidence(prediction: ErrorPrediction, tau: f64) -> f64 {
+    let sigma = prediction.sigma.max(1e-6);
+    Normal::new(prediction.mean, sigma)
+        .expect("sigma clamped positive")
+        .cdf(tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tau_is_mean_of_predictions() {
+        let preds = [
+            ErrorPrediction { mean: 2.0, sigma: 1.0 },
+            ErrorPrediction { mean: 4.0, sigma: 1.0 },
+            ErrorPrediction { mean: 9.0, sigma: 2.0 },
+        ];
+        assert!((adaptive_tau(&preds).unwrap() - 5.0).abs() < 1e-12);
+        assert!(adaptive_tau(&[]).is_none());
+    }
+
+    #[test]
+    fn confidence_at_tau_is_half() {
+        let p = ErrorPrediction { mean: 5.0, sigma: 2.0 };
+        assert!((confidence(p, 5.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confidence_monotone_in_predicted_error() {
+        let tau = 5.0;
+        let mut last = 1.0;
+        for mean in [1.0, 3.0, 5.0, 7.0, 9.0] {
+            let c = confidence(ErrorPrediction { mean, sigma: 2.0 }, tau);
+            assert!(c < last, "confidence must fall as predicted error grows");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn uncertainty_tempers_confidence() {
+        // With the same predicted mean below tau, a *more certain* model is
+        // more confident.
+        let tau = 6.0;
+        let certain = confidence(ErrorPrediction { mean: 3.0, sigma: 0.5 }, tau);
+        let vague = confidence(ErrorPrediction { mean: 3.0, sigma: 5.0 }, tau);
+        assert!(certain > vague);
+    }
+
+    #[test]
+    fn degenerate_sigma_handled() {
+        let c = confidence(ErrorPrediction { mean: 1.0, sigma: 0.0 }, 2.0);
+        assert!(c > 0.999);
+    }
+}

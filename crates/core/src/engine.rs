@@ -1,0 +1,619 @@
+//! Section IV: the UniLoc ensemble engine.
+//!
+//! Every epoch the engine (1) classifies indoor/outdoor with IODetector,
+//! (2) runs every scheme on the frame, (3) extracts each scheme's features
+//! and predicts its error from the trained models, (4) converts predictions
+//! into confidences with the adaptive threshold of Eq. 2, and (5) produces
+//!
+//! * **UniLoc1** — the estimate of the most-confident scheme, and
+//! * **UniLoc2** — the locally-weighted BMA combination of Eqs. 3-5:
+//!   `w_n,t = c_n,t / sum_i c_i,t`, position = `sum_n w_n,t * pos_n` (the
+//!   BMA posterior mean; with each scheme's posterior centered on its own
+//!   estimate, the mixture mean reduces to exactly this weighted average,
+//!   computed independently for X and Y as in the paper).
+//!
+//! An unavailable scheme "just sets its output to zero and UniLoc will
+//! exclude it in calculation temporarily" — here, `None` estimates get zero
+//! confidence. The engine also implements the GPS duty-cycling policy of
+//! Section IV-C: the GPS error model needs no GPS features, so the engine
+//! compares its predicted error against every other scheme *before*
+//! consulting the receiver and ignores the fix when GPS would not win.
+
+use crate::confidence::{adaptive_tau, confidence};
+use crate::error_model::{ErrorModelSet, ErrorPrediction};
+use crate::features::{FeatureExtractor, PredictorKind, SharedContext};
+use serde::{Deserialize, Serialize};
+use uniloc_geom::Point;
+use uniloc_iodetect::{IoDetector, IoState};
+use uniloc_schemes::{LocalizationScheme, LocationEstimate, SchemeId};
+use uniloc_sensors::SensorFrame;
+
+/// Which combination rule produces the headline position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FusionMode {
+    /// UniLoc1: select the most-confident scheme.
+    BestSelection,
+    /// UniLoc2: locally-weighted Bayesian model averaging.
+    BayesianAveraging,
+}
+
+/// Per-scheme diagnostics for one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchemeReport {
+    /// Which scheme.
+    pub id: SchemeId,
+    /// The scheme's estimate, if available this epoch.
+    pub estimate: Option<LocationEstimate>,
+    /// Predicted error distribution from the trained model, if computable.
+    pub prediction: Option<ErrorPrediction>,
+    /// Eq. 2 confidence (zero when excluded).
+    pub confidence: f64,
+    /// BMA weight (Eq. 5; zero when excluded).
+    pub weight: f64,
+}
+
+/// The engine's output for one epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UniLocOutput {
+    /// Epoch time.
+    pub t: f64,
+    /// UniLoc1 position (most-confident scheme), if any scheme delivered.
+    pub best_selection: Option<Point>,
+    /// The scheme UniLoc1 selected.
+    pub selected: Option<SchemeId>,
+    /// UniLoc2 position (locally-weighted BMA over scheme point estimates),
+    /// if any scheme delivered.
+    pub bayesian_average: Option<Point>,
+    /// UniLoc2 position computed over the schemes' full posteriors (the
+    /// literal Eqs. 3-4: each scheme contributes `P(l | M_n, s_t)` as
+    /// weighted candidates; point-only schemes contribute a point mass).
+    pub mixture_average: Option<Point>,
+    /// IODetector's verdict this epoch.
+    pub io: IoState,
+    /// The adaptive threshold used for confidences.
+    pub tau: Option<f64>,
+    /// Whether the GPS duty-cycling policy kept the receiver on.
+    pub gps_enabled: bool,
+    /// Per-scheme diagnostics.
+    pub reports: Vec<SchemeReport>,
+}
+
+impl UniLocOutput {
+    /// The headline position under a chosen mode.
+    pub fn position(&self, mode: FusionMode) -> Option<Point> {
+        match mode {
+            FusionMode::BestSelection => self.best_selection,
+            FusionMode::BayesianAveraging => self.bayesian_average,
+        }
+    }
+}
+
+/// The UniLoc ensemble engine.
+///
+/// Owns the scheme instances, the shared feature context (fingerprint
+/// databases + map), the trained error models, the IODetector and the
+/// per-walk feature state.
+pub struct UniLocEngine {
+    schemes: Vec<Box<dyn LocalizationScheme>>,
+    models: ErrorModelSet,
+    ctx: SharedContext,
+    extractor: FeatureExtractor,
+    iodetector: IoDetector,
+}
+
+impl std::fmt::Debug for UniLocEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UniLocEngine")
+            .field("schemes", &self.schemes.iter().map(|s| s.id()).collect::<Vec<_>>())
+            .field("models", &self.models.schemes().collect::<Vec<_>>())
+            .finish_non_exhaustive()
+    }
+}
+
+impl UniLocEngine {
+    /// Creates an engine over the given schemes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `schemes` is empty.
+    pub fn new(
+        schemes: Vec<Box<dyn LocalizationScheme>>,
+        models: ErrorModelSet,
+        ctx: SharedContext,
+    ) -> Self {
+        UniLocEngine::with_predictor(schemes, models, ctx, PredictorKind::default())
+    }
+
+    /// Creates an engine with an explicit online location predictor for the
+    /// feature extractor (HMM by default; the paper also names the Kalman
+    /// filter as an option).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `schemes` is empty.
+    pub fn with_predictor(
+        schemes: Vec<Box<dyn LocalizationScheme>>,
+        models: ErrorModelSet,
+        ctx: SharedContext,
+        predictor: PredictorKind,
+    ) -> Self {
+        assert!(!schemes.is_empty(), "UniLoc needs at least one scheme");
+        let extractor = FeatureExtractor::with_predictor(&ctx, predictor);
+        UniLocEngine { schemes, models, ctx, extractor, iodetector: IoDetector::new() }
+    }
+
+    /// The integrated schemes.
+    pub fn scheme_ids(&self) -> Vec<SchemeId> {
+        self.schemes.iter().map(|s| s.id()).collect()
+    }
+
+    /// The trained error models.
+    pub fn models(&self) -> &ErrorModelSet {
+        &self.models
+    }
+
+    /// Registers a feature function for a custom scheme so it can
+    /// participate in the ensemble (pair it with a model inserted into the
+    /// [`ErrorModelSet`]).
+    pub fn register_custom_features(
+        &mut self,
+        id: uniloc_schemes::SchemeId,
+        f: crate::features::CustomFeatureFn,
+    ) {
+        self.extractor.register_custom(id, f);
+    }
+
+    /// Resets per-walk state (schemes, feature extractor, IODetector).
+    pub fn reset(&mut self) {
+        for s in &mut self.schemes {
+            s.reset();
+        }
+        self.extractor.reset(&self.ctx);
+        self.iodetector = IoDetector::new();
+    }
+
+    /// Processes one epoch.
+    pub fn update(&mut self, frame: &SensorFrame) -> UniLocOutput {
+        let io = self.iodetector.classify_frame(frame);
+        self.extractor.begin_epoch(frame);
+
+        // GPS duty cycling: predict GPS error without the receiver and
+        // compare with every other scheme's prediction.
+        let gps_prediction = self
+            .extractor
+            .features(&self.ctx, SchemeId::Gps, io, frame, None)
+            .and_then(|f| self.models.predict(SchemeId::Gps, io, &f));
+        let mut non_gps_best = f64::INFINITY;
+        let mut prelim: Vec<(SchemeId, Option<Vec<f64>>)> = Vec::new();
+        for s in &self.schemes {
+            let id = s.id();
+            if id == SchemeId::Gps {
+                continue;
+            }
+            let feats = self.extractor.features(&self.ctx, id, io, frame, None);
+            if let Some(f) = feats.as_ref() {
+                if let Some(p) = self.models.predict(id, io, f) {
+                    non_gps_best = non_gps_best.min(p.mean);
+                }
+            }
+            prelim.push((id, feats));
+        }
+        let gps_enabled = match gps_prediction {
+            Some(p) => p.mean <= non_gps_best || !non_gps_best.is_finite(),
+            None => false,
+        };
+
+        // Run every scheme on the full frame (schemes execute
+        // independently, as in the paper's Section II) and assemble
+        // (estimate, prediction). The duty-cycling policy governs only
+        // whether *UniLoc* powers the receiver and lets GPS participate in
+        // the ensemble; the standalone scheme's output is still reported
+        // for evaluation.
+        let mut reports: Vec<SchemeReport> = Vec::with_capacity(self.schemes.len());
+        let mut posterior_means: Vec<Option<Point>> = Vec::with_capacity(self.schemes.len());
+        for s in &mut self.schemes {
+            let id = s.id();
+            let estimate = s.update(frame);
+            // The posterior mean of P(l | M_n, s_t) — the component mean
+            // the literal Eq. 4 integrates.
+            posterior_means.push(estimate.and(s.posterior()).and_then(|cand| {
+                let w: f64 = cand.iter().map(|(_, w)| w).sum();
+                if w > 0.0 {
+                    let x = cand.iter().map(|(p, cw)| cw * p.x).sum::<f64>() / w;
+                    let y = cand.iter().map(|(p, cw)| cw * p.y).sum::<f64>() / w;
+                    Some(Point::new(x, y))
+                } else {
+                    None
+                }
+            }));
+            let prediction = if id == SchemeId::Gps {
+                gps_prediction
+            } else {
+                prelim
+                    .iter()
+                    .find(|(pid, _)| *pid == id)
+                    .and_then(|(_, f)| f.as_ref())
+                    .and_then(|f| self.models.predict(id, io, f))
+            };
+            reports.push(SchemeReport { id, estimate, prediction, confidence: 0.0, weight: 0.0 });
+        }
+        let participates =
+            |r: &SchemeReport| r.id != SchemeId::Gps || gps_enabled;
+
+        // Adaptive tau over schemes that are available, predictable and
+        // participating.
+        let usable: Vec<ErrorPrediction> = reports
+            .iter()
+            .filter(|r| r.estimate.is_some() && participates(r))
+            .filter_map(|r| r.prediction)
+            .collect();
+        let tau = adaptive_tau(&usable);
+
+        // Confidences and weights.
+        if let Some(tau) = tau {
+            let mut total = 0.0;
+            for r in &mut reports {
+                if r.estimate.is_some() && r.prediction.is_some() && participates(r) {
+                    r.confidence = confidence(r.prediction.expect("checked"), tau);
+                    total += r.confidence;
+                }
+            }
+            if total > 0.0 {
+                for r in &mut reports {
+                    r.weight = r.confidence / total;
+                }
+            }
+        }
+
+        // UniLoc1: most-confident scheme.
+        let best = reports
+            .iter()
+            .filter(|r| r.estimate.is_some() && r.confidence > 0.0)
+            .max_by(|a, b| {
+                a.confidence.partial_cmp(&b.confidence).expect("finite confidence")
+            });
+        let (best_selection, selected) = match best {
+            Some(r) => (r.estimate.map(|e| e.position), Some(r.id)),
+            None => {
+                // No model-backed scheme: fall back to any available
+                // estimate so UniLoc still reports a position.
+                let fallback = reports.iter().find_map(|r| r.estimate);
+                (fallback.map(|e| e.position), None)
+            }
+        };
+
+        // UniLoc2: locally-weighted BMA mean (X and Y independently).
+        let mut wsum = 0.0;
+        let mut x = 0.0;
+        let mut y = 0.0;
+        for r in &reports {
+            if let Some(e) = r.estimate {
+                if r.weight > 0.0 {
+                    wsum += r.weight;
+                    x += r.weight * e.position.x;
+                    y += r.weight * e.position.y;
+                }
+            }
+        }
+        let bayesian_average = if wsum > 0.0 {
+            Some(Point::new(x / wsum, y / wsum))
+        } else {
+            best_selection
+        };
+
+        // The mixture-mean variant: identical weights, but each component
+        // contributes its posterior mean instead of its point estimate.
+        let mut mw = 0.0;
+        let mut mx = 0.0;
+        let mut my = 0.0;
+        for (r, pm) in reports.iter().zip(&posterior_means) {
+            if r.weight > 0.0 {
+                if let Some(p) = pm.or_else(|| r.estimate.map(|e| e.position)) {
+                    mw += r.weight;
+                    mx += r.weight * p.x;
+                    my += r.weight * p.y;
+                }
+            }
+        }
+        let mixture_average = if mw > 0.0 {
+            Some(Point::new(mx / mw, my / mw))
+        } else {
+            bayesian_average
+        };
+
+        // Feed the fused estimate back into the HMM location predictor.
+        if let Some(p) = bayesian_average.or(best_selection) {
+            self.extractor.note_estimate(p);
+        }
+
+        UniLocOutput {
+            t: frame.t,
+            best_selection,
+            selected,
+            bayesian_average,
+            mixture_average,
+            io,
+            tau,
+            gps_enabled,
+            reports,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error_model::LinearErrorModel;
+    use uniloc_schemes::fingerprint::FingerprintDb;
+
+    /// A scripted scheme for engine unit tests.
+    struct Scripted {
+        id: SchemeId,
+        output: Option<LocationEstimate>,
+    }
+
+    impl LocalizationScheme for Scripted {
+        fn id(&self) -> SchemeId {
+            self.id
+        }
+        fn update(&mut self, _frame: &SensorFrame) -> Option<LocationEstimate> {
+            self.output
+        }
+    }
+
+    fn empty_ctx() -> SharedContext {
+        SharedContext {
+            wifi_db: FingerprintDb::from_entries(Vec::<(Point, uniloc_sensors::WifiScan)>::new()),
+            cell_db: FingerprintDb::from_entries(Vec::<(Point, uniloc_sensors::CellScan)>::new()),
+            plan: uniloc_geom::FloorPlan::new(),
+        }
+    }
+
+    fn frame_indoor() -> SensorFrame {
+        SensorFrame {
+            t: 1.0,
+            true_position: Point::origin(),
+            wifi: None,
+            cell: None,
+            gps: None,
+            steps: vec![],
+            landmark: None,
+            light_lux: 300.0,
+            magnetic_variance: 0.6,
+        }
+    }
+
+    fn motion_model(set: &mut ErrorModelSet, coeff: f64, sigma: f64) {
+        set.insert(
+            SchemeId::Motion,
+            IoState::Indoor,
+            LinearErrorModel {
+                intercept: 0.0,
+                coefficients: vec![coeff, 0.0],
+                sigma,
+                residual_mean: 0.0,
+                r_squared: 0.9,
+                p_values: vec![0.001, 0.5],
+                n_obs: 100,
+            },
+        );
+    }
+
+    fn custom_model(set: &mut ErrorModelSet, id: SchemeId, mean: f64, sigma: f64) {
+        // A constant model via intercept (like GPS) for scripted schemes.
+        set.insert(
+            id,
+            IoState::Indoor,
+            LinearErrorModel {
+                intercept: mean,
+                coefficients: vec![],
+                sigma,
+                residual_mean: 0.0,
+                r_squared: 0.0,
+                p_values: vec![],
+                n_obs: 50,
+            },
+        );
+    }
+
+    // Custom schemes have no feature extractor, so their features are None
+    // and they get excluded. For engine-level unit tests we therefore use
+    // Motion (whose features always exist) plus scripted outputs.
+
+    #[test]
+    #[should_panic(expected = "at least one scheme")]
+    fn rejects_empty_scheme_list() {
+        UniLocEngine::new(vec![], ErrorModelSet::default(), empty_ctx());
+    }
+
+    #[test]
+    fn weights_form_a_simplex_and_bma_lies_between() {
+        // Two "motion" schemes cannot coexist (same id is fine for this
+        // test: the engine treats entries independently).
+        let a = Scripted {
+            id: SchemeId::Motion,
+            output: Some(LocationEstimate::at(Point::new(0.0, 0.0))),
+        };
+        let b = Scripted {
+            id: SchemeId::Motion,
+            output: Some(LocationEstimate::at(Point::new(10.0, 0.0))),
+        };
+        let mut models = ErrorModelSet::default();
+        motion_model(&mut models, 0.05, 1.0);
+        let mut engine = UniLocEngine::new(vec![Box::new(a), Box::new(b)], models, empty_ctx());
+        let out = engine.update(&frame_indoor());
+        let total: f64 = out.reports.iter().map(|r| r.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights must sum to 1, got {total}");
+        let p = out.bayesian_average.unwrap();
+        assert!(p.x >= 0.0 && p.x <= 10.0, "BMA must stay in the hull, x={}", p.x);
+        // Equal models and equal availability -> the midpoint.
+        assert!((p.x - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unavailable_scheme_is_excluded() {
+        let a = Scripted {
+            id: SchemeId::Motion,
+            output: Some(LocationEstimate::at(Point::new(2.0, 2.0))),
+        };
+        let b = Scripted { id: SchemeId::Motion, output: None };
+        let mut models = ErrorModelSet::default();
+        motion_model(&mut models, 0.05, 1.0);
+        let mut engine = UniLocEngine::new(vec![Box::new(a), Box::new(b)], models, empty_ctx());
+        let out = engine.update(&frame_indoor());
+        assert_eq!(out.reports[1].confidence, 0.0);
+        assert_eq!(out.reports[1].weight, 0.0);
+        let p = out.bayesian_average.unwrap();
+        assert!((p.x - 2.0).abs() < 1e-9, "only the available scheme counts");
+        assert_eq!(out.selected, Some(SchemeId::Motion));
+    }
+
+    #[test]
+    fn no_models_falls_back_to_any_estimate() {
+        let a = Scripted {
+            id: SchemeId::Motion,
+            output: Some(LocationEstimate::at(Point::new(3.0, 4.0))),
+        };
+        let mut engine =
+            UniLocEngine::new(vec![Box::new(a)], ErrorModelSet::default(), empty_ctx());
+        let out = engine.update(&frame_indoor());
+        assert_eq!(out.selected, None);
+        assert_eq!(out.best_selection, Some(Point::new(3.0, 4.0)));
+        assert_eq!(out.bayesian_average, Some(Point::new(3.0, 4.0)));
+        assert!(out.tau.is_none());
+    }
+
+    #[test]
+    fn gps_excluded_when_policy_keeps_receiver_off() {
+        // A GPS scheme reporting estimates, but a GPS model predicting a
+        // *larger* error than the other scheme: the duty policy keeps the
+        // receiver off and GPS must carry zero weight even though its
+        // estimate exists.
+        struct AlwaysGps;
+        impl LocalizationScheme for AlwaysGps {
+            fn id(&self) -> SchemeId {
+                SchemeId::Gps
+            }
+            fn update(&mut self, _f: &SensorFrame) -> Option<LocationEstimate> {
+                Some(LocationEstimate::at(Point::new(100.0, 100.0)))
+            }
+        }
+        let motion = Scripted {
+            id: SchemeId::Motion,
+            output: Some(LocationEstimate::at(Point::new(1.0, 1.0))),
+        };
+        let mut models = ErrorModelSet::default();
+        // Outdoor models (the frame below reads as outdoor).
+        models.insert(
+            SchemeId::Motion,
+            IoState::Outdoor,
+            LinearErrorModel {
+                intercept: 0.0,
+                coefficients: vec![0.01, 0.0],
+                sigma: 1.0,
+                residual_mean: 0.0,
+                r_squared: 0.9,
+                p_values: vec![0.001, 0.5],
+                n_obs: 100,
+            },
+        );
+        models.insert(
+            SchemeId::Gps,
+            IoState::Outdoor,
+            LinearErrorModel {
+                intercept: 13.5,
+                coefficients: vec![],
+                sigma: 9.4,
+                residual_mean: 0.0,
+                r_squared: 0.0,
+                p_values: vec![],
+                n_obs: 50,
+            },
+        );
+        let mut engine =
+            UniLocEngine::new(vec![Box::new(AlwaysGps), Box::new(motion)], models, empty_ctx());
+        let outdoor_frame = SensorFrame {
+            t: 1.0,
+            true_position: Point::origin(),
+            wifi: None,
+            cell: None,
+            gps: None,
+            steps: vec![],
+            landmark: None,
+            light_lux: 20_000.0,
+            magnetic_variance: 0.1,
+        };
+        // Two epochs so the IODetector hysteresis settles on outdoor.
+        engine.update(&outdoor_frame);
+        let out = engine.update(&outdoor_frame);
+        assert_eq!(out.io, IoState::Outdoor);
+        assert!(!out.gps_enabled, "motion predicts 0.01 m; GPS (13.5 m) must stay off");
+        let gps = out.reports.iter().find(|r| r.id == SchemeId::Gps).unwrap();
+        assert!(gps.estimate.is_some(), "the standalone scheme still reports");
+        assert_eq!(gps.weight, 0.0, "but it must not participate");
+        let p = out.bayesian_average.unwrap();
+        assert!((p.x - 1.0).abs() < 1e-9, "fused position must ignore GPS");
+    }
+
+    #[test]
+    fn mixture_average_uses_posterior_means() {
+        /// A scheme whose posterior mean differs from its point estimate.
+        struct Skewed;
+        impl LocalizationScheme for Skewed {
+            fn id(&self) -> SchemeId {
+                SchemeId::Motion
+            }
+            fn update(&mut self, _f: &SensorFrame) -> Option<LocationEstimate> {
+                Some(LocationEstimate::at(Point::new(0.0, 0.0)))
+            }
+            fn posterior(&self) -> Option<Vec<(Point, f64)>> {
+                // Posterior mass sits at x = 4 even though the point
+                // estimate says x = 0.
+                Some(vec![(Point::new(4.0, 0.0), 1.0)])
+            }
+        }
+        let mut models = ErrorModelSet::default();
+        motion_model(&mut models, 0.05, 1.0);
+        let mut engine = UniLocEngine::new(vec![Box::new(Skewed)], models, empty_ctx());
+        let out = engine.update(&frame_indoor());
+        assert_eq!(out.bayesian_average, Some(Point::new(0.0, 0.0)));
+        assert_eq!(out.mixture_average, Some(Point::new(4.0, 0.0)));
+    }
+
+    #[test]
+    fn mixture_falls_back_to_point_estimates() {
+        let a = Scripted {
+            id: SchemeId::Motion,
+            output: Some(LocationEstimate::at(Point::new(2.0, 6.0))),
+        };
+        let mut models = ErrorModelSet::default();
+        motion_model(&mut models, 0.05, 1.0);
+        let mut engine = UniLocEngine::new(vec![Box::new(a)], models, empty_ctx());
+        let out = engine.update(&frame_indoor());
+        // Scripted has no posterior: mixture == point BMA.
+        assert_eq!(out.mixture_average, out.bayesian_average);
+    }
+
+    #[test]
+    fn custom_scheme_without_extractor_is_excluded_but_listed() {
+        let a = Scripted {
+            id: SchemeId::Custom(7),
+            output: Some(LocationEstimate::at(Point::new(1.0, 1.0))),
+        };
+        let b = Scripted {
+            id: SchemeId::Motion,
+            output: Some(LocationEstimate::at(Point::new(5.0, 5.0))),
+        };
+        let mut models = ErrorModelSet::default();
+        motion_model(&mut models, 0.05, 1.0);
+        custom_model(&mut models, SchemeId::Custom(7), 3.0, 1.0);
+        let mut engine = UniLocEngine::new(vec![Box::new(a), Box::new(b)], models, empty_ctx());
+        let out = engine.update(&frame_indoor());
+        // Custom(7) has a model but the built-in extractor returns None
+        // features for custom schemes, so it is excluded from the ensemble.
+        let custom = out.reports.iter().find(|r| r.id == SchemeId::Custom(7)).unwrap();
+        assert_eq!(custom.weight, 0.0);
+        assert_eq!(out.bayesian_average, Some(Point::new(5.0, 5.0)));
+        assert_eq!(engine.scheme_ids(), vec![SchemeId::Custom(7), SchemeId::Motion]);
+    }
+}

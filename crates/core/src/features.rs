@@ -1,0 +1,493 @@
+//! Table I: the sensor-data features that drive each scheme's error.
+//!
+//! "All factors (e.g., sensor specifications and environmental conditions)
+//! that implicitly impact the localization accuracy take effect by changing
+//! the sensor readings. We find some potential data features for each
+//! sensor type." The features are computed **from sensor data and shared
+//! infrastructure** (the fingerprint databases and the public map), never
+//! from scheme internals — which is what lets UniLoc treat schemes as black
+//! boxes.
+//!
+//! | Scheme | Features (indoor) | Features (outdoor) |
+//! |---|---|---|
+//! | WiFi | fingerprint spatial density, RSSI distance deviation | same |
+//! | Cellular | density, deviation, audible towers | same |
+//! | Motion | distance from last landmark, corridor width | same |
+//! | Fusion | distance, width, WiFi fingerprint density | distance, width (same model as motion — coarse outdoor fingerprints cannot refine PDR) |
+//! | GPS | none (constant model, `beta_0 = 13.5 m`) | none |
+//!
+//! The fingerprint-density feature needs the user's location before any
+//! scheme has produced one; online, UniLoc predicts it with a second-order
+//! HMM over the fingerprint grid ([`uniloc_filters::Hmm2Predictor`]).
+//! During training, ground truth is used (Section III-B: "during the
+//! training phase, we know the user's true location").
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use uniloc_filters::{Hmm2Predictor, Kalman2D};
+use uniloc_geom::{FloorPlan, Point};
+use uniloc_iodetect::IoState;
+use uniloc_schemes::{CellFingerprintDb, SchemeId, WifiFingerprintDb};
+use uniloc_sensors::SensorFrame;
+
+/// A user-supplied feature extractor for a custom scheme: given the shared
+/// context, the indoor/outdoor state, the frame and the predicted location,
+/// produce the scheme's Table-I-style feature vector (or `None` when the
+/// scheme cannot be evaluated this epoch).
+pub type CustomFeatureFn = Arc<
+    dyn Fn(&SharedContext, IoState, &SensorFrame, Option<Point>) -> Option<Vec<f64>>
+        + Send
+        + Sync,
+>;
+
+/// Radius (m) around the user within which fingerprint density is measured.
+pub const DENSITY_RADIUS_M: f64 = 20.0;
+
+/// Density value assumed when fewer than two fingerprints are in range
+/// (very sparse coverage).
+pub const DENSITY_FALLBACK_M: f64 = 16.0;
+
+/// Path width (m) assumed outdoors when no corridor is mapped.
+pub const OUTDOOR_WIDTH_FALLBACK_M: f64 = 15.0;
+
+/// Path width (m) assumed indoors when no corridor is mapped.
+pub const INDOOR_WIDTH_FALLBACK_M: f64 = 3.0;
+
+/// Candidates considered for the RSSI distance deviation (paper: k = 3).
+pub const TOP_K: usize = 3;
+
+/// Immutable per-venue inputs to feature extraction: the offline fingerprint
+/// databases and the public map.
+#[derive(Debug, Clone)]
+pub struct SharedContext {
+    /// WiFi fingerprint database (also used by the WiFi and fusion schemes).
+    pub wifi_db: WifiFingerprintDb,
+    /// Cellular fingerprint database.
+    pub cell_db: CellFingerprintDb,
+    /// The venue floor plan.
+    pub plan: FloorPlan,
+}
+
+/// Which online location predictor feeds the density/width features.
+///
+/// The paper: "we estimate the user's location based on the existing
+/// location prediction methods [24], like Hidden Markov Model (HMM) or
+/// Kalman filter. In our current implementation, we use a second order
+/// HMM." Both are available here; [`PredictorKind::Hmm2`] is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PredictorKind {
+    /// Second-order HMM over the fingerprint grid (the paper's choice).
+    #[default]
+    Hmm2,
+    /// 2-D constant-velocity Kalman filter.
+    Kalman,
+    /// No smoothing: reuse the previous fused estimate directly.
+    LastEstimate,
+}
+
+/// The predictor state behind [`FeatureExtractor`].
+#[derive(Debug, Clone)]
+enum Predictor {
+    Hmm2(Option<Hmm2Predictor>),
+    Kalman { filter: Option<Kalman2D>, last_t: f64 },
+    LastEstimate,
+}
+
+/// Per-walk streaming state: distance since the last landmark and the
+/// online location predictor.
+#[derive(Clone)]
+pub struct FeatureExtractor {
+    dist_since_landmark: f64,
+    predictor: Predictor,
+    last_estimate: Option<Point>,
+    custom: BTreeMap<SchemeId, CustomFeatureFn>,
+}
+
+impl std::fmt::Debug for FeatureExtractor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeatureExtractor")
+            .field("dist_since_landmark", &self.dist_since_landmark)
+            .field("predictor", &self.predictor)
+            .field("last_estimate", &self.last_estimate)
+            .field("custom_schemes", &self.custom.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor for a venue. The HMM predictor runs over the
+    /// WiFi fingerprint grid (falling back to the cellular grid when the
+    /// venue has no WiFi survey).
+    pub fn new(ctx: &SharedContext) -> Self {
+        FeatureExtractor::with_predictor(ctx, PredictorKind::default())
+    }
+
+    /// Creates an extractor with an explicit location-predictor choice (see
+    /// [`PredictorKind`]; the `predictor_comparison` ablation measures the
+    /// difference).
+    pub fn with_predictor(ctx: &SharedContext, kind: PredictorKind) -> Self {
+        let predictor = match kind {
+            PredictorKind::Hmm2 => {
+                // The grid is the union of the WiFi and cellular
+                // fingerprint positions: the union covers WiFi-dark areas
+                // like the basement (cellular fingerprints exist wherever
+                // any tower is audible), so the predicted location can
+                // actually *be* there and the WiFi-density feature
+                // correctly reports sparsity.
+                let mut states: Vec<Point> = ctx.wifi_db.positions().collect();
+                for p in ctx.cell_db.positions() {
+                    if states.iter().all(|q| q.distance(p) > 0.5) {
+                        states.push(p);
+                    }
+                }
+                Predictor::Hmm2(Hmm2Predictor::new(states, 2.5, 5.0).ok())
+            }
+            PredictorKind::Kalman => Predictor::Kalman { filter: None, last_t: 0.0 },
+            PredictorKind::LastEstimate => Predictor::LastEstimate,
+        };
+        FeatureExtractor {
+            dist_since_landmark: 0.0,
+            predictor,
+            last_estimate: None,
+            custom: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a feature function for a custom scheme, letting it
+    /// participate fully in the ensemble (train a model for the same id and
+    /// features with [`crate::error_model::ErrorModelSet::insert`]).
+    pub fn register_custom(&mut self, id: SchemeId, f: CustomFeatureFn) {
+        self.custom.insert(id, f);
+    }
+
+    /// Starts a new epoch: accumulates walked distance and resets the
+    /// landmark odometer when the frame carries a landmark recognition.
+    pub fn begin_epoch(&mut self, frame: &SensorFrame) {
+        for s in &frame.steps {
+            self.dist_since_landmark += s.length_est;
+        }
+        if frame.landmark.is_some() {
+            self.dist_since_landmark = 0.0;
+        }
+    }
+
+    /// Distance walked since the last recognized landmark (m) — the motion
+    /// and fusion schemes' `beta_1`.
+    pub fn dist_since_landmark(&self) -> f64 {
+        self.dist_since_landmark
+    }
+
+    /// The extractor's best guess of the user's current location, used for
+    /// the density and corridor-width features: the HMM's second-order
+    /// prediction, else the last fused estimate.
+    pub fn predicted_location(&self) -> Option<Point> {
+        match &self.predictor {
+            Predictor::Hmm2(hmm) => hmm
+                .as_ref()
+                .and_then(Hmm2Predictor::predict_next)
+                .or(self.last_estimate),
+            Predictor::Kalman { filter, .. } => {
+                filter.as_ref().map(Kalman2D::position).or(self.last_estimate)
+            }
+            Predictor::LastEstimate => self.last_estimate,
+        }
+    }
+
+    /// Feeds the final (fused) estimate of this epoch back into the
+    /// predictor, so the next epoch has a location prediction.
+    pub fn note_estimate(&mut self, p: Point) {
+        match &mut self.predictor {
+            Predictor::Hmm2(hmm) => {
+                if let Some(h) = hmm.as_mut() {
+                    h.observe(p);
+                }
+            }
+            Predictor::Kalman { filter, last_t } => {
+                let kf = filter.get_or_insert_with(|| Kalman2D::new(p, 0.5, 9.0));
+                *last_t += 0.5;
+                kf.predict(0.5);
+                kf.update(p);
+            }
+            Predictor::LastEstimate => {}
+        }
+        self.last_estimate = Some(p);
+    }
+
+    /// Resets per-walk state (custom registrations are preserved).
+    pub fn reset(&mut self, ctx: &SharedContext) {
+        let custom = std::mem::take(&mut self.custom);
+        *self = FeatureExtractor::new(ctx);
+        self.custom = custom;
+    }
+
+    /// Computes the feature vector for one scheme this epoch.
+    ///
+    /// `location_hint` overrides the predicted location (training passes
+    /// ground truth here). Returns `None` when the scheme cannot be
+    /// meaningfully evaluated from this frame (e.g. no WiFi scan) — the
+    /// caller then excludes the scheme (confidence zero).
+    pub fn features(
+        &self,
+        ctx: &SharedContext,
+        scheme: SchemeId,
+        io: IoState,
+        frame: &SensorFrame,
+        location_hint: Option<Point>,
+    ) -> Option<Vec<f64>> {
+        let loc = location_hint.or_else(|| self.predicted_location());
+        match scheme {
+            SchemeId::Gps => {
+                // Constant model, outdoors only; no input features — which
+                // is what lets UniLoc predict GPS error without powering
+                // the receiver.
+                (io == IoState::Outdoor).then(Vec::new)
+            }
+            SchemeId::Wifi => {
+                let scan = frame.wifi.as_ref()?;
+                // "When the number of audible APs is less than 3, it is
+                // unlikely for the RSSI fingerprinting scheme to provide a
+                // meaningful result" — below that, WiFi counts as
+                // unavailable (and the scheme itself is gated identically).
+                if scan.len() < 3 {
+                    return None;
+                }
+                let matches = ctx.wifi_db.match_scan(scan, TOP_K);
+                if matches.is_empty() {
+                    return None;
+                }
+                let density = self.density(&ctx.wifi_db, loc);
+                let deviation = match_deviation(matches.iter().map(|m| m.distance));
+                Some(vec![density, deviation])
+            }
+            SchemeId::Cellular => {
+                let scan = frame.cell.as_ref()?;
+                if scan.is_empty() {
+                    return None;
+                }
+                let matches = ctx.cell_db.match_scan(scan, TOP_K);
+                if matches.is_empty() {
+                    return None;
+                }
+                let density = self.density(&ctx.cell_db, loc);
+                let deviation = match_deviation(matches.iter().map(|m| m.distance));
+                Some(vec![density, deviation, scan.len() as f64])
+            }
+            SchemeId::Motion => {
+                Some(vec![self.dist_since_landmark, self.width(ctx, io, loc)])
+            }
+            SchemeId::Fusion => {
+                let mut f = vec![self.dist_since_landmark, self.width(ctx, io, loc)];
+                if io == IoState::Indoor {
+                    // Indoors, fingerprint density constrains the fusion
+                    // particles (beta_3); outdoors the model reduces to the
+                    // motion model.
+                    f.push(self.density(&ctx.wifi_db, loc));
+                }
+                Some(f)
+            }
+            other => self
+                .custom
+                .get(&other)
+                .and_then(|f| f(ctx, io, frame, loc)),
+        }
+    }
+
+    fn density<S: uniloc_schemes::fingerprint::RssiLike>(
+        &self,
+        db: &uniloc_schemes::fingerprint::FingerprintDb<S>,
+        loc: Option<Point>,
+    ) -> f64 {
+        loc.and_then(|p| db.local_density(p, DENSITY_RADIUS_M))
+            .unwrap_or(DENSITY_FALLBACK_M)
+    }
+
+    fn width(&self, ctx: &SharedContext, io: IoState, loc: Option<Point>) -> f64 {
+        loc.and_then(|p| ctx.plan.corridor_width_at(p)).unwrap_or(match io {
+            IoState::Outdoor => OUTDOOR_WIDTH_FALLBACK_M,
+            IoState::Indoor => INDOOR_WIDTH_FALLBACK_M,
+        })
+    }
+}
+
+/// Standard deviation of the top-k candidate RSSI distances — the paper's
+/// `beta_2`: "if the deviation is small, the fingerprints at these
+/// locations are more similar, and in turn the estimated location is more
+/// likely to be wrong".
+fn match_deviation(distances: impl Iterator<Item = f64>) -> f64 {
+    let d: Vec<f64> = distances.collect();
+    if d.len() < 2 {
+        return 0.0;
+    }
+    let mean = d.iter().sum::<f64>() / d.len() as f64;
+    (d.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (d.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use uniloc_env::{campus, GaitProfile, Walker};
+    use uniloc_sensors::{DeviceProfile, SensorHub};
+
+    fn context(scenario: &campus::Scenario, seed: u64) -> SharedContext {
+        let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), seed);
+        let pts = scenario.survey_points(3.0, 12.0);
+        SharedContext {
+            wifi_db: WifiFingerprintDb::survey_wifi(&mut hub, &pts),
+            cell_db: CellFingerprintDb::survey_cell(&mut hub, &pts),
+            plan: scenario.world.floorplan().clone(),
+        }
+    }
+
+    fn frames(scenario: &campus::Scenario, seed: u64) -> Vec<SensorFrame> {
+        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(seed));
+        let walk = walker.walk(&scenario.route);
+        let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), seed + 1);
+        hub.sample_walk(&walk, 0.5)
+    }
+
+    #[test]
+    fn landmark_resets_distance() {
+        let scenario = campus::daily_path(101);
+        let ctx = context(&scenario, 102);
+        let mut fx = FeatureExtractor::new(&ctx);
+        let all = frames(&scenario, 103);
+        let mut saw_reset = false;
+        let mut prev = 0.0;
+        for f in &all {
+            fx.begin_epoch(f);
+            if f.landmark.is_some() {
+                assert_eq!(fx.dist_since_landmark(), 0.0);
+                if prev > 1.0 {
+                    saw_reset = true;
+                }
+            }
+            prev = fx.dist_since_landmark();
+        }
+        assert!(saw_reset, "the daily path must trigger landmark resets");
+    }
+
+    #[test]
+    fn wifi_features_present_in_office_absent_in_basement() {
+        let scenario = campus::daily_path(104);
+        let ctx = context(&scenario, 105);
+        let fx = FeatureExtractor::new(&ctx);
+        let all = frames(&scenario, 106);
+        let mut office_some = 0usize;
+        let mut office_total = 0usize;
+        let mut basement_none = 0usize;
+        let mut basement_total = 0usize;
+        for f in &all {
+            let kind = scenario.world.kind_at(f.true_position);
+            let feats = fx.features(
+                &ctx,
+                SchemeId::Wifi,
+                IoState::Indoor,
+                f,
+                Some(f.true_position),
+            );
+            match kind {
+                uniloc_env::EnvKind::Office => {
+                    office_total += 1;
+                    office_some += usize::from(feats.is_some());
+                }
+                uniloc_env::EnvKind::Basement => {
+                    basement_total += 1;
+                    basement_none += usize::from(feats.is_none());
+                }
+                _ => {}
+            }
+        }
+        assert!(office_some as f64 > 0.9 * office_total as f64);
+        assert!(basement_none as f64 > 0.7 * basement_total as f64);
+    }
+
+    #[test]
+    fn feature_arity_per_scheme() {
+        let scenario = campus::daily_path(107);
+        let ctx = context(&scenario, 108);
+        let mut fx = FeatureExtractor::new(&ctx);
+        let all = frames(&scenario, 109);
+        let f = &all[20]; // office
+        fx.begin_epoch(f);
+        let hint = Some(f.true_position);
+        assert_eq!(
+            fx.features(&ctx, SchemeId::Wifi, IoState::Indoor, f, hint).unwrap().len(),
+            2
+        );
+        assert_eq!(
+            fx.features(&ctx, SchemeId::Cellular, IoState::Indoor, f, hint).unwrap().len(),
+            3
+        );
+        assert_eq!(
+            fx.features(&ctx, SchemeId::Motion, IoState::Indoor, f, hint).unwrap().len(),
+            2
+        );
+        assert_eq!(
+            fx.features(&ctx, SchemeId::Fusion, IoState::Indoor, f, hint).unwrap().len(),
+            3
+        );
+        assert_eq!(
+            fx.features(&ctx, SchemeId::Fusion, IoState::Outdoor, f, hint).unwrap().len(),
+            2,
+            "outdoor fusion uses the motion model"
+        );
+        assert_eq!(
+            fx.features(&ctx, SchemeId::Gps, IoState::Outdoor, f, hint).unwrap().len(),
+            0
+        );
+        assert!(fx.features(&ctx, SchemeId::Gps, IoState::Indoor, f, hint).is_none());
+    }
+
+    #[test]
+    fn corridor_width_feature_varies_by_segment() {
+        let scenario = campus::daily_path(110);
+        let ctx = context(&scenario, 111);
+        let fx = FeatureExtractor::new(&ctx);
+        let all = frames(&scenario, 112);
+        // Find one office frame and one open-space frame.
+        let office = all
+            .iter()
+            .find(|f| scenario.world.kind_at(f.true_position) == uniloc_env::EnvKind::Office)
+            .unwrap();
+        let open = all
+            .iter()
+            .find(|f| {
+                scenario.world.kind_at(f.true_position) == uniloc_env::EnvKind::OpenSpace
+            })
+            .unwrap();
+        let w_office = fx
+            .features(&ctx, SchemeId::Motion, IoState::Indoor, office, Some(office.true_position))
+            .unwrap()[1];
+        let w_open = fx
+            .features(&ctx, SchemeId::Motion, IoState::Outdoor, open, Some(open.true_position))
+            .unwrap()[1];
+        assert!(
+            w_open > w_office,
+            "open space width {w_open} must exceed office corridor width {w_office}"
+        );
+    }
+
+    #[test]
+    fn hmm_prediction_becomes_available_after_estimates() {
+        let scenario = campus::daily_path(113);
+        let ctx = context(&scenario, 114);
+        let mut fx = FeatureExtractor::new(&ctx);
+        assert!(fx.predicted_location().is_none());
+        fx.note_estimate(Point::new(5.0, 5.0));
+        assert!(fx.predicted_location().is_some());
+        fx.note_estimate(Point::new(6.0, 5.0));
+        let p = fx.predicted_location().unwrap();
+        // Second-order prediction extrapolates eastward.
+        assert!(p.x >= 6.0);
+    }
+
+    #[test]
+    fn match_deviation_basics() {
+        assert_eq!(match_deviation([5.0].into_iter()), 0.0);
+        assert_eq!(match_deviation([3.0, 3.0, 3.0].into_iter()), 0.0);
+        let d = match_deviation([1.0, 2.0, 3.0].into_iter());
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,383 @@
+//! The experiment harness: surveys a venue, builds the five schemes, walks
+//! the route and records per-epoch results.
+//!
+//! Both phases of the paper's workflow share this machinery:
+//!
+//! * **Training** ([`collect_training`]) — Step 1 of Section III: walk a
+//!   venue *with ground truth*, recording `(features, error)` tuples per
+//!   scheme, split indoor/outdoor.
+//! * **Evaluation** ([`run_walk`]) — Section V: walk any venue with trained
+//!   models and record every scheme's error, UniLoc1/UniLoc2's errors, the
+//!   oracle, scheme usage and the GPS duty cycle.
+
+use crate::engine::UniLocEngine;
+use crate::error_model::{ErrorModelSet, ErrorPrediction, TrainingSample};
+use crate::features::{FeatureExtractor, PredictorKind, SharedContext};
+use serde::{Deserialize, Serialize};
+use uniloc_env::{GaitProfile, Scenario, Walker};
+use uniloc_geom::Point;
+use uniloc_iodetect::IoState;
+use uniloc_schemes::{
+    CellFingerprintDb, CellFingerprintScheme, FusionScheme, GpsScheme, LocalizationScheme,
+    Oracle, PdrConfig, PdrScheme, SchemeId, WifiFingerprintDb, WifiFingerprintScheme,
+};
+use uniloc_sensors::{DeviceProfile, RssiCalibration, SensorHub};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Localization epoch interval (s); the paper updates every 0.5 s.
+    pub epoch_interval: f64,
+    /// Fingerprint spacing indoors (m); the paper surveys at 1-3 m.
+    pub indoor_spacing: f64,
+    /// Fingerprint spacing outdoors (m); the paper's open spaces use 12 m.
+    pub outdoor_spacing: f64,
+    /// PDR particle filter configuration (300 particles by default).
+    pub pdr: PdrConfig,
+    /// The phone running online localization.
+    pub device: DeviceProfile,
+    /// Online device calibration toward the survey device, if any.
+    pub calibration: Option<RssiCalibration>,
+    /// Walker gait.
+    pub gait: GaitProfile,
+    /// Online location predictor for the feature extractor.
+    pub predictor: PredictorKind,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            epoch_interval: 0.5,
+            indoor_spacing: 1.5,
+            outdoor_spacing: 12.0,
+            pdr: PdrConfig::default(),
+            device: DeviceProfile::nexus_5x(),
+            calibration: None,
+            gait: GaitProfile::average(),
+            predictor: PredictorKind::default(),
+        }
+    }
+}
+
+/// Everything recorded for one localization epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch time (s since walk start).
+    pub t: f64,
+    /// Ground-truth station along the route (m from start).
+    pub station: f64,
+    /// Ground-truth position.
+    pub truth: Point,
+    /// Ground-truth indoor flag.
+    pub indoor: bool,
+    /// IODetector's verdict.
+    pub io_detected: IoState,
+    /// Per-scheme localization error (None = unavailable).
+    pub scheme_errors: Vec<(SchemeId, Option<f64>)>,
+    /// Per-scheme position estimates (None = unavailable).
+    pub estimates: Vec<(SchemeId, Option<Point>)>,
+    /// Per-scheme predicted error distribution (None = not predictable).
+    pub predictions: Vec<(SchemeId, Option<ErrorPrediction>)>,
+    /// UniLoc1 (best-selection) error.
+    pub uniloc1_error: Option<f64>,
+    /// The scheme UniLoc1 selected.
+    pub uniloc1_choice: Option<SchemeId>,
+    /// UniLoc2 (locally-weighted BMA) error.
+    pub uniloc2_error: Option<f64>,
+    /// UniLoc2 error under the full-posterior mixture variant (Eqs. 3-4
+    /// computed over scheme posteriors instead of point estimates).
+    pub uniloc2_mixture_error: Option<f64>,
+    /// Oracle (ground-truth best single scheme) error.
+    pub oracle_error: Option<f64>,
+    /// The scheme the oracle picked.
+    pub oracle_choice: Option<SchemeId>,
+    /// Per-scheme BMA weights this epoch (Eq. 5).
+    pub weights: Vec<(SchemeId, f64)>,
+    /// Whether UniLoc's duty-cycling kept the GPS receiver on.
+    pub gps_enabled: bool,
+    /// The adaptive confidence threshold used this epoch.
+    pub tau: Option<f64>,
+}
+
+/// Surveys the venue's fingerprint databases (always with the reference
+/// device, as in the paper) and snapshots the floor plan.
+pub fn build_context(scenario: &Scenario, cfg: &PipelineConfig, seed: u64) -> SharedContext {
+    let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), seed);
+    let points = scenario.survey_points(cfg.indoor_spacing, cfg.outdoor_spacing);
+    SharedContext {
+        wifi_db: WifiFingerprintDb::survey_wifi(&mut hub, &points),
+        cell_db: CellFingerprintDb::survey_cell(&mut hub, &points),
+        plan: scenario.world.floorplan().clone(),
+    }
+}
+
+/// Builds the paper's five schemes for a scenario.
+pub fn build_schemes(
+    scenario: &Scenario,
+    ctx: &SharedContext,
+    cfg: &PipelineConfig,
+    seed: u64,
+) -> Vec<Box<dyn LocalizationScheme>> {
+    let start = scenario.route.start();
+    let mut wifi = WifiFingerprintScheme::new(ctx.wifi_db.clone()).with_min_aps(3);
+    if let Some(cal) = cfg.calibration {
+        wifi = wifi.with_calibration(cal);
+    }
+    vec![
+        Box::new(GpsScheme::new(*scenario.world.geo_frame())),
+        Box::new(wifi),
+        Box::new(CellFingerprintScheme::new(ctx.cell_db.clone())),
+        Box::new(PdrScheme::new(ctx.plan.clone(), start, cfg.pdr, seed)),
+        Box::new(FusionScheme::new(
+            ctx.plan.clone(),
+            start,
+            cfg.pdr,
+            ctx.wifi_db.clone(),
+            seed + 1,
+        )),
+    ]
+}
+
+/// Step 1 of the error-modeling workflow: walks the scenario, running every
+/// scheme, and records `(features, error)` training tuples. Ground truth is
+/// used for the indoor/outdoor split and for the location-dependent
+/// features, exactly as the paper's training phase does.
+///
+/// Following Section III-B, the walk is repeated against downsampled
+/// fingerprint databases ("for larger fingerprint distances (e.g., 5 m,
+/// 10 m, and 15 m), we downsample the fine-grained fingerprint data") so
+/// the density feature `beta_1` actually varies in the training set —
+/// without the sweep it would be a constant column and the regression could
+/// not identify its coefficient.
+pub fn collect_training(
+    scenario: &Scenario,
+    cfg: &PipelineConfig,
+    seed: u64,
+) -> Vec<TrainingSample> {
+    let base_ctx = build_context(scenario, cfg, seed);
+    let mut samples = Vec::new();
+    for (pass, spacing) in [None, Some(5.0), Some(10.0), Some(15.0)].into_iter().enumerate() {
+        let ctx = match spacing {
+            None => base_ctx.clone(),
+            Some(s) => SharedContext {
+                wifi_db: base_ctx.wifi_db.downsampled(s),
+                cell_db: base_ctx.cell_db.downsampled(s),
+                plan: base_ctx.plan.clone(),
+            },
+        };
+        collect_training_pass(
+            scenario,
+            cfg,
+            &ctx,
+            seed + 100 * pass as u64,
+            &mut samples,
+        );
+    }
+    samples
+}
+
+fn collect_training_pass(
+    scenario: &Scenario,
+    cfg: &PipelineConfig,
+    ctx: &SharedContext,
+    seed: u64,
+    samples: &mut Vec<TrainingSample>,
+) {
+    let mut schemes = build_schemes(scenario, ctx, cfg, seed + 2);
+    let mut extractor = FeatureExtractor::new(ctx);
+
+    let mut walker = Walker::new(cfg.gait.clone(), ChaCha8Rng::seed_from_u64(seed + 3));
+    let walk = walker.walk(&scenario.route);
+    let mut hub = SensorHub::new(&scenario.world, cfg.device, seed + 4);
+    let frames = hub.sample_walk(&walk, cfg.epoch_interval);
+
+    for frame in &frames {
+        extractor.begin_epoch(frame);
+        let indoor = scenario.world.is_indoor(frame.true_position);
+        let io = if indoor { IoState::Indoor } else { IoState::Outdoor };
+        for scheme in &mut schemes {
+            let id = scheme.id();
+            let Some(est) = scheme.update(frame) else { continue };
+            let Some(features) =
+                extractor.features(ctx, id, io, frame, Some(frame.true_position))
+            else {
+                continue;
+            };
+            samples.push(TrainingSample {
+                scheme: id,
+                indoor,
+                features,
+                error: est.position.distance(frame.true_position),
+            });
+        }
+        extractor.note_estimate(frame.true_position);
+    }
+}
+
+/// Walks a scenario with trained models and records everything Section V
+/// reports.
+pub fn run_walk(
+    scenario: &Scenario,
+    models: &ErrorModelSet,
+    cfg: &PipelineConfig,
+    seed: u64,
+) -> Vec<EpochRecord> {
+    let ctx = build_context(scenario, cfg, seed);
+    let schemes = build_schemes(scenario, &ctx, cfg, seed + 2);
+    let mut engine =
+        UniLocEngine::with_predictor(schemes, models.clone(), ctx, cfg.predictor);
+
+    let mut walker = Walker::new(cfg.gait.clone(), ChaCha8Rng::seed_from_u64(seed + 3));
+    let walk = walker.walk(&scenario.route);
+    let mut hub = SensorHub::new(&scenario.world, cfg.device, seed + 4);
+    let frames = hub.sample_walk(&walk, cfg.epoch_interval);
+
+    let mut records = Vec::with_capacity(frames.len());
+    for frame in &frames {
+        let out = engine.update(frame);
+        let truth = frame.true_position;
+        let (_, station) = scenario.route.project(truth);
+        let scheme_errors: Vec<(SchemeId, Option<f64>)> = out
+            .reports
+            .iter()
+            .map(|r| (r.id, r.estimate.map(|e| e.position.distance(truth))))
+            .collect();
+        let estimates: Vec<(SchemeId, Option<Point>)> = out
+            .reports
+            .iter()
+            .map(|r| (r.id, r.estimate.map(|e| e.position)))
+            .collect();
+        let predictions: Vec<(SchemeId, Option<ErrorPrediction>)> =
+            out.reports.iter().map(|r| (r.id, r.prediction)).collect();
+        let oracle_input: Vec<_> = out.reports.iter().map(|r| (r.id, r.estimate)).collect();
+        let oracle = Oracle::select(&oracle_input, truth);
+        records.push(EpochRecord {
+            t: frame.t,
+            station,
+            truth,
+            indoor: scenario.world.is_indoor(truth),
+            io_detected: out.io,
+            scheme_errors,
+            estimates,
+            predictions,
+            uniloc1_error: out.best_selection.map(|p| p.distance(truth)),
+            uniloc1_choice: out.selected,
+            uniloc2_error: out.bayesian_average.map(|p| p.distance(truth)),
+            uniloc2_mixture_error: out.mixture_average.map(|p| p.distance(truth)),
+            oracle_error: oracle.map(|(_, _, e)| e),
+            oracle_choice: oracle.map(|(id, _, _)| id),
+            weights: out.reports.iter().map(|r| (r.id, r.weight)).collect(),
+            gps_enabled: out.gps_enabled,
+            tau: out.tau,
+        });
+    }
+    records
+}
+
+/// Mean of the defined values of an optional-valued series.
+pub fn mean_defined(values: impl Iterator<Item = Option<f64>>) -> Option<f64> {
+    let defined: Vec<f64> = values.flatten().collect();
+    if defined.is_empty() {
+        None
+    } else {
+        Some(defined.iter().sum::<f64>() / defined.len() as f64)
+    }
+}
+
+/// Per-scheme mean error across records.
+pub fn scheme_mean_error(records: &[EpochRecord], id: SchemeId) -> Option<f64> {
+    mean_defined(records.iter().map(|r| {
+        r.scheme_errors
+            .iter()
+            .find(|(s, _)| *s == id)
+            .and_then(|(_, e)| *e)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error_model::train;
+    use uniloc_env::venues;
+
+    fn small_cfg() -> PipelineConfig {
+        PipelineConfig { indoor_spacing: 2.0, ..PipelineConfig::default() }
+    }
+
+    #[test]
+    fn training_collection_produces_all_schemes() {
+        let scenario = venues::training_office(201);
+        let cfg = small_cfg();
+        let samples = collect_training(&scenario, &cfg, 202);
+        assert!(samples.len() > 500, "got {} samples", samples.len());
+        for id in [SchemeId::Wifi, SchemeId::Cellular, SchemeId::Motion, SchemeId::Fusion] {
+            let n = samples.iter().filter(|s| s.scheme == id).count();
+            assert!(n > 50, "{id} has only {n} samples");
+        }
+        // All office samples are indoor.
+        assert!(samples.iter().all(|s| s.indoor));
+        // Errors are physical.
+        assert!(samples.iter().all(|s| s.error.is_finite() && s.error >= 0.0));
+    }
+
+    #[test]
+    fn outdoor_training_includes_gps() {
+        let scenario = venues::training_open_space(203);
+        let cfg = small_cfg();
+        let samples = collect_training(&scenario, &cfg, 204);
+        let gps = samples.iter().filter(|s| s.scheme == SchemeId::Gps).count();
+        assert!(gps > 20, "GPS outdoor samples: {gps}");
+        assert!(samples.iter().all(|s| !s.indoor));
+    }
+
+    #[test]
+    fn end_to_end_walk_beats_individual_schemes() {
+        // Train on the office + open space, evaluate in the office (same
+        // place, quick smoke test; the benches do the full campus).
+        let cfg = small_cfg();
+        let mut samples = collect_training(&venues::training_office(205), &cfg, 206);
+        samples.extend(collect_training(&venues::training_open_space(207), &cfg, 208));
+        let models = train(&samples).unwrap();
+        let eval = venues::office("eval-office", 209, 48.0, 18.0);
+        let records = run_walk(&eval, &models, &cfg, 210);
+        assert!(!records.is_empty());
+
+        let uniloc2 = mean_defined(records.iter().map(|r| r.uniloc2_error)).unwrap();
+        let best_scheme = SchemeId::BUILTIN
+            .iter()
+            .filter_map(|&id| scheme_mean_error(&records, id))
+            .fold(f64::INFINITY, f64::min);
+        // In a single benign venue the best individual scheme can edge out
+        // the ensemble; UniLoc's gains come from diverse paths (see the
+        // fig6/fig7 benches). Competitive here means within 2x.
+        assert!(
+            uniloc2 <= best_scheme * 2.0,
+            "UniLoc2 ({uniloc2:.2}) should be competitive with the best scheme ({best_scheme:.2})"
+        );
+        // UniLoc should be well under 10 m indoors.
+        assert!(uniloc2 < 10.0, "UniLoc2 error {uniloc2}");
+    }
+
+    #[test]
+    fn records_are_internally_consistent() {
+        let cfg = small_cfg();
+        let samples = collect_training(&venues::training_office(211), &cfg, 212);
+        let models = train(&samples).unwrap();
+        let eval = venues::training_office(211);
+        let records = run_walk(&eval, &models, &cfg, 213);
+        for r in &records {
+            // Oracle error is a lower bound on any selection.
+            if let (Some(o), Some(u1)) = (r.oracle_error, r.uniloc1_error) {
+                assert!(o <= u1 + 1e-9, "oracle {o} > uniloc1 {u1}");
+            }
+            // Every record has the five schemes listed.
+            assert_eq!(r.scheme_errors.len(), 5);
+            assert_eq!(r.estimates.len(), 5);
+            assert_eq!(r.predictions.len(), 5);
+            // Station within route bounds.
+            assert!(r.station >= 0.0 && r.station <= eval.route.length() + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the simulated world.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use uniloc_env::campus::{build_path, PathSpec};
+use uniloc_env::{EnvKind, SpatialNoise};
+use uniloc_geom::Point;
+
+fn kind_strategy() -> impl Strategy<Value = EnvKind> {
+    proptest::sample::select(EnvKind::ALL.to_vec())
+}
+
+proptest! {
+    /// Shadowing fields are deterministic and bounded for any seed/query.
+    #[test]
+    fn spatial_noise_deterministic_and_bounded(
+        seed in 0u64..10_000,
+        salt in 0u64..100,
+        x in -500.0f64..500.0,
+        y in -500.0f64..500.0,
+        sigma in 0.1f64..12.0,
+    ) {
+        let f = SpatialNoise::new(seed, 4.0, sigma);
+        let p = Point::new(x, y);
+        let v1 = f.sample(salt, p);
+        let v2 = f.sample(salt, p);
+        prop_assert_eq!(v1, v2);
+        prop_assert!(v1.is_finite());
+        // Bilinear blend of ~N(0, sigma) nodes: |v| beyond 8 sigma would be
+        // astronomically unlikely and indicates a scaling bug.
+        prop_assert!(v1.abs() < 8.0 * sigma, "sample {v1} vs sigma {sigma}");
+    }
+
+    /// Any generated path scenario is internally consistent: route length
+    /// equals the spec sum, segments tile the route, and the route is never
+    /// blocked by its own walls.
+    #[test]
+    fn generated_paths_are_consistent(
+        seed in 0u64..500,
+        lengths in proptest::collection::vec(30.0f64..120.0, 1..5),
+        kinds in proptest::collection::vec(kind_strategy(), 5),
+    ) {
+        let specs: Vec<PathSpec> = lengths
+            .iter()
+            .zip(&kinds)
+            .map(|(&l, &k)| PathSpec::new(k, l))
+            .collect();
+        let total: f64 = lengths.iter().sum();
+        let s = build_path("prop", seed, &specs);
+        prop_assert!((s.route.length() - total).abs() < 1e-9);
+        // Segments tile [0, total].
+        prop_assert!((s.segments[0].start_station).abs() < 1e-9);
+        for w in s.segments.windows(2) {
+            prop_assert!((w[0].end_station - w[1].start_station).abs() < 1e-9);
+        }
+        prop_assert!((s.segments.last().unwrap().end_station - total).abs() < 1e-9);
+        // The walkable route never crosses its own walls.
+        let stations = s.route.sample_stations(2.0);
+        for w in stations.windows(2) {
+            let a = s.route.point_at(w[0]);
+            let b = s.route.point_at(w[1]);
+            prop_assert!(!s.world.floorplan().blocks(a, b),
+                "route blocked between {} and {}", w[0], w[1]);
+        }
+        // Zone lookup along the route agrees with the segment labels.
+        // Adjacent outdoor zones share a priority and may overlap near
+        // corners, so outdoor segments are checked on the indoor/outdoor
+        // split; roofed zones out-prioritize outdoor ones and must match
+        // exactly.
+        for seg in &s.segments {
+            let mid = s.route.point_at((seg.start_station + seg.end_station) / 2.0);
+            if seg.kind.is_roofed() {
+                prop_assert_eq!(s.world.kind_at(mid), seg.kind);
+            } else {
+                prop_assert!(!s.world.is_indoor(mid));
+            }
+        }
+    }
+
+    /// Observations respect receiver floors for arbitrary query points.
+    #[test]
+    fn observations_respect_floors(
+        x in -50.0f64..400.0,
+        y in -50.0f64..120.0,
+        rng_seed in 0u64..100,
+    ) {
+        let s = build_path(
+            "floors",
+            7,
+            &[PathSpec::new(EnvKind::Office, 60.0), PathSpec::new(EnvKind::OpenSpace, 60.0)],
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(rng_seed);
+        let p = Point::new(x, y);
+        for (_, rss) in s.world.wifi_observation(p, &mut rng) {
+            prop_assert!(rss >= s.world.propagation().wifi_floor_dbm);
+            prop_assert!(rss < 30.0, "implausibly strong WiFi: {rss}");
+        }
+        for (_, rss) in s.world.cell_observation(p, &mut rng) {
+            prop_assert!(rss >= s.world.propagation().cell_floor_dbm);
+            prop_assert!(rss < 0.0, "implausibly strong cellular: {rss}");
+        }
+        let sats = s.world.visible_satellites(p, &mut rng);
+        prop_assert!(sats <= 14);
+        prop_assert!(s.world.ambient_light(p, &mut rng) >= 0.0);
+        let sky = s.world.sky_view(p);
+        prop_assert!((0.0..=1.0).contains(&sky));
+    }
+}

@@ -1,0 +1,197 @@
+//! A 2-D constant-velocity Kalman filter.
+//!
+//! State `[x, y, vx, vy]`, position observations. The paper lists the
+//! Kalman filter (alongside the second-order HMM it ultimately uses) as a
+//! candidate for predicting the user's location when computing the online
+//! fingerprint-density feature; it is also the classic smoother for raw GPS
+//! tracks.
+
+use uniloc_geom::Point;
+use uniloc_stats::Matrix;
+
+/// A constant-velocity Kalman filter over the map plane.
+///
+/// # Examples
+///
+/// ```
+/// use uniloc_filters::Kalman2D;
+/// use uniloc_geom::Point;
+///
+/// let mut kf = Kalman2D::new(Point::new(0.0, 0.0), 1.0, 4.0);
+/// // Target moves east 1 m per tick; observations are noisy.
+/// for i in 1..=20 {
+///     kf.predict(1.0);
+///     kf.update(Point::new(i as f64 + 0.3, -0.2));
+/// }
+/// let p = kf.position();
+/// assert!((p.x - 20.0).abs() < 1.0);
+/// assert!(p.y.abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kalman2D {
+    /// State vector [x, y, vx, vy] as a 4x1 matrix.
+    state: Matrix,
+    /// State covariance (4x4).
+    cov: Matrix,
+    /// Process-noise intensity (acceleration variance).
+    q: f64,
+    /// Measurement-noise variance (m^2).
+    r: f64,
+}
+
+impl Kalman2D {
+    /// Creates a filter at `start` with zero velocity.
+    ///
+    /// `q` is the process-noise intensity (how hard the target can
+    /// accelerate), `r` the measurement variance in m^2.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` or `r` is not positive.
+    pub fn new(start: Point, q: f64, r: f64) -> Self {
+        assert!(q > 0.0 && r > 0.0, "noise parameters must be positive");
+        let mut state = Matrix::zeros(4, 1);
+        state[(0, 0)] = start.x;
+        state[(1, 0)] = start.y;
+        let mut cov = Matrix::identity(4);
+        for i in 0..4 {
+            cov[(i, i)] = 10.0;
+        }
+        Kalman2D { state, cov, q, r }
+    }
+
+    /// Current position estimate.
+    pub fn position(&self) -> Point {
+        Point::new(self.state[(0, 0)], self.state[(1, 0)])
+    }
+
+    /// Current velocity estimate (m/s).
+    pub fn velocity(&self) -> (f64, f64) {
+        (self.state[(2, 0)], self.state[(3, 0)])
+    }
+
+    /// Position variance (trace of the positional covariance block / 2).
+    pub fn position_variance(&self) -> f64 {
+        (self.cov[(0, 0)] + self.cov[(1, 1)]) / 2.0
+    }
+
+    /// Time-update: propagate the constant-velocity model by `dt` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dt` is not positive.
+    pub fn predict(&mut self, dt: f64) {
+        assert!(dt > 0.0, "dt must be positive");
+        let mut f = Matrix::identity(4);
+        f[(0, 2)] = dt;
+        f[(1, 3)] = dt;
+        self.state = &f * &self.state;
+        // Discrete white-noise acceleration process covariance.
+        let dt2 = dt * dt;
+        let dt3 = dt2 * dt;
+        let dt4 = dt3 * dt;
+        let mut qm = Matrix::zeros(4, 4);
+        qm[(0, 0)] = dt4 / 4.0;
+        qm[(1, 1)] = dt4 / 4.0;
+        qm[(0, 2)] = dt3 / 2.0;
+        qm[(2, 0)] = dt3 / 2.0;
+        qm[(1, 3)] = dt3 / 2.0;
+        qm[(3, 1)] = dt3 / 2.0;
+        qm[(2, 2)] = dt2;
+        qm[(3, 3)] = dt2;
+        let qm = qm.scale(self.q);
+        self.cov = &(&(&f * &self.cov) * &f.transpose()) + &qm;
+    }
+
+    /// Measurement-update with a position observation.
+    pub fn update(&mut self, z: Point) {
+        // H selects position: 2x4.
+        let mut h = Matrix::zeros(2, 4);
+        h[(0, 0)] = 1.0;
+        h[(1, 1)] = 1.0;
+        let mut zm = Matrix::zeros(2, 1);
+        zm[(0, 0)] = z.x;
+        zm[(1, 0)] = z.y;
+        let innovation = &zm - &(&h * &self.state);
+        let mut r = Matrix::identity(2);
+        r[(0, 0)] = self.r;
+        r[(1, 1)] = self.r;
+        let s = &(&(&h * &self.cov) * &h.transpose()) + &r;
+        let k = (&self.cov * &h.transpose())
+            .matmul(&s.inverse().expect("innovation covariance is PD"))
+            .expect("gain shapes agree");
+        self.state = &self.state + &(&k * &innovation);
+        let i = Matrix::identity(4);
+        let kh = &k * &h;
+        self.cov = (&i - &kh).matmul(&self.cov).expect("covariance shapes agree");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_static_target() {
+        let mut kf = Kalman2D::new(Point::new(0.0, 0.0), 0.1, 2.0);
+        for _ in 0..30 {
+            kf.predict(0.5);
+            kf.update(Point::new(10.0, -5.0));
+        }
+        let p = kf.position();
+        assert!((p.x - 10.0).abs() < 0.3);
+        assert!((p.y + 5.0).abs() < 0.3);
+        let (vx, vy) = kf.velocity();
+        assert!(vx.abs() < 0.5 && vy.abs() < 0.5);
+    }
+
+    #[test]
+    fn variance_shrinks_with_updates() {
+        let mut kf = Kalman2D::new(Point::origin(), 0.5, 4.0);
+        let before = kf.position_variance();
+        for _ in 0..10 {
+            kf.predict(0.5);
+            kf.update(Point::origin());
+        }
+        assert!(kf.position_variance() < before);
+    }
+
+    #[test]
+    fn variance_grows_without_updates() {
+        let mut kf = Kalman2D::new(Point::origin(), 0.5, 4.0);
+        for _ in 0..5 {
+            kf.predict(0.5);
+            kf.update(Point::origin());
+        }
+        let settled = kf.position_variance();
+        for _ in 0..10 {
+            kf.predict(0.5);
+        }
+        assert!(kf.position_variance() > settled);
+    }
+
+    #[test]
+    fn tracks_constant_velocity() {
+        let mut kf = Kalman2D::new(Point::origin(), 1.0, 1.0);
+        for i in 1..=40 {
+            kf.predict(0.5);
+            // Target: 1 m/s east, 0.5 m/s north.
+            kf.update(Point::new(i as f64 * 0.5, i as f64 * 0.25));
+        }
+        let (vx, vy) = kf.velocity();
+        assert!((vx - 1.0).abs() < 0.2, "vx {vx}");
+        assert!((vy - 0.5).abs() < 0.2, "vy {vy}");
+    }
+
+    #[test]
+    #[should_panic(expected = "noise parameters must be positive")]
+    fn rejects_bad_noise() {
+        Kalman2D::new(Point::origin(), 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn rejects_bad_dt() {
+        Kalman2D::new(Point::origin(), 1.0, 1.0).predict(0.0);
+    }
+}

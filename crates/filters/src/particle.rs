@@ -1,0 +1,373 @@
+//! A generic sequential-importance-resampling particle filter.
+//!
+//! The motion-based PDR of [7] and the Travi-Navi-style fusion scheme both
+//! maintain a cloud of particles per step: predict with the noisy step
+//! model, kill particles that cross walls (weight zero), reweight by RSSI
+//! likelihood (fusion only), and resample when the effective sample size
+//! collapses.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// One weighted hypothesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Particle<S> {
+    /// The hypothesis state.
+    pub state: S,
+    /// Importance weight (maintained normalized after updates).
+    pub weight: f64,
+}
+
+/// A particle filter over states of type `S`.
+///
+/// # Examples
+///
+/// Tracking a 1-D random walk:
+///
+/// ```
+/// use uniloc_filters::ParticleFilter;
+/// use rand::SeedableRng;
+/// use rand::Rng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let mut pf = ParticleFilter::new((0..200).map(|i| i as f64 * 0.1));
+/// // Observe the target near 5.0.
+/// pf.reweight(|&x: &f64| (-(x - 5.0) * (x - 5.0)).exp());
+/// let est = pf.estimate(|&x| x);
+/// assert!((est - 5.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParticleFilter<S> {
+    particles: Vec<Particle<S>>,
+}
+
+impl<S: Clone> ParticleFilter<S> {
+    /// Creates a filter with uniform weights over the given states.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `states` is empty.
+    pub fn new(states: impl IntoIterator<Item = S>) -> Self {
+        let particles: Vec<Particle<S>> = states
+            .into_iter()
+            .map(|state| Particle { state, weight: 1.0 })
+            .collect();
+        assert!(!particles.is_empty(), "particle filter needs at least one particle");
+        let mut pf = ParticleFilter { particles };
+        pf.normalize();
+        pf
+    }
+
+    /// Number of particles.
+    pub fn len(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// Always false — construction rejects empty clouds.
+    pub fn is_empty(&self) -> bool {
+        self.particles.is_empty()
+    }
+
+    /// Read access to the cloud.
+    pub fn particles(&self) -> &[Particle<S>] {
+        &self.particles
+    }
+
+    /// Applies a motion model to every particle.
+    pub fn predict<F>(&mut self, rng: &mut ChaCha8Rng, mut motion: F)
+    where
+        F: FnMut(&mut S, &mut ChaCha8Rng),
+    {
+        for p in &mut self.particles {
+            motion(&mut p.state, rng);
+        }
+    }
+
+    /// Multiplies weights by a likelihood and renormalizes.
+    ///
+    /// Returns `false` when every particle got zero likelihood (total
+    /// collapse — e.g. all particles crossed walls); in that case the
+    /// previous weights are restored so the caller can decide how to
+    /// recover (typically by reinitializing around a landmark).
+    pub fn reweight<F>(&mut self, mut likelihood: F) -> bool
+    where
+        F: FnMut(&S) -> f64,
+    {
+        let old: Vec<f64> = self.particles.iter().map(|p| p.weight).collect();
+        let mut total = 0.0;
+        for p in &mut self.particles {
+            let l = likelihood(&p.state).max(0.0);
+            p.weight *= l;
+            total += p.weight;
+        }
+        if total <= 0.0 || !total.is_finite() {
+            for (p, w) in self.particles.iter_mut().zip(old) {
+                p.weight = w;
+            }
+            return false;
+        }
+        for p in &mut self.particles {
+            p.weight /= total;
+        }
+        true
+    }
+
+    /// Normalizes weights to sum to one (uniform if all are zero).
+    pub fn normalize(&mut self) {
+        let total: f64 = self.particles.iter().map(|p| p.weight).sum();
+        if total > 0.0 && total.is_finite() {
+            for p in &mut self.particles {
+                p.weight /= total;
+            }
+        } else {
+            let w = 1.0 / self.particles.len() as f64;
+            for p in &mut self.particles {
+                p.weight = w;
+            }
+        }
+    }
+
+    /// Effective sample size `1 / sum(w_i^2)` — the standard degeneracy
+    /// metric.
+    pub fn effective_sample_size(&self) -> f64 {
+        let s: f64 = self.particles.iter().map(|p| p.weight * p.weight).sum();
+        if s > 0.0 {
+            1.0 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// Systematic resampling: draws a fresh equally-weighted cloud.
+    pub fn resample(&mut self, rng: &mut ChaCha8Rng) {
+        let n = self.particles.len();
+        let step = 1.0 / n as f64;
+        let mut u = rng.gen_range(0.0..step);
+        let mut cum = self.particles[0].weight;
+        let mut i = 0usize;
+        let mut next: Vec<Particle<S>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            while u > cum && i + 1 < n {
+                i += 1;
+                cum += self.particles[i].weight;
+            }
+            next.push(Particle { state: self.particles[i].state.clone(), weight: step });
+            u += step;
+        }
+        self.particles = next;
+    }
+
+    /// Stratified resampling: one uniform draw per stratum of width `1/n`.
+    /// Compared with systematic resampling's single shared offset, strata
+    /// draws are independent, which removes the (rare) alignment artifacts
+    /// a periodic weight pattern can cause.
+    pub fn resample_stratified(&mut self, rng: &mut ChaCha8Rng) {
+        let n = self.particles.len();
+        let step = 1.0 / n as f64;
+        let mut cum = self.particles[0].weight;
+        let mut i = 0usize;
+        let mut next: Vec<Particle<S>> = Vec::with_capacity(n);
+        for k in 0..n {
+            let u = k as f64 * step + rng.gen_range(0.0..step);
+            while u > cum && i + 1 < n {
+                i += 1;
+                cum += self.particles[i].weight;
+            }
+            next.push(Particle { state: self.particles[i].state.clone(), weight: step });
+        }
+        self.particles = next;
+    }
+
+    /// Resamples only when the effective sample size falls below
+    /// `threshold_frac * len` (typically 0.5).
+    pub fn maybe_resample(&mut self, threshold_frac: f64, rng: &mut ChaCha8Rng) -> bool {
+        if self.effective_sample_size() < threshold_frac * self.particles.len() as f64 {
+            self.resample(rng);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Weighted mean of a scalar projection of the state.
+    pub fn estimate<F>(&self, mut project: F) -> f64
+    where
+        F: FnMut(&S) -> f64,
+    {
+        self.particles.iter().map(|p| p.weight * project(&p.state)).sum()
+    }
+
+    /// Weighted mean of a 2-D projection (e.g. particle position).
+    pub fn estimate_xy<F>(&self, mut project: F) -> (f64, f64)
+    where
+        F: FnMut(&S) -> (f64, f64),
+    {
+        let mut x = 0.0;
+        let mut y = 0.0;
+        for p in &self.particles {
+            let (px, py) = project(&p.state);
+            x += p.weight * px;
+            y += p.weight * py;
+        }
+        (x, y)
+    }
+
+    /// Replaces the entire cloud (e.g. reinitializing at a landmark).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `states` is empty.
+    pub fn reinitialize(&mut self, states: impl IntoIterator<Item = S>) {
+        let particles: Vec<Particle<S>> = states
+            .into_iter()
+            .map(|state| Particle { state, weight: 1.0 })
+            .collect();
+        assert!(!particles.is_empty(), "cannot reinitialize with zero particles");
+        self.particles = particles;
+        self.normalize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn new_normalizes_weights() {
+        let pf = ParticleFilter::new(vec![1.0f64, 2.0, 3.0, 4.0]);
+        let total: f64 = pf.particles().iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(pf.len(), 4);
+        assert!(!pf.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one particle")]
+    fn empty_cloud_panics() {
+        ParticleFilter::<f64>::new(vec![]);
+    }
+
+    #[test]
+    fn reweight_concentrates_mass() {
+        let mut pf = ParticleFilter::new((0..100).map(|i| i as f64));
+        assert!(pf.reweight(|&x| if (40.0..=60.0).contains(&x) { 1.0 } else { 0.0 }));
+        let est = pf.estimate(|&x| x);
+        assert!((est - 50.0).abs() < 1.0);
+        // ESS dropped from 100 to ~21.
+        assert!(pf.effective_sample_size() < 25.0);
+    }
+
+    #[test]
+    fn reweight_total_collapse_restores_weights() {
+        let mut pf = ParticleFilter::new(vec![1.0f64, 2.0]);
+        let before: Vec<f64> = pf.particles().iter().map(|p| p.weight).collect();
+        assert!(!pf.reweight(|_| 0.0));
+        let after: Vec<f64> = pf.particles().iter().map(|p| p.weight).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn resample_prefers_heavy_particles() {
+        let mut pf = ParticleFilter::new((0..50).map(|i| i as f64));
+        pf.reweight(|&x| if x == 7.0 { 1.0 } else { 1e-6 });
+        pf.resample(&mut rng(1));
+        let sevens = pf.particles().iter().filter(|p| p.state == 7.0).count();
+        assert!(sevens > 45, "resampling should clone the dominant particle, got {sevens}");
+        // Weights equalized.
+        let w = pf.particles()[0].weight;
+        assert!(pf.particles().iter().all(|p| (p.weight - w).abs() < 1e-12));
+    }
+
+    #[test]
+    fn maybe_resample_only_on_degeneracy() {
+        let mut pf = ParticleFilter::new((0..10).map(|i| i as f64));
+        assert!(!pf.maybe_resample(0.5, &mut rng(2)), "uniform cloud must not resample");
+        pf.reweight(|&x| if x < 2.0 { 1.0 } else { 1e-9 });
+        assert!(pf.maybe_resample(0.5, &mut rng(3)));
+    }
+
+    #[test]
+    fn predict_applies_motion() {
+        let mut pf = ParticleFilter::new(vec![0.0f64; 10]);
+        pf.predict(&mut rng(4), |s, _| *s += 2.0);
+        assert!(pf.particles().iter().all(|p| p.state == 2.0));
+    }
+
+    #[test]
+    fn estimate_xy_weighted_mean() {
+        let mut pf = ParticleFilter::new(vec![(0.0f64, 0.0f64), (10.0, 20.0)]);
+        pf.reweight(|_| 1.0);
+        let (x, y) = pf.estimate_xy(|&(a, b)| (a, b));
+        assert!((x - 5.0).abs() < 1e-12);
+        assert!((y - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reinitialize_replaces_cloud() {
+        let mut pf = ParticleFilter::new(vec![1.0f64]);
+        pf.reinitialize(vec![5.0, 6.0, 7.0]);
+        assert_eq!(pf.len(), 3);
+        let total: f64 = pf.particles().iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stratified_resampling_preserves_distribution() {
+        let mut pf = ParticleFilter::new((0..200).map(|i| i as f64));
+        // Weight mass concentrated on states 50..70.
+        pf.reweight(|&x| if (50.0..70.0).contains(&x) { 1.0 } else { 1e-9 });
+        let before = pf.estimate(|&x| x);
+        pf.resample_stratified(&mut rng(7));
+        let after = pf.estimate(|&x| x);
+        assert!((before - after).abs() < 2.0, "{before} vs {after}");
+        // Equal weights afterwards.
+        let w = pf.particles()[0].weight;
+        assert!(pf.particles().iter().all(|p| (p.weight - w).abs() < 1e-12));
+        assert_eq!(pf.len(), 200);
+        // Survivors come from the heavy region.
+        let heavy = pf
+            .particles()
+            .iter()
+            .filter(|p| (50.0..70.0).contains(&p.state))
+            .count();
+        assert!(heavy > 190, "only {heavy} survivors from the heavy region");
+    }
+
+    #[test]
+    fn stratified_and_systematic_agree_on_mean(
+    ) {
+        let mut a = ParticleFilter::new((0..300).map(|i| i as f64 * 0.1));
+        let mut b = a.clone();
+        let weight = |x: &f64| (-(x - 15.0) * (x - 15.0) / 8.0).exp();
+        a.reweight(weight);
+        b.reweight(weight);
+        a.resample(&mut rng(11));
+        b.resample_stratified(&mut rng(12));
+        let ma = a.estimate(|&x| x);
+        let mb = b.estimate(|&x| x);
+        assert!((ma - mb).abs() < 1.0, "systematic {ma} vs stratified {mb}");
+    }
+
+    #[test]
+    fn tracking_a_moving_target() {
+        // A target moves +1 per tick; the filter tracks it through noisy
+        // observations.
+        let mut r = rng(5);
+        let mut pf = ParticleFilter::new((0..300).map(|i| i as f64 * 0.1));
+        let mut target = 3.0;
+        for _ in 0..30 {
+            target += 1.0;
+            pf.predict(&mut r, |s, rng| *s += 1.0 + rng.gen_range(-0.3..0.3));
+            let obs = target + 0.2;
+            pf.reweight(|&x| (-(x - obs) * (x - obs) / 2.0).exp());
+            pf.maybe_resample(0.5, &mut r);
+        }
+        let est = pf.estimate(|&x| x);
+        assert!((est - target).abs() < 1.0, "est {est} vs target {target}");
+    }
+}

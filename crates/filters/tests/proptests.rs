@@ -1,0 +1,107 @@
+//! Property-based tests for the estimation filters.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use uniloc_filters::{Hmm2Predictor, Kalman2D, ParticleFilter};
+use uniloc_geom::Point;
+
+proptest! {
+    /// Weights stay a probability simplex through arbitrary
+    /// reweight/resample cycles.
+    #[test]
+    fn particle_weights_stay_normalized(
+        seed in 0u64..1000,
+        likes in proptest::collection::vec(0.0f64..5.0, 20),
+        resample in proptest::bool::ANY,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut pf = ParticleFilter::new((0..likes.len()).map(|i| i as f64));
+        let mut idx = 0;
+        let changed = pf.reweight(|_| {
+            let l = likes[idx % likes.len()];
+            idx += 1;
+            l
+        });
+        if changed {
+            let total: f64 = pf.particles().iter().map(|p| p.weight).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+        if resample {
+            pf.resample(&mut rng);
+            let total: f64 = pf.particles().iter().map(|p| p.weight).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            // Resampling preserves the population size.
+            prop_assert_eq!(pf.len(), likes.len());
+        }
+    }
+
+    /// The weighted-mean estimate always lies within the particle range.
+    #[test]
+    fn particle_estimate_in_range(
+        states in proptest::collection::vec(-100.0f64..100.0, 2..40),
+        likes in proptest::collection::vec(0.01f64..1.0, 40),
+    ) {
+        let mut pf = ParticleFilter::new(states.clone());
+        let mut idx = 0;
+        pf.reweight(|_| {
+            let l = likes[idx % likes.len()];
+            idx += 1;
+            l
+        });
+        let est = pf.estimate(|&x| x);
+        let lo = states.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = states.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9);
+    }
+
+    /// Effective sample size is bounded by (0, n].
+    #[test]
+    fn ess_bounds(
+        likes in proptest::collection::vec(0.01f64..10.0, 2..50),
+    ) {
+        let n = likes.len();
+        let mut pf = ParticleFilter::new((0..n).map(|i| i as f64));
+        let mut idx = 0;
+        pf.reweight(|_| {
+            let l = likes[idx];
+            idx += 1;
+            l
+        });
+        let ess = pf.effective_sample_size();
+        prop_assert!(ess > 0.0 && ess <= n as f64 + 1e-9, "ess {ess} of {n}");
+    }
+
+    /// The Kalman filter converges to any constant target it is fed.
+    #[test]
+    fn kalman_converges_to_constant(
+        tx in -500.0f64..500.0,
+        ty in -500.0f64..500.0,
+    ) {
+        let mut kf = Kalman2D::new(Point::origin(), 0.5, 4.0);
+        for _ in 0..60 {
+            kf.predict(0.5);
+            kf.update(Point::new(tx, ty));
+        }
+        let p = kf.position();
+        prop_assert!((p.x - tx).abs() < 1.0, "x {} vs {}", p.x, tx);
+        prop_assert!((p.y - ty).abs() < 1.0, "y {} vs {}", p.y, ty);
+    }
+
+    /// HMM belief stays normalized for arbitrary observation streams.
+    #[test]
+    fn hmm_belief_normalized(
+        obs in proptest::collection::vec((0.0f64..50.0, -5.0f64..5.0), 1..20),
+    ) {
+        let grid: Vec<Point> =
+            (0..50).map(|i| Point::new(i as f64, 0.0)).collect();
+        let mut hmm = Hmm2Predictor::new(grid, 2.5, 4.0).unwrap();
+        for (x, y) in obs {
+            hmm.observe(Point::new(x, y));
+            let total: f64 = hmm.belief().iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-6, "belief sums to {total}");
+            let m = hmm.mean();
+            prop_assert!(m.x >= -1.0 && m.x <= 50.0, "mean {m} escaped the grid hull");
+        }
+    }
+}

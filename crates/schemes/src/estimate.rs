@@ -1,0 +1,133 @@
+//! The black-box scheme interface and its output type.
+
+use serde::{Deserialize, Serialize};
+use uniloc_geom::Point;
+use uniloc_sensors::SensorFrame;
+
+/// Identifies one of the five built-in schemes (and leaves room for
+/// user-integrated ones — UniLoc is "not constrained to any specific
+/// localization schemes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SchemeId {
+    /// Phone GPS module.
+    Gps,
+    /// WiFi RSSI fingerprinting (RADAR).
+    Wifi,
+    /// Cellular RSSI fingerprinting.
+    Cellular,
+    /// Motion-based pedestrian dead reckoning.
+    Motion,
+    /// WiFi + PDR sensor fusion (Travi-Navi).
+    Fusion,
+    /// A scheme integrated by a library user.
+    Custom(u16),
+}
+
+impl SchemeId {
+    /// The five built-in schemes, in the paper's order.
+    pub const BUILTIN: [SchemeId; 5] = [
+        SchemeId::Gps,
+        SchemeId::Wifi,
+        SchemeId::Cellular,
+        SchemeId::Motion,
+        SchemeId::Fusion,
+    ];
+}
+
+impl std::fmt::Display for SchemeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchemeId::Gps => f.write_str("gps"),
+            SchemeId::Wifi => f.write_str("wifi"),
+            SchemeId::Cellular => f.write_str("cellular"),
+            SchemeId::Motion => f.write_str("motion"),
+            SchemeId::Fusion => f.write_str("fusion"),
+            SchemeId::Custom(n) => write!(f, "custom{n}"),
+        }
+    }
+}
+
+/// One scheme's output for one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocationEstimate {
+    /// Estimated position in map coordinates (GPS results are converted
+    /// from the geographic frame before reaching here).
+    pub position: Point,
+    /// The scheme's own spread/uncertainty statistic in meters (particle
+    /// cloud deviation, HDOP-derived radius, candidate scatter), when it
+    /// has one. UniLoc does **not** rely on this — its confidence comes
+    /// from the trained error models — but exposes it for diagnostics.
+    pub spread: Option<f64>,
+}
+
+impl LocationEstimate {
+    /// An estimate with no spread information.
+    pub fn at(position: Point) -> Self {
+        LocationEstimate { position, spread: None }
+    }
+
+    /// An estimate with a spread statistic.
+    pub fn with_spread(position: Point, spread: f64) -> Self {
+        LocationEstimate { position, spread: Some(spread) }
+    }
+}
+
+/// A localization scheme as UniLoc sees it: a black box consuming sensor
+/// frames and emitting location estimates.
+///
+/// Returning `None` means the scheme is unavailable this epoch (no GPS fix,
+/// no audible APs, ...) — UniLoc then "temporarily exclude[s]" it "by simply
+/// setting its confidence as zero".
+pub trait LocalizationScheme {
+    /// Which scheme this is.
+    fn id(&self) -> SchemeId;
+
+    /// Human-readable name (defaults to the id).
+    fn name(&self) -> String {
+        self.id().to_string()
+    }
+
+    /// Consumes one epoch of sensor data and produces an estimate if the
+    /// scheme is currently available.
+    fn update(&mut self, frame: &SensorFrame) -> Option<LocationEstimate>;
+
+    /// The scheme's posterior over locations for its *latest* estimate, as
+    /// weighted candidates — `P(l = l_i | M_n, s_t)` in the paper's Eq. 3.
+    /// Schemes that only produce a point (like GPS) return `None`; the
+    /// ensemble then treats the estimate as a point mass. Weights need not
+    /// be normalized.
+    fn posterior(&self) -> Option<Vec<(Point, f64)>> {
+        None
+    }
+
+    /// Resets internal state (new walk).
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_id_display() {
+        assert_eq!(SchemeId::Gps.to_string(), "gps");
+        assert_eq!(SchemeId::Fusion.to_string(), "fusion");
+        assert_eq!(SchemeId::Custom(3).to_string(), "custom3");
+    }
+
+    #[test]
+    fn builtin_lists_all_five() {
+        assert_eq!(SchemeId::BUILTIN.len(), 5);
+        let mut v = SchemeId::BUILTIN.to_vec();
+        v.dedup();
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn estimate_constructors() {
+        let p = Point::new(1.0, 2.0);
+        assert_eq!(LocationEstimate::at(p).spread, None);
+        assert_eq!(LocationEstimate::with_spread(p, 3.0).spread, Some(3.0));
+    }
+}

@@ -1,0 +1,295 @@
+//! Offline RSSI fingerprint databases.
+//!
+//! RADAR-style fingerprinting needs an offline survey: "we first build an
+//! offline fingerprint database by collecting RSSIs from all audible APs at
+//! different locations" — 1-3 m grids indoors, 12 m outdoors, "each offline
+//! fingerprint has one sample from each audible AP". The same machinery
+//! serves the cellular scheme over tower RSSIs.
+
+use serde::{Deserialize, Serialize};
+use uniloc_geom::Point;
+use uniloc_sensors::{CellScan, SensorHub, WifiScan};
+
+/// Default penalty (dB) charged per AP audible in only one of two compared
+/// scans.
+pub const DEFAULT_MISSING_PENALTY_DBM: f64 = 12.0;
+
+/// Scans that support the RSSI fingerprint distance.
+pub trait RssiLike: Clone {
+    /// Fingerprint (Euclidean) distance; `None` when no APs are shared.
+    fn fingerprint_distance(&self, other: &Self, missing_penalty: f64) -> Option<f64>;
+    /// Whether nothing was audible.
+    fn no_signal(&self) -> bool;
+}
+
+impl RssiLike for WifiScan {
+    fn fingerprint_distance(&self, other: &Self, missing_penalty: f64) -> Option<f64> {
+        self.distance(other, missing_penalty)
+    }
+    fn no_signal(&self) -> bool {
+        self.is_empty()
+    }
+}
+
+impl RssiLike for CellScan {
+    fn fingerprint_distance(&self, other: &Self, missing_penalty: f64) -> Option<f64> {
+        self.distance(other, missing_penalty)
+    }
+    fn no_signal(&self) -> bool {
+        self.is_empty()
+    }
+}
+
+/// One match candidate from a fingerprint lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FingerprintMatch {
+    /// The fingerprint's survey position.
+    pub position: Point,
+    /// RSSI distance between the online scan and this fingerprint.
+    pub distance: f64,
+}
+
+/// An offline fingerprint database over scans of type `S`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FingerprintDb<S> {
+    entries: Vec<(Point, S)>,
+    missing_penalty: f64,
+}
+
+/// WiFi fingerprint database.
+pub type WifiFingerprintDb = FingerprintDb<WifiScan>;
+
+/// Cellular fingerprint database.
+pub type CellFingerprintDb = FingerprintDb<CellScan>;
+
+impl<S: RssiLike> FingerprintDb<S> {
+    /// Builds a database from raw `(position, scan)` pairs, dropping empty
+    /// scans (a fingerprint without any audible AP cannot be matched).
+    pub fn from_entries(entries: impl IntoIterator<Item = (Point, S)>) -> Self {
+        let entries = entries
+            .into_iter()
+            .filter(|(_, s)| !s.no_signal())
+            .collect();
+        FingerprintDb { entries, missing_penalty: DEFAULT_MISSING_PENALTY_DBM }
+    }
+
+    /// Overrides the missing-AP penalty.
+    pub fn with_missing_penalty(mut self, penalty: f64) -> Self {
+        self.missing_penalty = penalty;
+        self
+    }
+
+    /// Number of usable fingerprints.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the survey produced no usable fingerprints.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Survey positions of all fingerprints.
+    pub fn positions(&self) -> impl Iterator<Item = Point> + '_ {
+        self.entries.iter().map(|(p, _)| *p)
+    }
+
+    /// All `(position, fingerprint)` entries.
+    pub fn entries(&self) -> impl Iterator<Item = (Point, &S)> + '_ {
+        self.entries.iter().map(|(p, s)| (*p, s))
+    }
+
+    /// The `k` fingerprints closest (in RSSI space) to an online scan,
+    /// sorted by ascending distance. Empty when the scan or the database is
+    /// empty or no fingerprint shares an AP with the scan.
+    pub fn match_scan(&self, scan: &S, k: usize) -> Vec<FingerprintMatch> {
+        if scan.no_signal() || k == 0 {
+            return Vec::new();
+        }
+        let mut matches: Vec<FingerprintMatch> = self
+            .entries
+            .iter()
+            .filter_map(|(p, fp)| {
+                scan.fingerprint_distance(fp, self.missing_penalty)
+                    .map(|d| FingerprintMatch { position: *p, distance: d })
+            })
+            .collect();
+        matches.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite distances"));
+        matches.truncate(k);
+        matches
+    }
+
+    /// Average spacing of fingerprints around `p`: the paper's spatial
+    /// density feature (`beta_1`) — "measured by the average distance
+    /// between two fingerprints around the location under consideration".
+    ///
+    /// Computed as the mean nearest-neighbor distance among fingerprints
+    /// within `radius` of `p`. Returns `None` when fewer than two
+    /// fingerprints are in range (density undefined — treat as very sparse).
+    pub fn local_density(&self, p: Point, radius: f64) -> Option<f64> {
+        let mut nearby: Vec<Point> = self
+            .entries
+            .iter()
+            .map(|(q, _)| *q)
+            .filter(|q| q.distance(p) <= radius)
+            .collect();
+        if nearby.len() < 2 {
+            return None;
+        }
+        // Mean nearest-neighbor distance. For dense surveys the full
+        // O(n^2) pass is wasteful; probing the K fingerprints closest to
+        // `p` against the whole neighborhood gives the same estimate (the
+        // local grid is homogeneous) at O(K*n).
+        const PROBES: usize = 40;
+        nearby.sort_by(|a, b| {
+            a.distance_sq(p)
+                .partial_cmp(&b.distance_sq(p))
+                .expect("finite distances")
+        });
+        let probes = nearby.len().min(PROBES);
+        let mut total = 0.0;
+        for i in 0..probes {
+            let a = nearby[i];
+            let mut best = f64::INFINITY;
+            for (j, b) in nearby.iter().enumerate() {
+                if i != j {
+                    best = best.min(a.distance_sq(*b));
+                }
+            }
+            total += best.sqrt();
+        }
+        Some(total / probes as f64)
+    }
+
+    /// Thins the database so remaining fingerprints are at least
+    /// `min_spacing` apart (greedy) — used for the paper's density sweep
+    /// ("for larger fingerprint distances (e.g., 5 m, 10 m, and 15 m), we
+    /// downsample the fine-grained fingerprint data").
+    pub fn downsampled(&self, min_spacing: f64) -> Self {
+        let mut kept: Vec<(Point, S)> = Vec::new();
+        for (p, s) in &self.entries {
+            if kept.iter().all(|(q, _)| q.distance(*p) >= min_spacing) {
+                kept.push((*p, s.clone()));
+            }
+        }
+        FingerprintDb { entries: kept, missing_penalty: self.missing_penalty }
+    }
+}
+
+impl WifiFingerprintDb {
+    /// Surveys WiFi fingerprints at the given points with a device hub —
+    /// the offline phase of RADAR.
+    pub fn survey_wifi(hub: &mut SensorHub<'_>, points: &[Point]) -> Self {
+        FingerprintDb::from_entries(points.iter().map(|&p| (p, hub.scan_wifi(p))))
+    }
+}
+
+impl CellFingerprintDb {
+    /// Surveys cellular fingerprints at the given points.
+    pub fn survey_cell(hub: &mut SensorHub<'_>, points: &[Point]) -> Self {
+        FingerprintDb::from_entries(points.iter().map(|&p| (p, hub.scan_cell(p))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use uniloc_env::campus;
+    use uniloc_sensors::DeviceProfile;
+
+    fn synthetic_db() -> WifiFingerprintDb {
+        use uniloc_env::ApId;
+        // Fingerprints along a line: RSSI of a single AP falls with x.
+        let entries = (0..20).map(|i| {
+            let p = Point::new(i as f64 * 2.0, 0.0);
+            let scan = WifiScan { readings: vec![(ApId(0), -40.0 - i as f64 * 2.0)] };
+            (p, scan)
+        });
+        FingerprintDb::from_entries(entries)
+    }
+
+    #[test]
+    fn match_scan_finds_nearest_rssi() {
+        use uniloc_env::ApId;
+        let db = synthetic_db();
+        let online = WifiScan { readings: vec![(ApId(0), -50.0)] };
+        let m = db.match_scan(&online, 3);
+        assert_eq!(m.len(), 3);
+        // -50 dBm corresponds to i = 5 -> x = 10.
+        assert_eq!(m[0].position, Point::new(10.0, 0.0));
+        assert!(m[0].distance <= m[1].distance && m[1].distance <= m[2].distance);
+    }
+
+    #[test]
+    fn empty_scan_matches_nothing() {
+        let db = synthetic_db();
+        assert!(db.match_scan(&WifiScan::default(), 3).is_empty());
+        assert!(db.match_scan(&synthetic_db().entries[0].1.clone(), 0).is_empty());
+    }
+
+    #[test]
+    fn empty_scans_dropped_at_build() {
+        use uniloc_env::ApId;
+        let db = FingerprintDb::from_entries(vec![
+            (Point::origin(), WifiScan::default()),
+            (Point::new(1.0, 0.0), WifiScan { readings: vec![(ApId(0), -50.0)] }),
+        ]);
+        assert_eq!(db.len(), 1);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn local_density_reflects_spacing() {
+        let db = synthetic_db(); // 2 m spacing
+        let d = db.local_density(Point::new(10.0, 0.0), 10.0).unwrap();
+        assert!((d - 2.0).abs() < 1e-9, "density {d}");
+        let sparse = db.downsampled(6.0);
+        let d6 = sparse.local_density(Point::new(10.0, 0.0), 12.0).unwrap();
+        assert!(d6 >= 6.0, "downsampled density {d6}");
+    }
+
+    #[test]
+    fn local_density_needs_two_neighbors() {
+        let db = synthetic_db();
+        assert!(db.local_density(Point::new(500.0, 0.0), 5.0).is_none());
+    }
+
+    #[test]
+    fn downsampled_respects_spacing() {
+        let db = synthetic_db();
+        let thin = db.downsampled(5.0);
+        let pts: Vec<Point> = thin.positions().collect();
+        for (i, a) in pts.iter().enumerate() {
+            for b in pts.iter().skip(i + 1) {
+                assert!(a.distance(*b) >= 5.0);
+            }
+        }
+        assert!(thin.len() < db.len());
+    }
+
+    #[test]
+    fn survey_on_campus_produces_usable_db() {
+        let scenario = campus::daily_path(21);
+        let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 22);
+        let points = scenario.survey_points(3.0, 12.0);
+        let db = WifiFingerprintDb::survey_wifi(&mut hub, &points);
+        assert!(db.len() > 50, "db too small: {}", db.len());
+        // An online scan in the office matches fingerprints near the truth.
+        let p = scenario.route.point_at(25.0);
+        let online = hub.scan_wifi(p);
+        let m = db.match_scan(&online, 1);
+        assert!(!m.is_empty());
+        assert!(m[0].position.distance(p) < 15.0, "match {} m away", m[0].position.distance(p));
+    }
+
+    #[test]
+    fn cell_survey_works() {
+        let scenario = campus::daily_path(23);
+        let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 24);
+        let points = scenario.survey_points(3.0, 12.0);
+        let db = CellFingerprintDb::survey_cell(&mut hub, &points);
+        assert!(!db.is_empty());
+    }
+}

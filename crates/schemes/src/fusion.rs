@@ -1,0 +1,335 @@
+//! The sensor-data fusion scheme (Travi-Navi [11]).
+//!
+//! "We adopt the approach in [11] and assign different weights to the
+//! particles of motion-based PDR according to the RSSI distances between
+//! the online and offline RSSI vectors." The scheme is the PDR core plus a
+//! WiFi reweighting pass: the online scan is matched against the offline
+//! database and each particle is scored by a fixed-width Gaussian mixture
+//! around the top candidate positions. The kernel is deliberately *not*
+//! quality-adaptive: as the paper observes, "the existing fusion-based
+//! schemes process the RSSI data in the same way at different locations,
+//! but do not consider the quality variation of RSSI data" — so where the
+//! scan is junk (e.g. the 180 m mark of the daily path), "the low-quality
+//! RSSIs make the estimated location depart from the user's true
+//! location". Recognizing and exploiting that variation is UniLoc's job,
+//! not the baseline's.
+
+use crate::estimate::{LocalizationScheme, LocationEstimate, SchemeId};
+use crate::fingerprint::WifiFingerprintDb;
+use crate::pdr::{PdrConfig, PdrCore};
+use std::collections::HashMap;
+use uniloc_geom::{FloorPlan, Point};
+use uniloc_sensors::{SensorFrame, WifiScan};
+
+/// Spatial hash over fingerprint positions for O(1) nearest lookups (the
+/// per-particle inner loop would otherwise be quadratic).
+#[derive(Debug, Clone)]
+struct FingerprintIndex {
+    cell: f64,
+    buckets: HashMap<(i64, i64), Vec<usize>>,
+    positions: Vec<Point>,
+}
+
+impl FingerprintIndex {
+    fn build(positions: Vec<Point>, cell: f64) -> Self {
+        let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, p) in positions.iter().enumerate() {
+            buckets
+                .entry(((p.x / cell).floor() as i64, (p.y / cell).floor() as i64))
+                .or_default()
+                .push(i);
+        }
+        FingerprintIndex { cell, buckets, positions }
+    }
+
+    /// Index of the fingerprint nearest to `p`, searching expanding rings
+    /// (up to 3 cells; beyond that no fingerprint can constrain anything).
+    fn nearest(&self, p: Point) -> Option<usize> {
+        let cx = (p.x / self.cell).floor() as i64;
+        let cy = (p.y / self.cell).floor() as i64;
+        let mut best: Option<(usize, f64)> = None;
+        for ring in 0..=3i64 {
+            for dx in -ring..=ring {
+                for dy in -ring..=ring {
+                    if dx.abs() != ring && dy.abs() != ring {
+                        continue; // only the ring boundary
+                    }
+                    if let Some(ids) = self.buckets.get(&(cx + dx, cy + dy)) {
+                        for &i in ids {
+                            let d = self.positions[i].distance_sq(p);
+                            if best.map_or(true, |(_, bd)| d < bd) {
+                                best = Some((i, d));
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some((_, d)) = best {
+                if d.sqrt() < (ring as f64) * self.cell {
+                    break;
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+/// Candidates retained for availability checks.
+const FUSION_TOP_K: usize = 5;
+
+/// Likelihood floor: keeps particle weights positive so one scan cannot
+/// annihilate the cloud.
+const LIKELIHOOD_FLOOR: f64 = 0.05;
+
+/// RSSI likelihood kernel width (dB).
+const RSSI_SIGMA_DB: f64 = 8.0;
+
+/// The WiFi + PDR fusion scheme.
+#[derive(Debug, Clone)]
+pub struct FusionScheme {
+    core: PdrCore,
+    db: WifiFingerprintDb,
+    index: FingerprintIndex,
+    fingerprints: Vec<WifiScan>,
+}
+
+impl FusionScheme {
+    /// Creates the scheme: PDR core plus the offline WiFi fingerprint
+    /// database used for particle reweighting.
+    pub fn new(
+        plan: FloorPlan,
+        start: Point,
+        config: PdrConfig,
+        db: WifiFingerprintDb,
+        seed: u64,
+    ) -> Self {
+        let (positions, fingerprints): (Vec<Point>, Vec<WifiScan>) =
+            db.entries().map(|(p, s)| (p, s.clone())).unzip();
+        let index = FingerprintIndex::build(positions, 5.0);
+        FusionScheme { core: PdrCore::new(plan, start, config, seed), db, index, fingerprints }
+    }
+
+    /// The offline database (shared with UniLoc's feature extractor).
+    pub fn db(&self) -> &WifiFingerprintDb {
+        &self.db
+    }
+
+    /// Reweights particles by the RSSI likelihood of the online scan
+    /// against each particle's nearest offline fingerprint. Deliberately
+    /// quality-blind: Travi-Navi "process[es] the RSSI data in the same way
+    /// at different locations" — there is no gate on scan quality, so
+    /// low-quality RSSIs really do drag the estimate, as the paper observes
+    /// at the 180 m mark of the daily path.
+    fn rssi_reweight(&mut self, scan: &WifiScan) {
+        if scan.is_empty() || self.db.is_empty() {
+            return;
+        }
+        let matches = self.db.match_scan(scan, FUSION_TOP_K);
+        if matches.is_empty() {
+            return;
+        }
+        // Travi-Navi weighting: each particle is scored by the RSSI
+        // distance between the online scan and the offline fingerprint
+        // nearest to that particle ("assign different weights to the
+        // particles of motion-based PDR according to the RSSI distances
+        // between the online and offline RSSI vectors"). The pass is
+        // deliberately *not* quality-adaptive: as the paper observes, the
+        // "existing fusion-based schemes process the RSSI data in the same
+        // way at different locations, but do not consider the quality
+        // variation of RSSI data" — so where the scan is junk (e.g. the
+        // 180 m mark of the daily path), "the low-quality RSSIs make the
+        // estimated location depart from the user's true location".
+        // Recognizing that variation is UniLoc's job, not the baseline's.
+        let two_sigma2 = 2.0 * RSSI_SIGMA_DB * RSSI_SIGMA_DB;
+        let index = &self.index;
+        let fingerprints = &self.fingerprints;
+        let _ = self.core.pf.reweight(|p| {
+            let l = match index.nearest(p.pos) {
+                Some(i) => match scan.distance(&fingerprints[i], 12.0) {
+                    Some(d) => (-d * d / two_sigma2).exp(),
+                    None => 0.0,
+                },
+                None => 0.0,
+            };
+            LIKELIHOOD_FLOOR + l
+        });
+        self.core
+            .pf
+            .maybe_resample(self.core.config.resample_frac, &mut self.core.rng);
+    }
+}
+
+impl LocalizationScheme for FusionScheme {
+    fn id(&self) -> SchemeId {
+        SchemeId::Fusion
+    }
+
+    fn update(&mut self, frame: &SensorFrame) -> Option<LocationEstimate> {
+        for step in &frame.steps {
+            self.core.advance_step(step);
+        }
+        if let Some(lm) = frame.landmark {
+            self.core.calibrate_landmark(lm.position);
+        }
+        if let Some(scan) = frame.wifi.as_ref() {
+            self.rssi_reweight(scan);
+        }
+        Some(self.core.estimate())
+    }
+
+    fn posterior(&self) -> Option<Vec<(Point, f64)>> {
+        Some(self.core.posterior())
+    }
+
+    fn reset(&mut self) {
+        self.core.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pdr::PdrScheme;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use uniloc_env::{campus, venues, GaitProfile, Walker};
+    use uniloc_sensors::{DeviceProfile, SensorHub};
+
+    fn build_fusion(scenario: &campus::Scenario, seed: u64) -> FusionScheme {
+        let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), seed);
+        let points = scenario.survey_points(3.0, 12.0);
+        let db = WifiFingerprintDb::survey_wifi(&mut hub, &points);
+        FusionScheme::new(
+            scenario.world.floorplan().clone(),
+            scenario.route.start(),
+            PdrConfig::default(),
+            db,
+            seed + 1,
+        )
+    }
+
+    fn mean_error<S: LocalizationScheme>(
+        scenario: &campus::Scenario,
+        scheme: &mut S,
+        seed: u64,
+    ) -> f64 {
+        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(seed));
+        let walk = walker.walk(&scenario.route);
+        let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), seed + 1);
+        let frames = hub.sample_walk(&walk, 0.5);
+        let errs: Vec<f64> = frames
+            .iter()
+            .filter_map(|f| scheme.update(f).map(|e| e.position.distance(f.true_position)))
+            .collect();
+        errs.iter().sum::<f64>() / errs.len() as f64
+    }
+
+    #[test]
+    fn fusion_beats_plain_pdr_indoors() {
+        let scenario = venues::training_office(91);
+        let mut fusion = build_fusion(&scenario, 92);
+        let mut pdr = PdrScheme::new(
+            scenario.world.floorplan().clone(),
+            scenario.route.start(),
+            PdrConfig::default(),
+            93,
+        );
+        let fusion_err = mean_error(&scenario, &mut fusion, 94);
+        let pdr_err = mean_error(&scenario, &mut pdr, 94);
+        assert!(
+            fusion_err <= pdr_err * 1.1,
+            "fusion ({fusion_err}) should not lose to PDR ({pdr_err}) indoors"
+        );
+        assert!(fusion_err < 5.0, "fusion office error {fusion_err}");
+    }
+
+    #[test]
+    fn fusion_not_much_worse_than_pdr_on_mixed_path() {
+        // Outdoors / in WiFi-poor areas the RSSI pass must degrade to a
+        // no-op, keeping fusion close to plain PDR (the paper gives them
+        // the same outdoor error model).
+        let scenario = campus::daily_path(99);
+        let mut fusion = build_fusion(&scenario, 100);
+        let mut pdr = PdrScheme::new(
+            scenario.world.floorplan().clone(),
+            scenario.route.start(),
+            PdrConfig::default(),
+            101,
+        );
+        let fusion_err = mean_error(&scenario, &mut fusion, 102);
+        let pdr_err = mean_error(&scenario, &mut pdr, 102);
+        assert!(
+            fusion_err <= pdr_err * 1.35 + 1.0,
+            "fusion ({fusion_err}) degraded too far below PDR ({pdr_err})"
+        );
+    }
+
+    #[test]
+    fn fusion_always_available() {
+        let scenario = campus::daily_path(95);
+        let mut fusion = build_fusion(&scenario, 96);
+        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(97));
+        let walk = walker.walk(&scenario.route);
+        let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 98);
+        let frames = hub.sample_walk(&walk, 0.5);
+        assert!(frames.iter().all(|f| fusion.update(f).is_some()));
+    }
+
+    #[test]
+    fn foreign_scan_is_a_noop() {
+        let scenario = venues::training_office(103);
+        let mut fusion = build_fusion(&scenario, 104);
+        // Prime with a few steps.
+        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(105));
+        let walk = walker.walk(&scenario.route);
+        let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 106);
+        let frames = hub.sample_walk(&walk, 0.5);
+        for f in frames.iter().take(20) {
+            fusion.update(f);
+        }
+        let before = fusion.core.estimate().position;
+        // A scan whose APs appear in no fingerprint cannot match anything:
+        // every particle gets the uniform floor and the cloud is untouched
+        // (weights renormalize to what they were).
+        let foreign = WifiScan {
+            readings: vec![
+                (uniloc_env::ApId(9_999), -60.0),
+                (uniloc_env::ApId(9_998), -65.0),
+                (uniloc_env::ApId(9_997), -70.0),
+            ],
+        };
+        fusion.rssi_reweight(&foreign);
+        let after = fusion.core.estimate().position;
+        assert!(
+            before.distance(after) < 1e-9,
+            "unmatched scans must not move the cloud ({before} -> {after})"
+        );
+    }
+
+    #[test]
+    fn junk_scan_can_drag_the_cloud() {
+        // Quality-blindness is a *feature* of the baseline: a misleading
+        // scan that matches a far fingerprint pulls the estimate away —
+        // the paper's observation at the 180 m mark of the daily path.
+        let scenario = venues::training_office(107);
+        let mut fusion = build_fusion(&scenario, 108);
+        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(109));
+        let walk = walker.walk(&scenario.route);
+        let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 110);
+        let frames = hub.sample_walk(&walk, 0.5);
+        for f in frames.iter().take(20) {
+            fusion.update(f);
+        }
+        let before = fusion.core.estimate().position;
+        // A strong scan captured at the far end of the office.
+        let far = hub.scan_wifi(Point::new(50.0, 15.0));
+        for _ in 0..10 {
+            fusion.rssi_reweight(&far);
+        }
+        let after = fusion.core.estimate().position;
+        assert!(
+            after.distance(before) > 0.5,
+            "misleading RSSIs should drag the quality-blind baseline"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! The GPS scheme: pass through reliable fixes, converted to the map frame.
+//!
+//! "GPS. We use the results reported from the default GPS module on
+//! smartphones." A fix is used only when "the number of visible satellites
+//! is larger than 4 and HDOP is less than 6", and "we convert the result of
+//! GPS to the map coordinate by the public digital map information."
+
+use crate::estimate::{LocalizationScheme, LocationEstimate, SchemeId};
+use uniloc_geom::GeoFrame;
+use uniloc_sensors::SensorFrame;
+
+/// The GPS localization scheme.
+///
+/// # Examples
+///
+/// ```
+/// use uniloc_env::campus;
+/// use uniloc_schemes::{GpsScheme, LocalizationScheme, SchemeId};
+///
+/// let scenario = campus::daily_path(1);
+/// let scheme = GpsScheme::new(*scenario.world.geo_frame());
+/// assert_eq!(scheme.id(), SchemeId::Gps);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpsScheme {
+    frame: GeoFrame,
+}
+
+impl GpsScheme {
+    /// Creates the scheme with the map's geographic frame.
+    pub fn new(frame: GeoFrame) -> Self {
+        GpsScheme { frame }
+    }
+}
+
+impl LocalizationScheme for GpsScheme {
+    fn id(&self) -> SchemeId {
+        SchemeId::Gps
+    }
+
+    fn update(&mut self, frame: &SensorFrame) -> Option<LocationEstimate> {
+        let fix = frame.gps?;
+        if !fix.is_reliable() {
+            return None;
+        }
+        let position = self.frame.to_local(fix.coordinate);
+        // HDOP scales the expected radius; 5 m per HDOP unit is the common
+        // rule of thumb for consumer receivers.
+        Some(LocationEstimate::with_spread(position, 5.0 * fix.hdop))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use uniloc_env::{campus, GaitProfile, Walker};
+    use uniloc_sensors::{DeviceProfile, SensorHub};
+
+    #[test]
+    fn produces_fixes_outdoors_only() {
+        let scenario = campus::daily_path(31);
+        let mut walker =
+            Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(32));
+        let walk = walker.walk(&scenario.route);
+        let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 33);
+        let frames = hub.sample_walk(&walk, 0.5);
+        let mut scheme = GpsScheme::new(*scenario.world.geo_frame());
+        let mut deep_indoor_hits = 0usize;
+        let mut outdoor_hits = 0usize;
+        let mut outdoor_err = Vec::new();
+        for f in &frames {
+            let est = scheme.update(f);
+            match scenario.world.kind_at(f.true_position) {
+                uniloc_env::EnvKind::OpenSpace | uniloc_env::EnvKind::Road => {
+                    if let Some(e) = est {
+                        outdoor_hits += 1;
+                        outdoor_err.push(e.position.distance(f.true_position));
+                    }
+                }
+                // Deep-indoor segments must be GPS-dark; the semi-open
+                // corridor legitimately gets occasional degraded fixes.
+                uniloc_env::EnvKind::Office
+                | uniloc_env::EnvKind::Basement
+                | uniloc_env::EnvKind::CarPark => {
+                    deep_indoor_hits += usize::from(est.is_some());
+                }
+                _ => {}
+            }
+        }
+        assert!(outdoor_hits > 50, "GPS must deliver outdoors");
+        assert!(
+            deep_indoor_hits < 5,
+            "GPS should not deliver deep indoors: {deep_indoor_hits}"
+        );
+        let mean = outdoor_err.iter().sum::<f64>() / outdoor_err.len() as f64;
+        assert!((8.0..22.0).contains(&mean), "GPS mean error {mean}");
+    }
+
+    #[test]
+    fn spread_follows_hdop() {
+        let scenario = campus::daily_path(34);
+        let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 35);
+        let p = scenario.route.point_at(300.0);
+        let mut scheme = GpsScheme::new(*scenario.world.geo_frame());
+        for _ in 0..20 {
+            if let Some(fix) = hub.gps_fix(p) {
+                let frame = SensorFrame {
+                    t: 0.0,
+                    true_position: p,
+                    wifi: None,
+                    cell: None,
+                    gps: Some(fix),
+                    steps: vec![],
+                    landmark: None,
+                    light_lux: 10_000.0,
+                    magnetic_variance: 0.1,
+                };
+                if let Some(e) = scheme.update(&frame) {
+                    assert!((e.spread.unwrap() - 5.0 * fix.hdop).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! The ground-truth-assisted single-selection baseline.
+//!
+//! The paper's "Oracle" line (Figs. 2, 3, 5): "at each location, as we know
+//! the ground truth in the experiment, [the oracle] chooses the best scheme
+//! as its result" — the upper bound for any *selection* strategy, and the
+//! line UniLoc2 is shown to beat by combining rather than selecting.
+
+use crate::estimate::{LocationEstimate, SchemeId};
+use uniloc_geom::Point;
+
+/// Selects the best available scheme with ground-truth knowledge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Oracle;
+
+impl Oracle {
+    /// Picks the estimate closest to `truth` from the per-scheme outputs.
+    /// Returns `(scheme, its estimate, its error)` or `None` when no scheme
+    /// produced anything.
+    pub fn select(
+        estimates: &[(SchemeId, Option<LocationEstimate>)],
+        truth: Point,
+    ) -> Option<(SchemeId, LocationEstimate, f64)> {
+        estimates
+            .iter()
+            .filter_map(|(id, est)| {
+                est.map(|e| (*id, e, e.position.distance(truth)))
+            })
+            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite errors"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_minimum_error_scheme() {
+        let truth = Point::new(10.0, 10.0);
+        let est = vec![
+            (SchemeId::Gps, Some(LocationEstimate::at(Point::new(25.0, 10.0)))),
+            (SchemeId::Wifi, Some(LocationEstimate::at(Point::new(12.0, 10.0)))),
+            (SchemeId::Motion, Some(LocationEstimate::at(Point::new(10.0, 16.0)))),
+        ];
+        let (id, _, err) = Oracle::select(&est, truth).unwrap();
+        assert_eq!(id, SchemeId::Wifi);
+        assert!((err - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skips_unavailable_schemes() {
+        let truth = Point::origin();
+        let est = vec![
+            (SchemeId::Gps, None),
+            (SchemeId::Cellular, Some(LocationEstimate::at(Point::new(30.0, 0.0)))),
+        ];
+        let (id, _, _) = Oracle::select(&est, truth).unwrap();
+        assert_eq!(id, SchemeId::Cellular);
+    }
+
+    #[test]
+    fn none_when_nothing_available() {
+        let est = vec![(SchemeId::Gps, None), (SchemeId::Wifi, None)];
+        assert!(Oracle::select(&est, Point::origin()).is_none());
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for fingerprint databases and scheme plumbing.
+
+use proptest::prelude::*;
+use uniloc_env::ApId;
+use uniloc_geom::Point;
+use uniloc_schemes::fingerprint::FingerprintDb;
+use uniloc_schemes::{Oracle, RadioMapBuilder, SchemeId};
+use uniloc_schemes::LocationEstimate;
+use uniloc_sensors::WifiScan;
+
+fn scan_strategy() -> impl Strategy<Value = WifiScan> {
+    proptest::collection::btree_map(0u32..12, -90.0f64..-30.0, 1..8).prop_map(|m| WifiScan {
+        readings: m.into_iter().map(|(a, r)| (ApId(a), r)).collect(),
+    })
+}
+
+fn db_strategy() -> impl Strategy<Value = FingerprintDb<WifiScan>> {
+    proptest::collection::vec(
+        ((0.0f64..60.0, 0.0f64..30.0), scan_strategy()),
+        1..40,
+    )
+    .prop_map(|entries| {
+        FingerprintDb::from_entries(
+            entries.into_iter().map(|((x, y), s)| (Point::new(x, y), s)),
+        )
+    })
+}
+
+proptest! {
+    /// match_scan returns at most k candidates, sorted by ascending RSSI
+    /// distance.
+    #[test]
+    fn match_scan_sorted_and_bounded(
+        db in db_strategy(),
+        scan in scan_strategy(),
+        k in 1usize..8,
+    ) {
+        let matches = db.match_scan(&scan, k);
+        prop_assert!(matches.len() <= k);
+        for w in matches.windows(2) {
+            prop_assert!(w[0].distance <= w[1].distance);
+        }
+        for m in &matches {
+            prop_assert!(m.distance.is_finite() && m.distance >= 0.0);
+        }
+    }
+
+    /// Downsampling is idempotent and respects the spacing bound.
+    #[test]
+    fn downsample_idempotent(
+        db in db_strategy(),
+        spacing in 1.0f64..20.0,
+    ) {
+        let once = db.downsampled(spacing);
+        let twice = once.downsampled(spacing);
+        prop_assert_eq!(once.len(), twice.len());
+        let pts: Vec<Point> = once.positions().collect();
+        for (i, a) in pts.iter().enumerate() {
+            for b in pts.iter().skip(i + 1) {
+                prop_assert!(a.distance(*b) >= spacing - 1e-9);
+            }
+        }
+    }
+
+    /// A scan always best-matches its own fingerprint (distance 0).
+    #[test]
+    fn self_match_is_exact(db in db_strategy()) {
+        for (pos, fp) in db.entries() {
+            let matches = db.match_scan(fp, 1);
+            prop_assert!(!matches.is_empty());
+            prop_assert!(matches[0].distance <= 1e-9,
+                "self-distance {}", matches[0].distance);
+            // The best match is at the fingerprint's own position, unless a
+            // duplicate fingerprint exists elsewhere with identical RSSIs
+            // (possible but then distance is still 0).
+            let _ = pos;
+        }
+    }
+
+    /// local_density, when defined, is positive and no larger than the
+    /// search diameter.
+    #[test]
+    fn local_density_bounds(
+        db in db_strategy(),
+        px in 0.0f64..60.0,
+        py in 0.0f64..30.0,
+        radius in 5.0f64..40.0,
+    ) {
+        if let Some(d) = db.local_density(Point::new(px, py), radius) {
+            prop_assert!(d > 0.0);
+            prop_assert!(d <= 2.0 * radius + 1e-9);
+        }
+    }
+
+    /// The oracle never reports a larger error than any available estimate.
+    #[test]
+    fn oracle_is_a_lower_bound(
+        est in proptest::collection::vec(
+            proptest::option::of((-50.0f64..50.0, -50.0f64..50.0)),
+            1..6,
+        ),
+        tx in -50.0f64..50.0,
+        ty in -50.0f64..50.0,
+    ) {
+        let truth = Point::new(tx, ty);
+        let ids = [SchemeId::Gps, SchemeId::Wifi, SchemeId::Cellular,
+                   SchemeId::Motion, SchemeId::Fusion];
+        let inputs: Vec<(SchemeId, Option<LocationEstimate>)> = est
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                (ids[i], e.map(|(x, y)| LocationEstimate::at(Point::new(x, y))))
+            })
+            .collect();
+        match Oracle::select(&inputs, truth) {
+            Some((_, _, best)) => {
+                for (_, e) in &inputs {
+                    if let Some(e) = e {
+                        prop_assert!(best <= e.position.distance(truth) + 1e-9);
+                    }
+                }
+            }
+            None => prop_assert!(inputs.iter().all(|(_, e)| e.is_none())),
+        }
+    }
+
+    /// Crowdsourced aggregation keeps cell positions inside the convex hull
+    /// of the contributing observations.
+    #[test]
+    fn crowd_cells_inside_observation_bbox(
+        obs in proptest::collection::vec(
+            ((0.0f64..50.0, 0.0f64..25.0), scan_strategy(), 0.1f64..1.0),
+            1..30,
+        ),
+    ) {
+        let mut b = RadioMapBuilder::new(4.0);
+        for ((x, y), scan, w) in &obs {
+            b.observe(Point::new(*x, *y), scan.clone(), *w);
+        }
+        let db = b.build();
+        for (pos, _) in db.entries() {
+            prop_assert!((0.0..=50.0).contains(&pos.x));
+            prop_assert!((0.0..=25.0).contains(&pos.y));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! NMEA-0183 GGA sentence framing for GPS fixes.
+//!
+//! Phone GPS modules speak NMEA; "the results provided by the GPS module of
+//! current smartphones include the user's coordinate, Horizontal Dilution
+//! of Precision (HDOP) and the number of visible satellites" — exactly the
+//! fields of a `$GPGGA` sentence. This module encodes a [`GpsFix`] into a
+//! checksummed GGA sentence and parses one back, so the simulated receiver
+//! can be driven through the same wire format a real one uses.
+
+use crate::scans::GpsFix;
+use uniloc_geom::GeoCoord;
+
+/// Errors from NMEA parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NmeaError {
+    /// The sentence does not start with `$` or lacks a `*` checksum.
+    Framing,
+    /// The checksum does not match the payload.
+    Checksum,
+    /// Not a GGA sentence.
+    WrongSentence,
+    /// A field is missing or malformed.
+    Field(&'static str),
+}
+
+impl std::fmt::Display for NmeaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NmeaError::Framing => f.write_str("invalid NMEA framing"),
+            NmeaError::Checksum => f.write_str("NMEA checksum mismatch"),
+            NmeaError::WrongSentence => f.write_str("not a GGA sentence"),
+            NmeaError::Field(which) => write!(f, "malformed GGA field: {which}"),
+        }
+    }
+}
+
+impl std::error::Error for NmeaError {}
+
+/// XOR checksum over the payload between `$` and `*`.
+fn checksum(payload: &str) -> u8 {
+    payload.bytes().fold(0u8, |acc, b| acc ^ b)
+}
+
+/// Formats a latitude/longitude in NMEA `ddmm.mmmm` / `dddmm.mmmm` form.
+fn to_dm(value: f64, lat: bool) -> (String, char) {
+    let hemi = if lat {
+        if value >= 0.0 { 'N' } else { 'S' }
+    } else if value >= 0.0 {
+        'E'
+    } else {
+        'W'
+    };
+    let v = value.abs();
+    let degrees = v.floor();
+    let minutes = (v - degrees) * 60.0;
+    let text = if lat {
+        format!("{:02}{:07.4}", degrees as u32, minutes)
+    } else {
+        format!("{:03}{:07.4}", degrees as u32, minutes)
+    };
+    (text, hemi)
+}
+
+fn from_dm(text: &str, hemi: &str, lat: bool) -> Result<f64, NmeaError> {
+    let field = if lat { "latitude" } else { "longitude" };
+    let deg_digits = if lat { 2 } else { 3 };
+    if text.len() < deg_digits + 2 {
+        return Err(NmeaError::Field(field));
+    }
+    let degrees: f64 = text[..deg_digits].parse().map_err(|_| NmeaError::Field(field))?;
+    let minutes: f64 = text[deg_digits..].parse().map_err(|_| NmeaError::Field(field))?;
+    if minutes >= 60.0 {
+        return Err(NmeaError::Field(field));
+    }
+    let sign = match (lat, hemi) {
+        (true, "N") | (false, "E") => 1.0,
+        (true, "S") | (false, "W") => -1.0,
+        _ => return Err(NmeaError::Field("hemisphere")),
+    };
+    Ok(sign * (degrees + minutes / 60.0))
+}
+
+/// Encodes a fix as a `$GPGGA` sentence. `time_s` is seconds since
+/// midnight UTC (fractional seconds preserved to two digits).
+///
+/// # Examples
+///
+/// ```
+/// use uniloc_sensors::nmea::{encode_gga, parse_gga};
+/// use uniloc_sensors::GpsFix;
+/// use uniloc_geom::GeoCoord;
+///
+/// let fix = GpsFix {
+///     coordinate: GeoCoord::new(1.3483, 103.6831)?,
+///     hdop: 0.9,
+///     satellites: 11,
+/// };
+/// let sentence = encode_gga(&fix, 12.5 * 3600.0);
+/// let back = parse_gga(&sentence)?;
+/// assert_eq!(back.satellites, 11);
+/// assert!((back.coordinate.lat - 1.3483).abs() < 1e-4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn encode_gga(fix: &GpsFix, time_s: f64) -> String {
+    let t = time_s.rem_euclid(86_400.0);
+    let hh = (t / 3600.0).floor() as u32;
+    let mm = ((t % 3600.0) / 60.0).floor() as u32;
+    let ss = t % 60.0;
+    let (lat, ns) = to_dm(fix.coordinate.lat, true);
+    let (lon, ew) = to_dm(fix.coordinate.lon, false);
+    let quality = 1; // standard GPS fix
+    let payload = format!(
+        "GPGGA,{hh:02}{mm:02}{ss:05.2},{lat},{ns},{lon},{ew},{quality},{:02},{:.1},15.0,M,7.0,M,,",
+        fix.satellites, fix.hdop
+    );
+    format!("${payload}*{:02X}", checksum(&payload))
+}
+
+/// Parses a `$GPGGA` sentence back into a [`GpsFix`].
+///
+/// # Errors
+///
+/// Returns [`NmeaError`] for framing, checksum, sentence-type or field
+/// problems.
+pub fn parse_gga(sentence: &str) -> Result<GpsFix, NmeaError> {
+    let body = sentence.strip_prefix('$').ok_or(NmeaError::Framing)?;
+    let (payload, cs_text) = body.rsplit_once('*').ok_or(NmeaError::Framing)?;
+    let want = u8::from_str_radix(cs_text.trim(), 16).map_err(|_| NmeaError::Framing)?;
+    if checksum(payload) != want {
+        return Err(NmeaError::Checksum);
+    }
+    let fields: Vec<&str> = payload.split(',').collect();
+    if fields.is_empty() || !fields[0].ends_with("GGA") {
+        return Err(NmeaError::WrongSentence);
+    }
+    if fields.len() < 9 {
+        return Err(NmeaError::Field("count"));
+    }
+    let lat = from_dm(fields[2], fields[3], true)?;
+    let lon = from_dm(fields[4], fields[5], false)?;
+    let satellites: u32 = fields[7].parse().map_err(|_| NmeaError::Field("satellites"))?;
+    let hdop: f64 = fields[8].parse().map_err(|_| NmeaError::Field("hdop"))?;
+    let coordinate = GeoCoord::new(lat, lon).map_err(|_| NmeaError::Field("coordinate"))?;
+    Ok(GpsFix { coordinate, hdop, satellites })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fix(lat: f64, lon: f64, hdop: f64, sats: u32) -> GpsFix {
+        GpsFix { coordinate: GeoCoord::new(lat, lon).unwrap(), hdop, satellites: sats }
+    }
+
+    #[test]
+    fn roundtrip_preserves_fields() {
+        for (lat, lon) in [(1.3483, 103.6831), (-33.8568, 151.2153), (51.5007, -0.1246)] {
+            let f = fix(lat, lon, 1.2, 9);
+            let s = encode_gga(&f, 3723.0);
+            let back = parse_gga(&s).unwrap();
+            assert!((back.coordinate.lat - lat).abs() < 2e-6, "{s}");
+            assert!((back.coordinate.lon - lon).abs() < 2e-6, "{s}");
+            assert_eq!(back.satellites, 9);
+            assert!((back.hdop - 1.2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sentence_shape_is_nmea() {
+        let s = encode_gga(&fix(1.3483, 103.6831, 0.9, 11), 45_296.5);
+        assert!(s.starts_with("$GPGGA,123456.50,"), "{s}");
+        assert!(s.contains(",N,"), "{s}");
+        assert!(s.contains(",E,"), "{s}");
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn checksum_rejected_when_corrupted() {
+        let s = encode_gga(&fix(1.0, 103.0, 1.0, 8), 0.0);
+        let corrupted = s.replace(",08,", ",09,");
+        assert_eq!(parse_gga(&corrupted).unwrap_err(), NmeaError::Checksum);
+    }
+
+    #[test]
+    fn framing_errors() {
+        assert_eq!(parse_gga("GPGGA,no,dollar").unwrap_err(), NmeaError::Framing);
+        assert_eq!(parse_gga("$GPGGA,no,star").unwrap_err(), NmeaError::Framing);
+        assert_eq!(parse_gga("$GPGGA,bad*ZZ").unwrap_err(), NmeaError::Framing);
+    }
+
+    #[test]
+    fn wrong_sentence_detected() {
+        let payload = "GPRMC,123456,A";
+        let s = format!("${payload}*{:02X}", checksum(payload));
+        assert_eq!(parse_gga(&s).unwrap_err(), NmeaError::WrongSentence);
+    }
+
+    #[test]
+    fn malformed_fields_detected() {
+        let payload = "GPGGA,000000.00,9x30.0,N,10341.0,E,1,08,1.0,0,M,0,M,,";
+        let s = format!("${payload}*{:02X}", checksum(payload));
+        assert_eq!(parse_gga(&s).unwrap_err(), NmeaError::Field("latitude"));
+        let payload = "GPGGA,000000.00,0130.0,Q,10341.0,E,1,08,1.0,0,M,0,M,,";
+        let s = format!("${payload}*{:02X}", checksum(payload));
+        assert_eq!(parse_gga(&s).unwrap_err(), NmeaError::Field("hemisphere"));
+    }
+
+    #[test]
+    fn southern_western_hemispheres() {
+        let f = fix(-1.5, -103.25, 2.0, 6);
+        let s = encode_gga(&f, 0.0);
+        assert!(s.contains(",S,") && s.contains(",W,"), "{s}");
+        let back = parse_gga(&s).unwrap();
+        assert!(back.coordinate.lat < 0.0 && back.coordinate.lon < 0.0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(NmeaError::Checksum.to_string(), "NMEA checksum mismatch");
+        assert_eq!(NmeaError::Field("hdop").to_string(), "malformed GGA field: hdop");
+    }
+}

@@ -1,0 +1,453 @@
+//! Ordinary least squares with inference output.
+//!
+//! The heart of UniLoc's error modeling (Section III of the paper) is the
+//! multiple linear regression of Eq. 1:
+//!
+//! ```text
+//! y_i = beta_0 + beta_1 x_1i + ... + beta_p x_pi + eps_i
+//! ```
+//!
+//! where `y_i` is the measured localization error at the i-th survey location
+//! and `x_ji` are the sensor-data features of Table I. The paper fixes
+//! `beta_0 = 0` ("the localization error is zero if all coefficients are
+//! zero"), so the builder supports fitting with or without an intercept.
+//! Table II reports, per coefficient, the estimate and its p-value, plus the
+//! residual mean `mu_eps`, residual deviation `sigma_eps`, and `R^2` — all of
+//! which [`OlsFit`] exposes.
+
+use crate::dist::StudentT;
+use crate::matrix::Matrix;
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Configures and runs an OLS fit.
+///
+/// # Examples
+///
+/// ```
+/// use uniloc_stats::ols::OlsBuilder;
+///
+/// // Noisy y = 3 x1 + 1 x2.
+/// let xs: Vec<Vec<f64>> = (0..30)
+///     .map(|i| vec![i as f64 * 0.1, ((i * 7) % 13) as f64 * 0.2])
+///     .collect();
+/// let ys: Vec<f64> = xs
+///     .iter()
+///     .enumerate()
+///     .map(|(i, r)| 3.0 * r[0] + r[1] + if i % 2 == 0 { 0.01 } else { -0.01 })
+///     .collect();
+/// let fit = OlsBuilder::new().intercept(false).fit(&xs, &ys)?;
+/// assert!((fit.coefficients()[0] - 3.0).abs() < 0.05);
+/// assert!(fit.r_squared() > 0.99);
+/// # Ok::<(), uniloc_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OlsBuilder {
+    intercept: bool,
+}
+
+impl OlsBuilder {
+    /// Creates a builder; by default no intercept is fitted (UniLoc's
+    /// convention of `beta_0 = 0`).
+    pub fn new() -> Self {
+        OlsBuilder { intercept: false }
+    }
+
+    /// Whether to include an intercept term (`beta_0`).
+    pub fn intercept(mut self, yes: bool) -> Self {
+        self.intercept = yes;
+        self
+    }
+
+    /// Fits `y ~ X` by ordinary least squares.
+    ///
+    /// `xs` holds one row of regressors per observation; all rows must share
+    /// one length `p >= 1`.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::InsufficientData`] — fewer observations than
+    ///   parameters plus one, or empty input.
+    /// * [`StatsError::DimensionMismatch`] — ragged rows or `xs.len() !=
+    ///   ys.len()`.
+    /// * [`StatsError::Singular`] — collinear regressors.
+    /// * [`StatsError::NonFinite`] — NaN/inf in the inputs.
+    pub fn fit<R: AsRef<[f64]>>(&self, xs: &[R], ys: &[f64]) -> Result<OlsFit> {
+        if xs.len() != ys.len() {
+            return Err(StatsError::DimensionMismatch {
+                context: "OlsBuilder::fit (xs vs ys length)",
+                got: (xs.len(), 1),
+                expected: (ys.len(), 1),
+            });
+        }
+        if xs.is_empty() {
+            return Err(StatsError::InsufficientData { got: 0, needed: 2 });
+        }
+        let p_raw = xs[0].as_ref().len();
+        if p_raw == 0 {
+            return Err(StatsError::InsufficientData { got: 0, needed: 1 });
+        }
+        let p = p_raw + usize::from(self.intercept);
+        let n = xs.len();
+        if n <= p {
+            return Err(StatsError::InsufficientData { got: n, needed: p + 1 });
+        }
+        // Build the design matrix.
+        let mut design = Matrix::zeros(n, p);
+        for (i, row) in xs.iter().enumerate() {
+            let row = row.as_ref();
+            if row.len() != p_raw {
+                return Err(StatsError::DimensionMismatch {
+                    context: "OlsBuilder::fit (ragged xs)",
+                    got: (1, row.len()),
+                    expected: (1, p_raw),
+                });
+            }
+            let mut c = 0;
+            if self.intercept {
+                design[(i, 0)] = 1.0;
+                c = 1;
+            }
+            for (j, &v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(StatsError::NonFinite("regressor"));
+                }
+                design[(i, c + j)] = v;
+            }
+        }
+        if ys.iter().any(|v| !v.is_finite()) {
+            return Err(StatsError::NonFinite("response"));
+        }
+
+        // Normal equations: (X^T X) beta = X^T y, solved via Cholesky.
+        let gram = design.gram();
+        let xty = design.transpose().matmul(&Matrix::column(ys)?)?;
+        let l = gram.cholesky()?;
+        let beta = solve_cholesky(&l, &xty);
+
+        // Residuals and diagnostics.
+        let mut residuals = Vec::with_capacity(n);
+        let mut ss_res = 0.0;
+        for i in 0..n {
+            let mut yhat = 0.0;
+            for j in 0..p {
+                yhat += design[(i, j)] * beta[j];
+            }
+            let r = ys[i] - yhat;
+            residuals.push(r);
+            ss_res += r * r;
+        }
+        let y_mean = ys.iter().sum::<f64>() / n as f64;
+        // Total sum of squares. Without an intercept, the conventional
+        // (uncentered) definition uses sum(y^2); with one, sum((y - ybar)^2).
+        let ss_tot: f64 = if self.intercept {
+            ys.iter().map(|y| (y - y_mean) * (y - y_mean)).sum()
+        } else {
+            ys.iter().map(|y| y * y).sum()
+        };
+        let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 0.0 };
+        let dof = (n - p) as f64;
+        let sigma2 = ss_res / dof;
+
+        // Covariance of beta: sigma^2 (X^T X)^-1 ; standard errors are the
+        // diagonal square roots.
+        let gram_inv = gram.inverse()?;
+        let mut std_errors = Vec::with_capacity(p);
+        let mut t_stats = Vec::with_capacity(p);
+        let mut p_values = Vec::with_capacity(p);
+        let t_dist = StudentT::new(dof)?;
+        for j in 0..p {
+            let se = (sigma2 * gram_inv[(j, j)]).max(0.0).sqrt();
+            std_errors.push(se);
+            let t = if se > 0.0 { beta[j] / se } else { f64::INFINITY };
+            t_stats.push(t);
+            p_values.push(if t.is_finite() { t_dist.p_value_two_sided(t) } else { 0.0 });
+        }
+
+        let residual_mean = residuals.iter().sum::<f64>() / n as f64;
+        let residual_std = (residuals
+            .iter()
+            .map(|r| (r - residual_mean) * (r - residual_mean))
+            .sum::<f64>()
+            / dof)
+            .sqrt();
+
+        Ok(OlsFit {
+            intercept: self.intercept,
+            coefficients: beta,
+            std_errors,
+            t_stats,
+            p_values,
+            residuals,
+            residual_mean,
+            residual_std,
+            r_squared,
+            n_obs: n,
+        })
+    }
+}
+
+/// Solves `L L^T x = b` given the Cholesky factor `L` (single-column `b`).
+fn solve_cholesky(l: &Matrix, b: &Matrix) -> Vec<f64> {
+    let n = l.rows();
+    // Forward: L z = b.
+    let mut z = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[(i, 0)];
+        for k in 0..i {
+            s -= l[(i, k)] * z[k];
+        }
+        z[i] = s / l[(i, i)];
+    }
+    // Backward: L^T x = z.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = z[i];
+        for k in (i + 1)..n {
+            s -= l[(k, i)] * x[k];
+        }
+        x[i] = s / l[(i, i)];
+    }
+    x
+}
+
+/// The result of an OLS fit: estimates plus the inference quantities UniLoc's
+/// Table II reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OlsFit {
+    intercept: bool,
+    coefficients: Vec<f64>,
+    std_errors: Vec<f64>,
+    t_stats: Vec<f64>,
+    p_values: Vec<f64>,
+    residuals: Vec<f64>,
+    residual_mean: f64,
+    residual_std: f64,
+    r_squared: f64,
+    n_obs: usize,
+}
+
+impl OlsFit {
+    /// Fitted coefficients. If the model includes an intercept it is element
+    /// 0, followed by the regressor coefficients in input order.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Whether an intercept was fitted (and occupies `coefficients()[0]`).
+    pub fn has_intercept(&self) -> bool {
+        self.intercept
+    }
+
+    /// Standard error of each coefficient.
+    pub fn std_errors(&self) -> &[f64] {
+        &self.std_errors
+    }
+
+    /// t statistic of each coefficient.
+    pub fn t_stats(&self) -> &[f64] {
+        &self.t_stats
+    }
+
+    /// Two-sided p-value of each coefficient — the significance column of the
+    /// paper's Table II ("a pvalue less than .05 indicates that the feature
+    /// is significant given the other features in the model").
+    pub fn p_values(&self) -> &[f64] {
+        &self.p_values
+    }
+
+    /// Raw residuals `y_i - yhat_i`.
+    pub fn residuals(&self) -> &[f64] {
+        &self.residuals
+    }
+
+    /// Residual mean `mu_eps` (should sit near zero; Table II).
+    pub fn residual_mean(&self) -> f64 {
+        self.residual_mean
+    }
+
+    /// Residual standard deviation `sigma_eps` — the spread the confidence
+    /// computation of Eq. 2 uses.
+    pub fn residual_std(&self) -> f64 {
+        self.residual_std
+    }
+
+    /// Coefficient of determination `R^2` (uncentered when fitted without an
+    /// intercept).
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Number of observations used by the fit.
+    pub fn n_obs(&self) -> usize {
+        self.n_obs
+    }
+
+    /// Predicts `yhat` for a feature row (length must equal the number of
+    /// non-intercept regressors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` does not match the fitted regressor count.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        let offset = usize::from(self.intercept);
+        assert_eq!(
+            features.len(),
+            self.coefficients.len() - offset,
+            "feature count mismatch in OlsFit::predict"
+        );
+        let mut y = if self.intercept { self.coefficients[0] } else { 0.0 };
+        for (j, &x) in features.iter().enumerate() {
+            y += self.coefficients[offset + j] * x;
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn noisy_dataset(n: usize, betas: &[f64], noise: f64, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let row: Vec<f64> = (0..betas.len()).map(|_| rng.gen_range(0.0..10.0)).collect();
+            let eps = if noise > 0.0 { rng.gen_range(-noise..noise) } else { 0.0 };
+            let y: f64 = row.iter().zip(betas).map(|(x, b)| x * b).sum::<f64>() + eps;
+            xs.push(row);
+            ys.push(y);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn recovers_exact_coefficients_without_noise() {
+        let (xs, ys) = noisy_dataset(50, &[1.5, -2.0, 0.3], 0.0, 1);
+        let fit = OlsBuilder::new().fit(&xs, &ys).unwrap();
+        assert!((fit.coefficients()[0] - 1.5).abs() < 1e-9);
+        assert!((fit.coefficients()[1] + 2.0).abs() < 1e-9);
+        assert!((fit.coefficients()[2] - 0.3).abs() < 1e-9);
+        assert!(fit.r_squared() > 0.999999);
+    }
+
+    #[test]
+    fn recovers_coefficients_under_noise() {
+        let (xs, ys) = noisy_dataset(500, &[2.5, 0.8], 0.5, 2);
+        let fit = OlsBuilder::new().fit(&xs, &ys).unwrap();
+        assert!((fit.coefficients()[0] - 2.5).abs() < 0.05);
+        assert!((fit.coefficients()[1] - 0.8).abs() < 0.05);
+        // Both regressors are strongly significant.
+        assert!(fit.p_values().iter().all(|&p| p < 1e-6));
+    }
+
+    #[test]
+    fn intercept_fit_recovers_offset() {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 7.0 + 0.5 * r[0]).collect();
+        let fit = OlsBuilder::new().intercept(true).fit(&xs, &ys).unwrap();
+        assert!(fit.has_intercept());
+        assert!((fit.coefficients()[0] - 7.0).abs() < 1e-9);
+        assert!((fit.coefficients()[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn irrelevant_feature_has_large_p_value() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..300 {
+            let x1: f64 = rng.gen_range(0.0..10.0);
+            let junk: f64 = rng.gen_range(0.0..10.0);
+            xs.push(vec![x1, junk]);
+            ys.push(3.0 * x1 + rng.gen_range(-2.0..2.0));
+        }
+        let fit = OlsBuilder::new().fit(&xs, &ys).unwrap();
+        assert!(fit.p_values()[0] < 1e-6, "real feature must be significant");
+        assert!(fit.p_values()[1] > 0.05, "junk feature must be insignificant");
+    }
+
+    #[test]
+    fn residual_diagnostics_are_sane() {
+        let (xs, ys) = noisy_dataset(400, &[1.0, 1.0], 1.0, 4);
+        let fit = OlsBuilder::new().fit(&xs, &ys).unwrap();
+        // Uniform(-1,1) noise: mean ~0, sd ~1/sqrt(3)=0.577.
+        assert!(fit.residual_mean().abs() < 0.1);
+        assert!((fit.residual_std() - 0.577).abs() < 0.1);
+        assert_eq!(fit.residuals().len(), 400);
+        assert_eq!(fit.n_obs(), 400);
+    }
+
+    #[test]
+    fn rejects_collinear_features() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        assert!(matches!(
+            OlsBuilder::new().fit(&xs, &ys).unwrap_err(),
+            StatsError::Singular(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_too_few_observations() {
+        let xs = vec![vec![1.0, 2.0], vec![2.0, 3.0]];
+        let ys = vec![1.0, 2.0];
+        assert!(matches!(
+            OlsBuilder::new().fit(&xs, &ys).unwrap_err(),
+            StatsError::InsufficientData { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        let xs = vec![vec![1.0], vec![2.0]];
+        let ys = vec![1.0];
+        assert!(matches!(
+            OlsBuilder::new().fit(&xs, &ys).unwrap_err(),
+            StatsError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_nan_input() {
+        let xs = vec![vec![1.0], vec![f64::NAN], vec![3.0]];
+        let ys = vec![1.0, 2.0, 3.0];
+        assert!(matches!(
+            OlsBuilder::new().fit(&xs, &ys).unwrap_err(),
+            StatsError::NonFinite(_)
+        ));
+    }
+
+    #[test]
+    fn predict_matches_fit() {
+        let (xs, ys) = noisy_dataset(100, &[2.0, -1.0], 0.0, 5);
+        let fit = OlsBuilder::new().fit(&xs, &ys).unwrap();
+        assert!((fit.predict(&[3.0, 4.0]) - (2.0 * 3.0 - 4.0)).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn predict_panics_on_wrong_arity() {
+        let (xs, ys) = noisy_dataset(100, &[2.0, -1.0], 0.0, 6);
+        let fit = OlsBuilder::new().fit(&xs, &ys).unwrap();
+        fit.predict(&[1.0]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (xs, ys) = noisy_dataset(50, &[1.0], 0.1, 7);
+        let fit = OlsBuilder::new().fit(&xs, &ys).unwrap();
+        let json = serde_json::to_string(&fit).unwrap();
+        let back: OlsFit = serde_json::from_str(&json).unwrap();
+        assert_eq!(fit.n_obs(), back.n_obs());
+        assert_eq!(fit.has_intercept(), back.has_intercept());
+        for (a, b) in fit.coefficients().iter().zip(back.coefficients()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!((fit.r_squared() - back.r_squared()).abs() < 1e-12);
+        assert!((fit.residual_std() - back.residual_std()).abs() < 1e-12);
+    }
+}

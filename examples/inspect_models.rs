@@ -1,0 +1,60 @@
+//! Prints the trained error-model coefficients (a quick view of Table II).
+//!
+//! Run with: `cargo run --release --example inspect_models`
+
+use uniloc::core::error_model::train;
+use uniloc::core::pipeline::{self, PipelineConfig};
+use uniloc::env::venues;
+use uniloc::iodetect::IoState;
+use uniloc::schemes::SchemeId;
+
+fn main() {
+    let cfg = PipelineConfig::default();
+    let mut samples = pipeline::collect_training(&venues::training_office(1), &cfg, 10);
+    samples.extend(pipeline::collect_training(&venues::training_open_space(2), &cfg, 11));
+    let models = train(&samples).expect("training venues produce enough samples");
+
+    for io in [IoState::Indoor, IoState::Outdoor] {
+        println!("== {io} ==");
+        for id in SchemeId::BUILTIN {
+            match models.model(id, io) {
+                Some(m) => {
+                    println!(
+                        "  {id:<9} intercept={:+6.2}  coeffs={:?}  p={:?}  mu_eps={:+5.2} sigma={:5.2}  R2={:4.2}  n={}",
+                        m.intercept,
+                        m.coefficients.iter().map(|c| (c * 1000.0).round() / 1000.0).collect::<Vec<_>>(),
+                        m.p_values.iter().map(|p| (p * 1000.0).round() / 1000.0).collect::<Vec<_>>(),
+                        m.residual_mean,
+                        m.sigma,
+                        m.r_squared,
+                        m.n_obs
+                    );
+                }
+                None => println!("  {id:<9} (no model)"),
+            }
+        }
+    }
+
+    // Distribution of the motion training samples outdoors: does error grow
+    // with distance-from-landmark?
+    println!("\noutdoor motion samples (dist bucket -> mean error):");
+    let mut buckets: Vec<(f64, Vec<f64>)> =
+        (0..8).map(|i| (i as f64 * 30.0, Vec::new())).collect();
+    for s in samples.iter().filter(|s| s.scheme == SchemeId::Motion && !s.indoor) {
+        let d = s.features[0];
+        let idx = ((d / 30.0) as usize).min(7);
+        buckets[idx].1.push(s.error);
+    }
+    for (lo, v) in &buckets {
+        if v.is_empty() {
+            continue;
+        }
+        println!(
+            "  {:>3}-{:>3} m: n={:<4} mean={:5.2}",
+            lo,
+            lo + 30.0,
+            v.len(),
+            v.iter().sum::<f64>() / v.len() as f64
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Failure injection: UniLoc must keep delivering positions when schemes
+//! drop out — "UniLoc can temporarily exclude one localization scheme by
+//! simply setting its confidence as zero, if it is not available in some
+//! regions, e.g., no signal."
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use uniloc::core::engine::UniLocEngine;
+use uniloc::core::error_model::{train, ErrorModelSet};
+use uniloc::core::pipeline::{self, PipelineConfig};
+use uniloc::env::{venues, GaitProfile, Walker};
+use uniloc::schemes::SchemeId;
+use uniloc::sensors::{DeviceProfile, SensorHub};
+
+fn models() -> ErrorModelSet {
+    let cfg = PipelineConfig::default();
+    let mut samples = pipeline::collect_training(&venues::training_office(41), &cfg, 42);
+    samples.extend(pipeline::collect_training(&venues::training_open_space(43), &cfg, 44));
+    train(&samples).expect("training venues produce enough samples")
+}
+
+#[test]
+fn engine_survives_all_radios_dying_mid_walk() {
+    let set = models();
+    let cfg = PipelineConfig::default();
+    let venue = venues::training_office(41);
+    let ctx = pipeline::build_context(&venue, &cfg, 45);
+    let schemes = pipeline::build_schemes(&venue, &ctx, &cfg, 46);
+    let mut engine = UniLocEngine::new(schemes, set, ctx);
+
+    let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(47));
+    let walk = walker.walk(&venue.route);
+    let mut hub = SensorHub::new(&venue.world, DeviceProfile::nexus_5x(), 48);
+    let frames = hub.sample_walk(&walk, 0.5);
+    let half = frames.len() / 2;
+
+    for (i, frame) in frames.iter().enumerate() {
+        let mut frame = frame.clone();
+        if i >= half {
+            // Radios die: only the IMU keeps running.
+            frame.wifi = None;
+            frame.cell = None;
+            frame.gps = None;
+        }
+        let out = engine.update(&frame);
+        assert!(
+            out.bayesian_average.is_some(),
+            "UniLoc must keep delivering at epoch {i} (radios {} )",
+            if i >= half { "dead" } else { "alive" }
+        );
+        if i >= half {
+            // Radio-dependent schemes must be excluded with zero weight.
+            for r in &out.reports {
+                if matches!(r.id, SchemeId::Wifi | SchemeId::Cellular | SchemeId::Gps) {
+                    assert_eq!(r.weight, 0.0, "{} weighted while its radio is dead", r.id);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dead_radio_degrades_but_does_not_break_accuracy() {
+    let set = models();
+    let venue = venues::training_office(51);
+
+    let run = |disable_wifi: bool, seed: u64| -> f64 {
+        let cfg = PipelineConfig::default();
+        let ctx = pipeline::build_context(&venue, &cfg, seed);
+        let schemes = pipeline::build_schemes(&venue, &ctx, &cfg, seed + 1);
+        let mut engine = UniLocEngine::new(schemes, set.clone(), ctx);
+        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(seed + 2));
+        let walk = walker.walk(&venue.route);
+        let mut hub = SensorHub::new(&venue.world, DeviceProfile::nexus_5x(), seed + 3);
+        if disable_wifi {
+            hub.set_wifi_enabled(false);
+        }
+        let frames = hub.sample_walk(&walk, 0.5);
+        let errors: Vec<f64> = frames
+            .iter()
+            .filter_map(|f| {
+                engine
+                    .update(f)
+                    .bayesian_average
+                    .map(|p| p.distance(f.true_position))
+            })
+            .collect();
+        errors.iter().sum::<f64>() / errors.len() as f64
+    };
+
+    let with_wifi = run(false, 60);
+    let without_wifi = run(true, 60);
+    assert!(without_wifi < 15.0, "no-WiFi accuracy collapsed: {without_wifi:.2}");
+    // Degradation is expected but bounded (motion/cellular carry on).
+    assert!(
+        without_wifi < with_wifi * 8.0 + 3.0,
+        "degradation out of bounds: {with_wifi:.2} -> {without_wifi:.2}"
+    );
+}
+
+#[test]
+fn empty_fingerprint_database_is_survivable() {
+    // A venue with no audible APs at survey time: the WiFi scheme is
+    // permanently unavailable, UniLoc runs on the remaining schemes.
+    use uniloc::schemes::{LocalizationScheme, WifiFingerprintDb, WifiFingerprintScheme};
+    use uniloc::sensors::WifiScan;
+    use uniloc::geom::Point;
+
+    let empty = WifiFingerprintDb::from_entries(Vec::<(Point, WifiScan)>::new());
+    assert!(empty.is_empty());
+    let mut scheme = WifiFingerprintScheme::new(empty);
+    let venue = venues::training_office(71);
+    let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(72));
+    let walk = walker.walk(&venue.route);
+    let mut hub = SensorHub::new(&venue.world, DeviceProfile::nexus_5x(), 73);
+    for frame in hub.sample_walk(&walk, 0.5).iter().take(50) {
+        assert!(scheme.update(frame).is_none(), "no DB means no estimates");
+    }
+}

@@ -1,0 +1,81 @@
+//! The paper's deployment story: "the offline error modeling only needs to
+//! be performed once [...] The learned error models can be used in new
+//! places without retraining." That implies trained models must serialize,
+//! ship, and produce identical predictions after a round trip.
+
+use uniloc::core::error_model::{train, ErrorModelSet};
+use uniloc::core::pipeline::{self, PipelineConfig};
+use uniloc::env::venues;
+use uniloc::iodetect::IoState;
+use uniloc::schemes::SchemeId;
+
+fn models() -> ErrorModelSet {
+    let cfg = PipelineConfig::default();
+    let mut samples = pipeline::collect_training(&venues::training_office(21), &cfg, 22);
+    samples.extend(pipeline::collect_training(&venues::training_open_space(23), &cfg, 24));
+    train(&samples).expect("training venues produce enough samples")
+}
+
+#[test]
+fn model_set_round_trips_through_json() {
+    let set = models();
+    let json = serde_json::to_string_pretty(&set).expect("model sets serialize");
+    assert!(json.len() > 200, "serialized models look too small");
+    let back: ErrorModelSet = serde_json::from_str(&json).expect("model sets deserialize");
+
+    for id in SchemeId::BUILTIN {
+        for io in [IoState::Indoor, IoState::Outdoor] {
+            match (set.model(id, io), back.model(id, io)) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.coefficients.len(), b.coefficients.len());
+                    for (x, y) in a.coefficients.iter().zip(&b.coefficients) {
+                        assert!((x - y).abs() < 1e-12);
+                    }
+                    assert!((a.sigma - b.sigma).abs() < 1e-12);
+                    assert!((a.intercept - b.intercept).abs() < 1e-12);
+                }
+                (None, None) => {}
+                _ => panic!("model presence changed through serialization for {id} {io}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn deserialized_models_predict_identically() {
+    let set = models();
+    let json = serde_json::to_string(&set).expect("model sets serialize");
+    let back: ErrorModelSet = serde_json::from_str(&json).expect("model sets deserialize");
+    let queries: [(SchemeId, IoState, Vec<f64>); 4] = [
+        (SchemeId::Wifi, IoState::Indoor, vec![2.0, 4.0]),
+        (SchemeId::Motion, IoState::Indoor, vec![25.0, 2.0]),
+        (SchemeId::Fusion, IoState::Outdoor, vec![80.0, 15.0]),
+        (SchemeId::Gps, IoState::Outdoor, vec![]),
+    ];
+    for (id, io, f) in queries {
+        let a = set.predict(id, io, &f);
+        let b = back.predict(id, io, &f);
+        match (a, b) {
+            (Some(a), Some(b)) => {
+                assert!((a.mean - b.mean).abs() < 1e-9, "{id} {io} mean differs");
+                assert!((a.sigma - b.sigma).abs() < 1e-9, "{id} {io} sigma differs");
+            }
+            (None, None) => {}
+            _ => panic!("prediction availability changed for {id} {io}"),
+        }
+    }
+}
+
+#[test]
+fn shipped_models_work_in_a_new_venue() {
+    // Serialize in the "training lab", deserialize in the "field", run.
+    let json = serde_json::to_string(&models()).expect("model sets serialize");
+    let field_models: ErrorModelSet =
+        serde_json::from_str(&json).expect("model sets deserialize");
+    let cfg = PipelineConfig::default();
+    let venue = venues::office("field-office", 31, 40.0, 16.0);
+    let records = pipeline::run_walk(&venue, &field_models, &cfg, 32);
+    let uniloc2 = pipeline::mean_defined(records.iter().map(|r| r.uniloc2_error))
+        .expect("UniLoc2 delivers in the field");
+    assert!(uniloc2 < 8.0, "field accuracy {uniloc2:.2}");
+}
