@@ -1,7 +1,8 @@
-//! Criterion micro-benchmark: the BMA combination stage (Table V reports it
+//! Micro-benchmark (microbench harness): the BMA combination stage (Table V reports it
 //! at 0.1 ms on the paper's workstation; it is "simple linear calculation").
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use uniloc_bench::microbench::{black_box, Criterion};
+use uniloc_bench::{criterion_group, criterion_main};
 use uniloc_core::confidence::{adaptive_tau, confidence};
 use uniloc_core::error_model::ErrorPrediction;
 

@@ -1,8 +1,9 @@
-//! Criterion micro-benchmark: online error prediction for all five schemes
+//! Micro-benchmark (microbench harness): online error prediction for all five schemes
 //! (Table V reports 6.0 ms on the paper's workstation — ours is pure linear
 //! algebra over a handful of coefficients, so expect microseconds).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use uniloc_bench::microbench::{black_box, Criterion};
+use uniloc_bench::{criterion_group, criterion_main};
 use uniloc_core::error_model::{train, ErrorModelSet, TrainingSample};
 use uniloc_iodetect::IoState;
 use uniloc_schemes::SchemeId;

@@ -1,8 +1,9 @@
-//! Criterion micro-benchmark: RADAR-style fingerprint matching — the
+//! Micro-benchmark (microbench harness): RADAR-style fingerprint matching — the
 //! dominant cost of the WiFi/cellular schemes (Table V's per-scheme server
 //! compute).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniloc_bench::microbench::{black_box, BenchmarkId, Criterion};
+use uniloc_bench::{criterion_group, criterion_main};
 use uniloc_env::ApId;
 use uniloc_schemes::fingerprint::FingerprintDb;
 use uniloc_geom::Point;

@@ -1,11 +1,11 @@
-//! Criterion micro-benchmark: one PDR particle-filter step update with 300
+//! Micro-benchmark (microbench harness): one PDR particle-filter step update with 300
 //! particles — the paper's reason for offloading ("the updating cannot be
 //! accomplished within 0.5 s on Google Nexus 5"; Table V books 4.8-5.6 ms
 //! on the server).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use uniloc_bench::microbench::{black_box, BenchmarkId, Criterion};
+use uniloc_bench::{criterion_group, criterion_main};
+use uniloc_rng::Rng;
 use uniloc_filters::ParticleFilter;
 use uniloc_geom::{FloorPlan, Point, Vector2};
 
@@ -23,14 +23,13 @@ fn bench_particle_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("pdr_step_update");
     for n in [100usize, 300, 1_000] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let mut rng = Rng::seed_from_u64(1);
             let mut pf = ParticleFilter::new(
                 (0..n).map(|i| Point::new(10.0 + (i % 10) as f64 * 0.1, 2.0)),
             );
             b.iter(|| {
                 let mut moves: Vec<(Point, Point)> = Vec::with_capacity(n);
                 pf.predict(&mut rng, |p, rng| {
-                    use rand::Rng;
                     let old = *p;
                     *p = *p + Vector2::from_heading(1.57 + rng.gen_range(-0.1..0.1), 0.65);
                     moves.push((old, *p));

@@ -38,8 +38,7 @@ use uniloc_schemes::{
 };
 use uniloc_sensors::{DeviceProfile, SensorHub};
 use uniloc_env::{GaitProfile, Walker};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use uniloc_rng::Rng;
 
 /// Re-fuses recorded per-epoch estimates with externally supplied weights
 /// and returns the mean error.
@@ -121,8 +120,7 @@ fn main() {
     println!("\n== ablation 3: robustness to error-model perturbation ==");
     for pct in [0.0, 0.2, 0.5, 1.0] {
         let mut noisy = ErrorModelSet::default();
-        let mut rng = ChaCha8Rng::seed_from_u64(99);
-        use rand::Rng;
+        let mut rng = Rng::seed_from_u64(99);
         for id in SchemeId::BUILTIN {
             for io in [IoState::Indoor, IoState::Outdoor] {
                 if let Some(m) = models.model(id, io) {
@@ -152,7 +150,7 @@ fn main() {
     let mut hub = SensorHub::new(&office.world, DeviceProfile::nexus_5x(), 62);
     let points = office.survey_points(1.5, 12.0);
     let full_db = WifiFingerprintDb::survey_wifi(&mut hub, &points);
-    let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(63));
+    let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(63));
     let walk = walker.walk(&office.route);
     let mut run_hub = SensorHub::new(&office.world, DeviceProfile::nexus_5x(), 64);
     let frames = run_hub.sample_walk(&walk, 0.5);

@@ -6,6 +6,8 @@
 //! they share: the one-time error-model training, walk aggregation and
 //! plain-text table/series printing.
 
+pub mod microbench;
+
 use uniloc_core::error_model::{train, ErrorModelSet};
 use uniloc_core::pipeline::{self, EpochRecord, PipelineConfig};
 use uniloc_env::{venues, Scenario};

@@ -99,8 +99,7 @@ fn cmd_train(flags: &BTreeMap<String, String>) -> Result<(), String> {
     ));
     eprintln!("  {} samples", samples.len());
     let models = train(&samples).map_err(|e| format!("training failed: {e}"))?;
-    let json =
-        serde_json::to_string_pretty(&models).map_err(|e| format!("serialize: {e}"))?;
+    let json = uniloc_stats::json::to_string_pretty(&models);
     std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
     eprintln!("wrote {out}");
     Ok(())
@@ -109,7 +108,7 @@ fn cmd_train(flags: &BTreeMap<String, String>) -> Result<(), String> {
 fn load_models(flags: &BTreeMap<String, String>) -> Result<ErrorModelSet, String> {
     let path = flags.get("models").ok_or("--models FILE is required")?;
     let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    serde_json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))
+    uniloc_stats::json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))
 }
 
 fn scenario_by_name(name: &str, seed: u64) -> Result<Scenario, String> {
@@ -141,7 +140,7 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let records = pipeline::run_walk(&scenario, &models, &cfg, seed + 100);
 
     if flags.contains_key("json") {
-        let json = serde_json::to_string(&records).map_err(|e| format!("serialize: {e}"))?;
+        let json = uniloc_stats::json::to_string(&records);
         println!("{json}");
         return Ok(());
     }

@@ -14,11 +14,10 @@
 
 use crate::energy::PowerProfile;
 use crate::engine::SchemeReport;
-use serde::{Deserialize, Serialize};
 use uniloc_schemes::SchemeId;
 
 /// The A-Loc selection policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ALocSelector {
     /// The application's accuracy requirement (m).
     pub accuracy_requirement_m: f64,

@@ -15,11 +15,10 @@
 //!   small constant increment.
 
 use crate::pipeline::EpochRecord;
-use serde::{Deserialize, Serialize};
 use uniloc_schemes::SchemeId;
 
 /// Whole-phone power-state model (milliwatts).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerProfile {
     /// Screen + OS + always-on cellular modem.
     pub baseline_mw: f64,
@@ -51,7 +50,7 @@ impl Default for PowerProfile {
 }
 
 /// One row of Table IV.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyReport {
     /// System name (scheme or UniLoc variant).
     pub system: String,

@@ -22,14 +22,13 @@
 use crate::confidence::{adaptive_tau, confidence};
 use crate::error_model::{ErrorModelSet, ErrorPrediction};
 use crate::features::{FeatureExtractor, PredictorKind, SharedContext};
-use serde::{Deserialize, Serialize};
 use uniloc_geom::Point;
 use uniloc_iodetect::{IoDetector, IoState};
 use uniloc_schemes::{LocalizationScheme, LocationEstimate, SchemeId};
 use uniloc_sensors::SensorFrame;
 
 /// Which combination rule produces the headline position.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FusionMode {
     /// UniLoc1: select the most-confident scheme.
     BestSelection,
@@ -38,7 +37,7 @@ pub enum FusionMode {
 }
 
 /// Per-scheme diagnostics for one epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SchemeReport {
     /// Which scheme.
     pub id: SchemeId,
@@ -53,7 +52,7 @@ pub struct SchemeReport {
 }
 
 /// The engine's output for one epoch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UniLocOutput {
     /// Epoch time.
     pub t: f64,

@@ -14,7 +14,6 @@
 //! models can be used in new places without retraining" — hence the set is
 //! serializable.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use uniloc_iodetect::IoState;
 use uniloc_schemes::SchemeId;
@@ -28,7 +27,7 @@ pub const MIN_PREDICTED_ERROR_M: f64 = 0.1;
 pub const MIN_TRAINING_SAMPLES: usize = 10;
 
 /// One training tuple from the data-collection phase.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainingSample {
     /// Which scheme produced the estimate.
     pub scheme: SchemeId,
@@ -41,7 +40,7 @@ pub struct TrainingSample {
 }
 
 /// A fitted linear error model for one (scheme, environment).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearErrorModel {
     /// Intercept `beta_0` (zero for all schemes except GPS).
     pub intercept: f64,
@@ -82,7 +81,7 @@ impl LinearErrorModel {
 
 /// The predicted error distribution of one scheme at one location:
 /// `Y_t ~ N(mean, sigma)` (Section IV-A).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorPrediction {
     /// Expected localization error (m).
     pub mean: f64,
@@ -91,16 +90,30 @@ pub struct ErrorPrediction {
 }
 
 /// The trained error models of all integrated schemes.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ErrorModelSet {
     models: BTreeMap<SchemeId, EnvPair>,
 }
 
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 struct EnvPair {
     indoor: Option<LinearErrorModel>,
     outdoor: Option<LinearErrorModel>,
 }
+
+uniloc_stats::impl_json_struct!(TrainingSample { scheme, indoor, features, error });
+uniloc_stats::impl_json_struct!(LinearErrorModel {
+    intercept,
+    coefficients,
+    sigma,
+    residual_mean,
+    r_squared,
+    p_values,
+    n_obs,
+});
+uniloc_stats::impl_json_struct!(ErrorPrediction { mean, sigma });
+uniloc_stats::impl_json_struct!(ErrorModelSet { models });
+uniloc_stats::impl_json_struct!(EnvPair { indoor, outdoor });
 
 impl ErrorModelSet {
     /// The model for one scheme and environment, if trained.
@@ -289,11 +302,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let samples = planted_samples(&[0.8, 0.4], 80, SchemeId::Fusion);
         let set = train(&samples).unwrap();
-        let json = serde_json::to_string(&set).unwrap();
-        let back: ErrorModelSet = serde_json::from_str(&json).unwrap();
+        let json = uniloc_stats::json::to_string(&set);
+        let back: ErrorModelSet = uniloc_stats::json::from_str(&json).unwrap();
         let a = set.model(SchemeId::Fusion, IoState::Indoor).unwrap();
         let b = back.model(SchemeId::Fusion, IoState::Indoor).unwrap();
         assert!((a.coefficients[0] - b.coefficients[0]).abs() < 1e-12);

@@ -325,8 +325,7 @@ fn match_deviation(distances: impl Iterator<Item = f64>) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use uniloc_rng::Rng;
     use uniloc_env::{campus, GaitProfile, Walker};
     use uniloc_sensors::{DeviceProfile, SensorHub};
 
@@ -341,7 +340,7 @@ mod tests {
     }
 
     fn frames(scenario: &campus::Scenario, seed: u64) -> Vec<SensorFrame> {
-        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(seed));
+        let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(seed));
         let walk = walker.walk(&scenario.route);
         let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), seed + 1);
         hub.sample_walk(&walk, 0.5)

@@ -13,7 +13,6 @@
 use crate::engine::UniLocEngine;
 use crate::error_model::{ErrorModelSet, ErrorPrediction, TrainingSample};
 use crate::features::{FeatureExtractor, PredictorKind, SharedContext};
-use serde::{Deserialize, Serialize};
 use uniloc_env::{GaitProfile, Scenario, Walker};
 use uniloc_geom::Point;
 use uniloc_iodetect::IoState;
@@ -22,8 +21,7 @@ use uniloc_schemes::{
     Oracle, PdrConfig, PdrScheme, SchemeId, WifiFingerprintDb, WifiFingerprintScheme,
 };
 use uniloc_sensors::{DeviceProfile, RssiCalibration, SensorHub};
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use uniloc_rng::Rng;
 
 /// Harness configuration.
 #[derive(Debug, Clone)]
@@ -62,7 +60,7 @@ impl Default for PipelineConfig {
 }
 
 /// Everything recorded for one localization epoch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpochRecord {
     /// Epoch time (s since walk start).
     pub t: f64,
@@ -100,6 +98,26 @@ pub struct EpochRecord {
     /// The adaptive confidence threshold used this epoch.
     pub tau: Option<f64>,
 }
+
+uniloc_stats::impl_json_struct!(EpochRecord {
+    t,
+    station,
+    truth,
+    indoor,
+    io_detected,
+    scheme_errors,
+    estimates,
+    predictions,
+    uniloc1_error,
+    uniloc1_choice,
+    uniloc2_error,
+    uniloc2_mixture_error,
+    oracle_error,
+    oracle_choice,
+    weights,
+    gps_enabled,
+    tau,
+});
 
 /// Surveys the venue's fingerprint databases (always with the reference
 /// device, as in the paper) and snapshots the floor plan.
@@ -188,7 +206,7 @@ fn collect_training_pass(
     let mut schemes = build_schemes(scenario, ctx, cfg, seed + 2);
     let mut extractor = FeatureExtractor::new(ctx);
 
-    let mut walker = Walker::new(cfg.gait.clone(), ChaCha8Rng::seed_from_u64(seed + 3));
+    let mut walker = Walker::new(cfg.gait.clone(), Rng::seed_from_u64(seed + 3));
     let walk = walker.walk(&scenario.route);
     let mut hub = SensorHub::new(&scenario.world, cfg.device, seed + 4);
     let frames = hub.sample_walk(&walk, cfg.epoch_interval);
@@ -229,7 +247,7 @@ pub fn run_walk(
     let mut engine =
         UniLocEngine::with_predictor(schemes, models.clone(), ctx, cfg.predictor);
 
-    let mut walker = Walker::new(cfg.gait.clone(), ChaCha8Rng::seed_from_u64(seed + 3));
+    let mut walker = Walker::new(cfg.gait.clone(), Rng::seed_from_u64(seed + 3));
     let walk = walker.walk(&scenario.route);
     let mut hub = SensorHub::new(&scenario.world, cfg.device, seed + 4);
     let frames = hub.sample_walk(&walk, cfg.epoch_interval);

@@ -12,11 +12,10 @@
 //! `error_prediction` Criterion benches) via
 //! [`ResponseTimeModel::with_measured`].
 
-use serde::{Deserialize, Serialize};
 use uniloc_schemes::SchemeId;
 
 /// Per-stage response-time model (milliseconds).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResponseTimeModel {
     /// Phone-side sensing + pre-processing (step model inference, scan
     /// collection).
@@ -54,7 +53,7 @@ impl Default for ResponseTimeModel {
 }
 
 /// The totals derived from a [`ResponseTimeModel`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResponseTimeReport {
     /// The slowest scheme's server compute (ms).
     pub slowest_scheme_ms: f64,

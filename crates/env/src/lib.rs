@@ -30,11 +30,10 @@
 //!
 //! ```
 //! use uniloc_env::campus;
-//! use rand::SeedableRng;
 //!
 //! let scenario = campus::daily_path(7);
 //! assert_eq!(scenario.route.length().round(), 320.0);
-//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+//! let mut rng = uniloc_rng::Rng::seed_from_u64(1);
 //! let start = scenario.route.start();
 //! // The office where the path starts is indoors and has audible APs.
 //! assert!(scenario.world.is_indoor(start));

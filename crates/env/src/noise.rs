@@ -9,7 +9,6 @@
 //! same value. Fast temporal fading is added separately (and randomly) at
 //! measurement time.
 
-use serde::{Deserialize, Serialize};
 use uniloc_geom::Point;
 
 /// SplitMix64 — tiny, high-quality hash/PRNG step for lattice nodes.
@@ -53,7 +52,7 @@ fn gaussian_from_hash(h: u64) -> f64 {
 /// // Different salts give independent fields.
 /// assert_ne!(a, field.sample(2, Point::new(10.0, 10.0)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpatialNoise {
     seed: u64,
     /// Lattice cell size in meters (correlation distance).

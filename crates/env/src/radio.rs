@@ -10,11 +10,10 @@
 //! cell towers on average" at the mall's basement floor, exactly the
 //! conditions the paper's error models must recognize.
 
-use serde::{Deserialize, Serialize};
 use uniloc_geom::Point;
 
 /// Identifier of a WiFi access point (stable across surveys).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ApId(pub u32);
 
 impl std::fmt::Display for ApId {
@@ -24,7 +23,7 @@ impl std::fmt::Display for ApId {
 }
 
 /// Identifier of a cellular tower.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TowerId(pub u32);
 
 impl std::fmt::Display for TowerId {
@@ -34,7 +33,7 @@ impl std::fmt::Display for TowerId {
 }
 
 /// A WiFi access point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccessPoint {
     /// Stable identifier (the BSSID stand-in).
     pub id: ApId,
@@ -52,7 +51,7 @@ impl AccessPoint {
 }
 
 /// A cellular (GSM) tower.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellTower {
     /// Stable identifier (the cell-id stand-in).
     pub id: TowerId,
@@ -70,7 +69,7 @@ impl CellTower {
 }
 
 /// Channel parameters for the simulated world.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PropagationConfig {
     /// Path-loss exponent for WiFi links (indoor-ish, ~3).
     pub wifi_exponent: f64,
@@ -206,5 +205,29 @@ mod tests {
         assert_eq!(ap.tx_power_dbm, 20.0);
         let tower = CellTower::new(TowerId(0), Point::origin());
         assert_eq!(tower.tx_power_dbm, 43.0);
+    }
+}
+
+impl uniloc_stats::ToJson for ApId {
+    fn to_json(&self) -> uniloc_stats::Json {
+        uniloc_stats::ToJson::to_json(&self.0)
+    }
+}
+
+impl uniloc_stats::FromJson for ApId {
+    fn from_json(json: &uniloc_stats::Json) -> Result<Self, uniloc_stats::JsonError> {
+        uniloc_stats::FromJson::from_json(json).map(ApId)
+    }
+}
+
+impl uniloc_stats::ToJson for TowerId {
+    fn to_json(&self) -> uniloc_stats::Json {
+        uniloc_stats::ToJson::to_json(&self.0)
+    }
+}
+
+impl uniloc_stats::FromJson for TowerId {
+    fn from_json(json: &uniloc_stats::Json) -> Result<Self, uniloc_stats::JsonError> {
+        uniloc_stats::FromJson::from_json(json).map(TowerId)
     }
 }

@@ -269,8 +269,7 @@ pub fn urban_open_space(seed: u64, variants: usize) -> Vec<Scenario> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use uniloc_rng::Rng;
 
     #[test]
     fn training_office_dimensions() {
@@ -320,7 +319,7 @@ mod tests {
     #[test]
     fn mall_hears_few_towers() {
         let malls = shopping_mall(5, 1);
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let p = malls[0].route.point_at(50.0);
         let mut heard = 0usize;
         for _ in 0..20 {
@@ -333,7 +332,7 @@ mod tests {
     #[test]
     fn mall_has_wifi() {
         let malls = shopping_mall(6, 1);
-        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let p = malls[0].route.point_at(100.0);
         assert!(malls[0].world.wifi_observation(p, &mut rng).len() >= 3);
     }
@@ -343,7 +342,7 @@ mod tests {
         let spaces = urban_open_space(7, 10);
         assert_eq!(spaces.len(), 10);
         let s = &spaces[0];
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let p = s.route.point_at(30.0);
         assert!(!s.world.is_indoor(p));
         let mut sats = 0;

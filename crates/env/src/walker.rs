@@ -9,13 +9,11 @@
 //! tangent. The IMU simulator then corrupts these truths into sensor
 //! readings.
 
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use uniloc_rng::Rng;
 use uniloc_geom::{Point, Polyline};
 
 /// A walking-style profile for one person.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GaitProfile {
     /// Persona name (for reports).
     pub name: String,
@@ -68,7 +66,7 @@ impl GaitProfile {
 }
 
 /// One true step taken by a walker.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepEvent {
     /// Time of step completion, seconds since walk start.
     pub t: f64,
@@ -85,7 +83,7 @@ pub struct StepEvent {
 }
 
 /// A completed walk along a route: the ground truth for every experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trajectory {
     steps: Vec<StepEvent>,
     route_length: f64,
@@ -144,12 +142,11 @@ impl Trajectory {
 /// ```
 /// use uniloc_env::{GaitProfile, Walker};
 /// use uniloc_geom::{Point, Polyline};
-/// use rand::SeedableRng;
 ///
 /// let route = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(50.0, 0.0)])?;
 /// let mut walker = Walker::new(
 ///     GaitProfile::average(),
-///     rand_chacha::ChaCha8Rng::seed_from_u64(1),
+///     uniloc_rng::Rng::seed_from_u64(1),
 /// );
 /// let walk = walker.walk(&route);
 /// // ~50 m / 0.65 m per step:
@@ -161,12 +158,12 @@ impl Trajectory {
 #[derive(Debug, Clone)]
 pub struct Walker {
     gait: GaitProfile,
-    rng: ChaCha8Rng,
+    rng: Rng,
 }
 
 impl Walker {
     /// Creates a walker with a gait and a seeded RNG.
-    pub fn new(gait: GaitProfile, rng: ChaCha8Rng) -> Self {
+    pub fn new(gait: GaitProfile, rng: Rng) -> Self {
         Walker { gait, rng }
     }
 
@@ -204,7 +201,7 @@ impl Walker {
     }
 }
 
-fn gauss(rng: &mut ChaCha8Rng) -> f64 {
+fn gauss(rng: &mut Rng) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -213,7 +210,6 @@ fn gauss(rng: &mut ChaCha8Rng) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn straight_route(len: f64) -> Polyline {
         Polyline::new(vec![Point::new(0.0, 0.0), Point::new(len, 0.0)]).unwrap()
@@ -222,7 +218,7 @@ mod tests {
     #[test]
     fn walk_covers_route() {
         let route = straight_route(100.0);
-        let mut w = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(7));
+        let mut w = Walker::new(GaitProfile::average(), Rng::seed_from_u64(7));
         let traj = w.walk(&route);
         let last = traj.steps().last().unwrap();
         assert!((last.station - 100.0).abs() < 1e-9);
@@ -235,7 +231,7 @@ mod tests {
         let route = straight_route(130.0);
         let gait = GaitProfile::average();
         let expected = 130.0 / gait.step_length_m;
-        let mut w = Walker::new(gait, ChaCha8Rng::seed_from_u64(8));
+        let mut w = Walker::new(gait, Rng::seed_from_u64(8));
         let n = w.walk(&route).len() as f64;
         assert!((n - expected).abs() < expected * 0.1, "n={n}, expected~{expected}");
     }
@@ -243,7 +239,7 @@ mod tests {
     #[test]
     fn step_durations_in_band() {
         let route = straight_route(200.0);
-        let mut w = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(9));
+        let mut w = Walker::new(GaitProfile::average(), Rng::seed_from_u64(9));
         for s in w.walk(&route).steps() {
             assert!((0.4..=0.7).contains(&s.duration), "duration {}", s.duration);
         }
@@ -252,7 +248,7 @@ mod tests {
     #[test]
     fn times_strictly_increase() {
         let route = straight_route(80.0);
-        let mut w = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(10));
+        let mut w = Walker::new(GaitProfile::average(), Rng::seed_from_u64(10));
         let traj = w.walk(&route);
         for pair in traj.steps().windows(2) {
             assert!(pair[1].t > pair[0].t);
@@ -263,7 +259,7 @@ mod tests {
     #[test]
     fn position_at_interpolates() {
         let route = straight_route(50.0);
-        let mut w = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(11));
+        let mut w = Walker::new(GaitProfile::average(), Rng::seed_from_u64(11));
         let traj = w.walk(&route);
         // Before the walk starts.
         assert_eq!(traj.position_at(-1.0), traj.steps()[0].position);
@@ -294,8 +290,8 @@ mod tests {
     #[test]
     fn deterministic_with_same_seed() {
         let route = straight_route(60.0);
-        let mut w1 = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(5));
-        let mut w2 = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(5));
+        let mut w1 = Walker::new(GaitProfile::average(), Rng::seed_from_u64(5));
+        let mut w2 = Walker::new(GaitProfile::average(), Rng::seed_from_u64(5));
         assert_eq!(w1.walk(&route), w2.walk(&route));
     }
 
@@ -307,7 +303,7 @@ mod tests {
             Point::new(20.0, 20.0),
         ])
         .unwrap();
-        let mut w = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(6));
+        let mut w = Walker::new(GaitProfile::average(), Rng::seed_from_u64(6));
         let traj = w.walk(&route);
         let early = traj.steps()[3].heading;
         let late = traj.steps().last().unwrap().heading;

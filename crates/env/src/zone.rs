@@ -7,7 +7,6 @@
 //! light and magnetic disturbance (IODetector inputs), and the penetration
 //! loss cellular signals suffer inside.
 
-use serde::{Deserialize, Serialize};
 use uniloc_geom::{Point, Polygon};
 
 /// The kind of environment at a map location.
@@ -15,7 +14,7 @@ use uniloc_geom::{Point, Polygon};
 /// The paper "treat[s] all the places with roofs (e.g., corridors on the
 /// edges of buildings) as indoor environment" — [`EnvKind::is_roofed`]
 /// encodes exactly that split.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum EnvKind {
     /// An office floor: dense APs, narrow corridors, stable signals.
@@ -161,7 +160,7 @@ impl std::fmt::Display for EnvKind {
 }
 
 /// A named region of the map with a single [`EnvKind`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Zone {
     name: String,
     kind: EnvKind,

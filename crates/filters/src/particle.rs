@@ -6,8 +6,7 @@
 //! likelihood (fusion only), and resample when the effective sample size
 //! collapses.
 
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
+use uniloc_rng::Rng;
 
 /// One weighted hypothesis.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,10 +25,8 @@ pub struct Particle<S> {
 ///
 /// ```
 /// use uniloc_filters::ParticleFilter;
-/// use rand::SeedableRng;
-/// use rand::Rng;
 ///
-/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let mut rng = uniloc_rng::Rng::seed_from_u64(1);
 /// let mut pf = ParticleFilter::new((0..200).map(|i| i as f64 * 0.1));
 /// // Observe the target near 5.0.
 /// pf.reweight(|&x: &f64| (-(x - 5.0) * (x - 5.0)).exp());
@@ -74,9 +71,9 @@ impl<S: Clone> ParticleFilter<S> {
     }
 
     /// Applies a motion model to every particle.
-    pub fn predict<F>(&mut self, rng: &mut ChaCha8Rng, mut motion: F)
+    pub fn predict<F>(&mut self, rng: &mut Rng, mut motion: F)
     where
-        F: FnMut(&mut S, &mut ChaCha8Rng),
+        F: FnMut(&mut S, &mut Rng),
     {
         for p in &mut self.particles {
             motion(&mut p.state, rng);
@@ -139,7 +136,7 @@ impl<S: Clone> ParticleFilter<S> {
     }
 
     /// Systematic resampling: draws a fresh equally-weighted cloud.
-    pub fn resample(&mut self, rng: &mut ChaCha8Rng) {
+    pub fn resample(&mut self, rng: &mut Rng) {
         let n = self.particles.len();
         let step = 1.0 / n as f64;
         let mut u = rng.gen_range(0.0..step);
@@ -161,7 +158,7 @@ impl<S: Clone> ParticleFilter<S> {
     /// Compared with systematic resampling's single shared offset, strata
     /// draws are independent, which removes the (rare) alignment artifacts
     /// a periodic weight pattern can cause.
-    pub fn resample_stratified(&mut self, rng: &mut ChaCha8Rng) {
+    pub fn resample_stratified(&mut self, rng: &mut Rng) {
         let n = self.particles.len();
         let step = 1.0 / n as f64;
         let mut cum = self.particles[0].weight;
@@ -180,7 +177,7 @@ impl<S: Clone> ParticleFilter<S> {
 
     /// Resamples only when the effective sample size falls below
     /// `threshold_frac * len` (typically 0.5).
-    pub fn maybe_resample(&mut self, threshold_frac: f64, rng: &mut ChaCha8Rng) -> bool {
+    pub fn maybe_resample(&mut self, threshold_frac: f64, rng: &mut Rng) -> bool {
         if self.effective_sample_size() < threshold_frac * self.particles.len() as f64 {
             self.resample(rng);
             true
@@ -231,10 +228,9 @@ impl<S: Clone> ParticleFilter<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng(seed: u64) -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(seed)
+    fn rng(seed: u64) -> Rng {
+        Rng::seed_from_u64(seed)
     }
 
     #[test]

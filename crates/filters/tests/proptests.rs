@@ -1,107 +1,160 @@
-//! Property-based tests for the estimation filters.
+//! Property-based tests for the estimation filters, on the in-repo
+//! [`uniloc_rng::check`] harness.
 
-use proptest::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use uniloc_filters::{Hmm2Predictor, Kalman2D, ParticleFilter};
 use uniloc_geom::Point;
+use uniloc_rng::check::Checker;
+use uniloc_rng::{require, require_eq, Rng};
 
-proptest! {
-    /// Weights stay a probability simplex through arbitrary
-    /// reweight/resample cycles.
-    #[test]
-    fn particle_weights_stay_normalized(
-        seed in 0u64..1000,
-        likes in proptest::collection::vec(0.0f64..5.0, 20),
-        resample in proptest::bool::ANY,
-    ) {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut pf = ParticleFilter::new((0..likes.len()).map(|i| i as f64));
-        let mut idx = 0;
-        let changed = pf.reweight(|_| {
-            let l = likes[idx % likes.len()];
-            idx += 1;
-            l
-        });
-        if changed {
-            let total: f64 = pf.particles().iter().map(|p| p.weight).sum();
-            prop_assert!((total - 1.0).abs() < 1e-9);
-        }
-        if resample {
-            pf.resample(&mut rng);
-            let total: f64 = pf.particles().iter().map(|p| p.weight).sum();
-            prop_assert!((total - 1.0).abs() < 1e-9);
-            // Resampling preserves the population size.
-            prop_assert_eq!(pf.len(), likes.len());
-        }
-    }
+const REGRESSIONS: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/proptests.regressions");
 
-    /// The weighted-mean estimate always lies within the particle range.
-    #[test]
-    fn particle_estimate_in_range(
-        states in proptest::collection::vec(-100.0f64..100.0, 2..40),
-        likes in proptest::collection::vec(0.01f64..1.0, 40),
-    ) {
-        let mut pf = ParticleFilter::new(states.clone());
-        let mut idx = 0;
-        pf.reweight(|_| {
-            let l = likes[idx % likes.len()];
-            idx += 1;
-            l
-        });
-        let est = pf.estimate(|&x| x);
-        let lo = states.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = states.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9);
-    }
+fn checker(name: &str) -> Checker {
+    Checker::new(name).cases(128).regressions(REGRESSIONS)
+}
 
-    /// Effective sample size is bounded by (0, n].
-    #[test]
-    fn ess_bounds(
-        likes in proptest::collection::vec(0.01f64..10.0, 2..50),
-    ) {
-        let n = likes.len();
-        let mut pf = ParticleFilter::new((0..n).map(|i| i as f64));
-        let mut idx = 0;
-        pf.reweight(|_| {
-            let l = likes[idx];
-            idx += 1;
-            l
-        });
-        let ess = pf.effective_sample_size();
-        prop_assert!(ess > 0.0 && ess <= n as f64 + 1e-9, "ess {ess} of {n}");
-    }
+/// Weights stay a probability simplex through arbitrary reweight/resample
+/// cycles.
+#[test]
+fn particle_weights_stay_normalized() {
+    checker("particle_weights_stay_normalized").run(
+        |rng, scale| {
+            (
+                rng.gen_range(0..1000u64),
+                (0..20).map(|_| rng.gen_range(0.0..5.0 * scale)).collect::<Vec<f64>>(),
+                rng.gen_bool(0.5),
+            )
+        },
+        |(seed, likes, resample)| {
+            let mut rng = Rng::seed_from_u64(*seed);
+            let mut pf = ParticleFilter::new((0..likes.len()).map(|i| i as f64));
+            let mut idx = 0;
+            let changed = pf.reweight(|_| {
+                let l = likes[idx % likes.len()];
+                idx += 1;
+                l
+            });
+            if changed {
+                let total: f64 = pf.particles().iter().map(|p| p.weight).sum();
+                require!((total - 1.0).abs() < 1e-9);
+            }
+            if *resample {
+                pf.resample(&mut rng);
+                let total: f64 = pf.particles().iter().map(|p| p.weight).sum();
+                require!((total - 1.0).abs() < 1e-9);
+                // Resampling preserves the population size.
+                require_eq!(pf.len(), likes.len());
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The Kalman filter converges to any constant target it is fed.
-    #[test]
-    fn kalman_converges_to_constant(
-        tx in -500.0f64..500.0,
-        ty in -500.0f64..500.0,
-    ) {
-        let mut kf = Kalman2D::new(Point::origin(), 0.5, 4.0);
-        for _ in 0..60 {
-            kf.predict(0.5);
-            kf.update(Point::new(tx, ty));
-        }
-        let p = kf.position();
-        prop_assert!((p.x - tx).abs() < 1.0, "x {} vs {}", p.x, tx);
-        prop_assert!((p.y - ty).abs() < 1.0, "y {} vs {}", p.y, ty);
-    }
+/// The weighted-mean estimate always lies within the particle range.
+#[test]
+fn particle_estimate_in_range() {
+    checker("particle_estimate_in_range").run(
+        |rng, scale| {
+            let n = rng.gen_range(2..40usize);
+            (
+                (0..n)
+                    .map(|_| rng.gen_range(-100.0 * scale..100.0 * scale.max(0.01)))
+                    .collect::<Vec<f64>>(),
+                (0..40).map(|_| rng.gen_range(0.01..1.0)).collect::<Vec<f64>>(),
+            )
+        },
+        |(states, likes)| {
+            let mut pf = ParticleFilter::new(states.clone());
+            let mut idx = 0;
+            pf.reweight(|_| {
+                let l = likes[idx % likes.len()];
+                idx += 1;
+                l
+            });
+            let est = pf.estimate(|&x| x);
+            let lo = states.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = states.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            require!(est >= lo - 1e-9 && est <= hi + 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    /// HMM belief stays normalized for arbitrary observation streams.
-    #[test]
-    fn hmm_belief_normalized(
-        obs in proptest::collection::vec((0.0f64..50.0, -5.0f64..5.0), 1..20),
-    ) {
-        let grid: Vec<Point> =
-            (0..50).map(|i| Point::new(i as f64, 0.0)).collect();
-        let mut hmm = Hmm2Predictor::new(grid, 2.5, 4.0).unwrap();
-        for (x, y) in obs {
-            hmm.observe(Point::new(x, y));
-            let total: f64 = hmm.belief().iter().sum();
-            prop_assert!((total - 1.0).abs() < 1e-6, "belief sums to {total}");
-            let m = hmm.mean();
-            prop_assert!(m.x >= -1.0 && m.x <= 50.0, "mean {m} escaped the grid hull");
-        }
-    }
+/// Effective sample size is bounded by (0, n].
+#[test]
+fn ess_bounds() {
+    checker("ess_bounds").run(
+        |rng, scale| {
+            let n = rng.gen_range(2..50usize);
+            (0..n)
+                .map(|_| rng.gen_range(0.01..0.01 + 9.99 * scale))
+                .collect::<Vec<f64>>()
+        },
+        |likes| {
+            let n = likes.len();
+            let mut pf = ParticleFilter::new((0..n).map(|i| i as f64));
+            let mut idx = 0;
+            pf.reweight(|_| {
+                let l = likes[idx];
+                idx += 1;
+                l
+            });
+            let ess = pf.effective_sample_size();
+            require!(ess > 0.0 && ess <= n as f64 + 1e-9, "ess {ess} of {n}");
+            Ok(())
+        },
+    );
+}
+
+/// The Kalman filter converges to any constant target it is fed.
+#[test]
+fn kalman_converges_to_constant() {
+    checker("kalman_converges_to_constant").run(
+        |rng, scale| {
+            (
+                rng.gen_range(-500.0 * scale..500.0 * scale.max(0.01)),
+                rng.gen_range(-500.0 * scale..500.0 * scale.max(0.01)),
+            )
+        },
+        |&(tx, ty)| {
+            let mut kf = Kalman2D::new(Point::origin(), 0.5, 4.0);
+            for _ in 0..60 {
+                kf.predict(0.5);
+                kf.update(Point::new(tx, ty));
+            }
+            let p = kf.position();
+            require!((p.x - tx).abs() < 1.0, "x {} vs {}", p.x, tx);
+            require!((p.y - ty).abs() < 1.0, "y {} vs {}", p.y, ty);
+            Ok(())
+        },
+    );
+}
+
+/// HMM belief stays normalized for arbitrary observation streams.
+#[test]
+fn hmm_belief_normalized() {
+    checker("hmm_belief_normalized").run(
+        |rng, scale| {
+            let n = rng.gen_range(1..20usize);
+            (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range(0.0..50.0 * scale.max(0.02)),
+                        rng.gen_range(-5.0 * scale..5.0 * scale.max(0.01)),
+                    )
+                })
+                .collect::<Vec<(f64, f64)>>()
+        },
+        |obs| {
+            let grid: Vec<Point> = (0..50).map(|i| Point::new(i as f64, 0.0)).collect();
+            let mut hmm = Hmm2Predictor::new(grid, 2.5, 4.0).unwrap();
+            for &(x, y) in obs {
+                hmm.observe(Point::new(x, y));
+                let total: f64 = hmm.belief().iter().sum();
+                require!((total - 1.0).abs() < 1e-6, "belief sums to {total}");
+                let m = hmm.mean();
+                require!(m.x >= -1.0 && m.x <= 50.0, "mean {m} escaped the grid hull");
+            }
+            Ok(())
+        },
+    );
 }

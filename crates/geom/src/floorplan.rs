@@ -11,10 +11,9 @@ use crate::point::Point;
 use crate::polyline::Polyline;
 use crate::shapes::Segment;
 use crate::{GeomError, Result};
-use serde::{Deserialize, Serialize};
 
 /// An opaque wall segment that blocks pedestrian movement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Wall {
     /// Geometry of the wall.
     pub segment: Segment,
@@ -32,7 +31,7 @@ impl Wall {
 /// The corridor width is the paper's `beta_2` feature for the motion and
 /// fusion schemes — "if a corridor or path is wider, it has looser
 /// constraint and the localization error is likely to be higher".
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Corridor {
     centerline: Polyline,
     width: f64,
@@ -78,7 +77,7 @@ impl Corridor {
 ///
 /// Turns and doors come from the map; signatures are recognizable sensor
 /// patterns (WiFi/magnetic) in the spirit of UnLoc [12].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum LandmarkKind {
     /// A sharp turn in a corridor.
@@ -107,7 +106,7 @@ impl std::fmt::Display for LandmarkKind {
 }
 
 /// A calibration landmark at a known map position.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Landmark {
     /// What kind of landmark this is.
     pub kind: LandmarkKind,
@@ -157,7 +156,7 @@ impl Landmark {
 /// assert_eq!(plan.corridor_width_at(Point::new(5.0, 0.0)), Some(4.0));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FloorPlan {
     walls: Vec<Wall>,
     corridors: Vec<Corridor>,

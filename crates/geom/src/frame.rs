@@ -9,19 +9,20 @@
 
 use crate::point::Point;
 use crate::{GeomError, Result};
-use serde::{Deserialize, Serialize};
 
 /// Mean Earth radius in meters (WGS-84 spherical approximation).
 pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
 
 /// A geographic coordinate in degrees.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct GeoCoord {
     /// Latitude in degrees, positive north.
     pub lat: f64,
     /// Longitude in degrees, positive east.
     pub lon: f64,
 }
+
+uniloc_stats::impl_json_struct!(GeoCoord { lat, lon });
 
 impl GeoCoord {
     /// Creates a coordinate.
@@ -59,7 +60,7 @@ impl GeoCoord {
 /// assert!((back.lat - gps_fix.lat).abs() < 1e-9);
 /// # Ok::<(), uniloc_geom::GeomError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GeoFrame {
     origin_geo: GeoCoord,
     origin_map: Point,

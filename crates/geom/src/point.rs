@@ -1,6 +1,5 @@
 //! Points and vectors in the 2-D map plane (meters).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
 
@@ -15,13 +14,15 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
 /// let b = Point::new(3.0, 4.0);
 /// assert_eq!(a.distance(b), 5.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// East coordinate (m).
     pub x: f64,
     /// North coordinate (m).
     pub y: f64,
 }
+
+uniloc_stats::impl_json_struct!(Point { x, y });
 
 impl Point {
     /// Creates a point from map coordinates.
@@ -84,7 +85,7 @@ impl fmt::Display for Point {
 /// assert!((step.x - 0.7).abs() < 1e-12);
 /// assert!(step.y.abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vector2 {
     /// East component (m).
     pub x: f64,

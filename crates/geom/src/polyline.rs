@@ -9,7 +9,6 @@
 use crate::point::{Point, Vector2};
 use crate::shapes::Segment;
 use crate::{GeomError, Result};
-use serde::{Deserialize, Serialize};
 
 /// A connected series of segments with arc-length addressing.
 ///
@@ -29,7 +28,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(station, 8.0);
 /// # Ok::<(), uniloc_geom::GeomError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Polyline {
     vertices: Vec<Point>,
     /// Cumulative arc length at each vertex; `cum[0] == 0`.

@@ -3,7 +3,6 @@
 
 use crate::point::{Point, Vector2};
 use crate::{GeomError, Result};
-use serde::{Deserialize, Serialize};
 
 /// A line segment between two points.
 ///
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// let step = Segment::new(Point::new(5.0, -1.0), Point::new(5.0, 1.0));
 /// assert!(wall.intersects(&step));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {
     /// Start point.
     pub a: Point,
@@ -116,7 +115,7 @@ impl Segment {
 /// assert!(office.contains(Point::new(10.0, 10.0)));
 /// # Ok::<(), uniloc_geom::GeomError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     min: Point,
     max: Point,
@@ -232,7 +231,7 @@ impl Rect {
 /// assert_eq!(tri.area(), 6.0);
 /// # Ok::<(), uniloc_geom::GeomError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Polygon {
     vertices: Vec<Point>,
 }

@@ -39,11 +39,10 @@
 //! assert_eq!(state, IoState::Indoor);
 //! ```
 
-use serde::{Deserialize, Serialize};
 use uniloc_sensors::SensorFrame;
 
 /// The detector's environment verdict.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IoState {
     /// Under a roof (the paper's broad definition of indoor).
     Indoor,
@@ -68,7 +67,7 @@ struct Vote {
 }
 
 /// Tunable thresholds for the three sub-detectors.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IoDetectorConfig {
     /// Light above this (lux) votes outdoor strongly.
     pub outdoor_lux: f64,
@@ -98,7 +97,7 @@ impl Default for IoDetectorConfig {
 }
 
 /// Streaming indoor/outdoor detector with hysteresis.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IoDetector {
     config: IoDetectorConfig,
     state: IoState,
@@ -212,8 +211,7 @@ impl Default for IoDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use uniloc_rng::Rng;
     use uniloc_env::{campus, GaitProfile, Walker};
     use uniloc_sensors::{DeviceProfile, SensorHub};
 
@@ -256,7 +254,7 @@ mod tests {
     fn classify_frame_accuracy_on_daily_path() {
         let scenario = campus::daily_path(11);
         let mut walker =
-            Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(12));
+            Walker::new(GaitProfile::average(), Rng::seed_from_u64(12));
         let walk = walker.walk(&scenario.route);
         let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 13);
         let frames = hub.sample_walk(&walk, 0.5);
@@ -290,3 +288,5 @@ mod tests {
         assert_eq!(IoState::Outdoor.to_string(), "outdoor");
     }
 }
+
+uniloc_stats::impl_json_enum!(IoState { Indoor, Outdoor });

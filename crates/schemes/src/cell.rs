@@ -77,8 +77,7 @@ impl LocalizationScheme for CellFingerprintScheme {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use uniloc_rng::Rng;
     use uniloc_env::{campus, EnvKind, GaitProfile, Walker};
     use uniloc_sensors::{DeviceProfile, SensorHub};
 
@@ -90,7 +89,7 @@ mod tests {
         let db = CellFingerprintDb::survey_cell(&mut hub, &points);
         let mut scheme = CellFingerprintScheme::new(db);
 
-        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(63));
+        let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(63));
         let walk = walker.walk(&scenario.route);
         let mut run_hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 64);
         let frames = run_hub.sample_walk(&walk, 0.5);
@@ -127,7 +126,7 @@ mod tests {
         let mut cell = CellFingerprintScheme::new(cell_db);
         let mut wifi = crate::wifi::WifiFingerprintScheme::new(wifi_db);
 
-        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(67));
+        let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(67));
         let walk = walker.walk(&scenario.route);
         let mut run_hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 68);
         let frames = run_hub.sample_walk(&walk, 0.5);

@@ -11,13 +11,12 @@
 //! fingerprint-density feature (`beta_1`) then correctly reports.
 
 use crate::fingerprint::{FingerprintDb, WifiFingerprintDb};
-use serde::{Deserialize, Serialize};
 use uniloc_env::ApId;
 use uniloc_geom::Point;
 use uniloc_sensors::WifiScan;
 
 /// One crowdsourced observation: a scan stamped with an estimated position.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrowdObservation {
     /// The contributor's position estimate when the scan was taken.
     pub position: Point,
@@ -43,11 +42,14 @@ pub struct CrowdObservation {
 /// builder.observe(Point::new(12.0, 5.0), scan, 0.8);
 /// let db = builder.build();
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RadioMapBuilder {
     cell_m: f64,
     observations: Vec<CrowdObservation>,
 }
+
+uniloc_stats::impl_json_struct!(CrowdObservation { position, scan, weight });
+uniloc_stats::impl_json_struct!(RadioMapBuilder { cell_m, observations });
 
 impl RadioMapBuilder {
     /// Creates a builder with the given grid cell size (m).
@@ -127,9 +129,7 @@ mod tests {
     use super::*;
     use crate::wifi::WifiFingerprintScheme;
     use crate::LocalizationScheme;
-    use rand::Rng;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use uniloc_rng::Rng;
     use uniloc_env::{venues, GaitProfile, Walker};
     use uniloc_sensors::{DeviceProfile, SensorHub};
 
@@ -182,11 +182,11 @@ mod tests {
         // fresh walk against it and against the surveyed map.
         let scenario = venues::training_office(141);
         let mut builder = RadioMapBuilder::new(3.0);
-        let mut noise_rng = ChaCha8Rng::seed_from_u64(142);
+        let mut noise_rng = Rng::seed_from_u64(142);
         for walk_idx in 0..3u64 {
             let mut walker = Walker::new(
                 GaitProfile::average(),
-                ChaCha8Rng::seed_from_u64(143 + walk_idx),
+                Rng::seed_from_u64(143 + walk_idx),
             );
             let walk = walker.walk(&scenario.route);
             let mut hub =
@@ -214,7 +214,7 @@ mod tests {
 
         let mut crowd_scheme = WifiFingerprintScheme::new(crowd_db).with_min_aps(3);
         let mut surveyed_scheme = WifiFingerprintScheme::new(surveyed).with_min_aps(3);
-        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(161));
+        let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(161));
         let walk = walker.walk(&scenario.route);
         let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 162);
         let frames = hub.sample_walk(&walk, 0.5);
@@ -241,11 +241,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let mut b = RadioMapBuilder::new(2.0);
         b.observe(Point::new(1.0, 2.0), scan(&[(3, -44.0)]), 0.9);
-        let json = serde_json::to_string(&b).unwrap();
-        let back: RadioMapBuilder = serde_json::from_str(&json).unwrap();
+        let json = uniloc_stats::json::to_string(&b);
+        let back: RadioMapBuilder = uniloc_stats::json::from_str(&json).unwrap();
         assert_eq!(b, back);
     }
 }

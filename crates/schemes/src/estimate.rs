@@ -1,13 +1,12 @@
 //! The black-box scheme interface and its output type.
 
-use serde::{Deserialize, Serialize};
 use uniloc_geom::Point;
 use uniloc_sensors::SensorFrame;
 
 /// Identifies one of the five built-in schemes (and leaves room for
 /// user-integrated ones — UniLoc is "not constrained to any specific
 /// localization schemes").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[non_exhaustive]
 pub enum SchemeId {
     /// Phone GPS module.
@@ -49,7 +48,7 @@ impl std::fmt::Display for SchemeId {
 }
 
 /// One scheme's output for one epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocationEstimate {
     /// Estimated position in map coordinates (GPS results are converted
     /// from the geographic frame before reaching here).
@@ -131,3 +130,43 @@ mod tests {
         assert_eq!(LocationEstimate::with_spread(p, 3.0).spread, Some(3.0));
     }
 }
+
+/// `SchemeId` serializes like an externally tagged serde enum: built-in
+/// variants as their name string, `Custom(n)` as `{"Custom": n}`.
+impl uniloc_stats::ToJson for SchemeId {
+    fn to_json(&self) -> uniloc_stats::Json {
+        use uniloc_stats::Json;
+        match self {
+            SchemeId::Custom(n) => {
+                Json::Obj(vec![("Custom".to_owned(), Json::Int(i64::from(*n)))])
+            }
+            SchemeId::Gps => Json::Str("Gps".to_owned()),
+            SchemeId::Wifi => Json::Str("Wifi".to_owned()),
+            SchemeId::Cellular => Json::Str("Cellular".to_owned()),
+            SchemeId::Motion => Json::Str("Motion".to_owned()),
+            SchemeId::Fusion => Json::Str("Fusion".to_owned()),
+        }
+    }
+}
+
+impl uniloc_stats::FromJson for SchemeId {
+    fn from_json(json: &uniloc_stats::Json) -> Result<Self, uniloc_stats::JsonError> {
+        use uniloc_stats::JsonError;
+        if let Some(name) = json.as_str() {
+            return match name {
+                "Gps" => Ok(SchemeId::Gps),
+                "Wifi" => Ok(SchemeId::Wifi),
+                "Cellular" => Ok(SchemeId::Cellular),
+                "Motion" => Ok(SchemeId::Motion),
+                "Fusion" => Ok(SchemeId::Fusion),
+                other => Err(JsonError::new(format!("unknown SchemeId `{other}`"))),
+            };
+        }
+        match json.get("Custom") {
+            Some(n) => uniloc_stats::FromJson::from_json(n).map(SchemeId::Custom),
+            None => Err(JsonError::new("expected SchemeId string or Custom object")),
+        }
+    }
+}
+
+uniloc_stats::impl_json_struct!(LocationEstimate { position, spread });

@@ -6,7 +6,6 @@
 //! fingerprint has one sample from each audible AP". The same machinery
 //! serves the cellular scheme over tower RSSIs.
 
-use serde::{Deserialize, Serialize};
 use uniloc_geom::Point;
 use uniloc_sensors::{CellScan, SensorHub, WifiScan};
 
@@ -41,7 +40,7 @@ impl RssiLike for CellScan {
 }
 
 /// One match candidate from a fingerprint lookup.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FingerprintMatch {
     /// The fingerprint's survey position.
     pub position: Point,
@@ -50,7 +49,7 @@ pub struct FingerprintMatch {
 }
 
 /// An offline fingerprint database over scans of type `S`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FingerprintDb<S> {
     entries: Vec<(Point, S)>,
     missing_penalty: f64,
@@ -194,8 +193,6 @@ impl CellFingerprintDb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use uniloc_env::campus;
     use uniloc_sensors::DeviceProfile;
 

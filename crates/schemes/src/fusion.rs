@@ -190,8 +190,7 @@ impl LocalizationScheme for FusionScheme {
 mod tests {
     use super::*;
     use crate::pdr::PdrScheme;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use uniloc_rng::Rng;
     use uniloc_env::{campus, venues, GaitProfile, Walker};
     use uniloc_sensors::{DeviceProfile, SensorHub};
 
@@ -213,7 +212,7 @@ mod tests {
         scheme: &mut S,
         seed: u64,
     ) -> f64 {
-        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(seed));
+        let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(seed));
         let walk = walker.walk(&scenario.route);
         let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), seed + 1);
         let frames = hub.sample_walk(&walk, 0.5);
@@ -268,7 +267,7 @@ mod tests {
     fn fusion_always_available() {
         let scenario = campus::daily_path(95);
         let mut fusion = build_fusion(&scenario, 96);
-        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(97));
+        let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(97));
         let walk = walker.walk(&scenario.route);
         let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 98);
         let frames = hub.sample_walk(&walk, 0.5);
@@ -280,7 +279,7 @@ mod tests {
         let scenario = venues::training_office(103);
         let mut fusion = build_fusion(&scenario, 104);
         // Prime with a few steps.
-        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(105));
+        let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(105));
         let walk = walker.walk(&scenario.route);
         let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 106);
         let frames = hub.sample_walk(&walk, 0.5);
@@ -313,7 +312,7 @@ mod tests {
         // the paper's observation at the 180 m mark of the daily path.
         let scenario = venues::training_office(107);
         let mut fusion = build_fusion(&scenario, 108);
-        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(109));
+        let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(109));
         let walk = walker.walk(&scenario.route);
         let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 110);
         let frames = hub.sample_walk(&walk, 0.5);

@@ -53,8 +53,7 @@ impl LocalizationScheme for GpsScheme {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use uniloc_rng::Rng;
     use uniloc_env::{campus, GaitProfile, Walker};
     use uniloc_sensors::{DeviceProfile, SensorHub};
 
@@ -62,7 +61,7 @@ mod tests {
     fn produces_fixes_outdoors_only() {
         let scenario = campus::daily_path(31);
         let mut walker =
-            Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(32));
+            Walker::new(GaitProfile::average(), Rng::seed_from_u64(32));
         let walk = walker.walk(&scenario.route);
         let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 33);
         let frames = hub.sample_walk(&walk, 0.5);

@@ -11,7 +11,6 @@
 //! `horus_vs_radar` ablation in `uniloc-bench`).
 
 use crate::estimate::{LocalizationScheme, LocationEstimate, SchemeId};
-use serde::{Deserialize, Serialize};
 use uniloc_env::ApId;
 use uniloc_geom::Point;
 use uniloc_sensors::{SensorFrame, SensorHub, WifiScan};
@@ -24,7 +23,7 @@ pub const HORUS_SCHEME_ID: SchemeId = SchemeId::Custom(2);
 pub const MIN_STD_DB: f64 = 1.5;
 
 /// Per-AP RSSI distribution at one survey location.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct ApDistribution {
     ap: ApId,
     mean_dbm: f64,
@@ -33,7 +32,7 @@ struct ApDistribution {
 }
 
 /// One probabilistic fingerprint: a location plus per-AP Gaussians.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProbFingerprint {
     position: Point,
     distributions: Vec<ApDistribution>,
@@ -63,12 +62,16 @@ impl ProbFingerprint {
 }
 
 /// A probabilistic (Horus-style) WiFi fingerprint database.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProbFingerprintDb {
     entries: Vec<ProbFingerprint>,
     /// Log-likelihood penalty per online AP unseen at a location.
     miss_penalty: f64,
 }
+
+uniloc_stats::impl_json_struct!(ApDistribution { ap, mean_dbm, std_db, samples });
+uniloc_stats::impl_json_struct!(ProbFingerprint { position, distributions });
+uniloc_stats::impl_json_struct!(ProbFingerprintDb { entries, miss_penalty });
 
 impl ProbFingerprintDb {
     /// Surveys the venue at `points`, taking `samples_per_point` scans per
@@ -200,8 +203,7 @@ impl LocalizationScheme for HorusScheme {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use uniloc_rng::Rng;
     use uniloc_env::{venues, GaitProfile, Walker};
     use uniloc_sensors::DeviceProfile;
 
@@ -218,7 +220,7 @@ mod tests {
         scheme: &mut dyn LocalizationScheme,
         seed: u64,
     ) -> f64 {
-        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(seed));
+        let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(seed));
         let walk = walker.walk(&scenario.route);
         let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), seed + 1);
         let errs: Vec<f64> = hub
@@ -304,10 +306,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let (_, db) = survey_db(2, 137);
-        let json = serde_json::to_string(&db).unwrap();
-        let back: ProbFingerprintDb = serde_json::from_str(&json).unwrap();
+        let json = uniloc_stats::json::to_string(&db);
+        let back: ProbFingerprintDb = uniloc_stats::json::from_str(&json).unwrap();
         assert_eq!(db.len(), back.len());
     }
 }

@@ -11,9 +11,7 @@
 //! last landmark*).
 
 use crate::estimate::{LocalizationScheme, LocationEstimate, SchemeId};
-use rand::Rng;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use uniloc_rng::Rng;
 use uniloc_filters::ParticleFilter;
 use uniloc_geom::{FloorPlan, Point, Vector2};
 use uniloc_sensors::{SensorFrame, StepMeasurement};
@@ -64,14 +62,14 @@ pub(crate) struct PdrCore {
     pub config: PdrConfig,
     pub plan: FloorPlan,
     pub pf: ParticleFilter<PdrParticle>,
-    pub rng: ChaCha8Rng,
+    pub rng: Rng,
     start: Point,
 }
 
 impl PdrCore {
     pub fn new(plan: FloorPlan, start: Point, config: PdrConfig, seed: u64) -> Self {
         assert!(config.num_particles > 0, "need at least one particle");
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let pf = ParticleFilter::new(Self::spawn_cloud(&mut rng, &plan, start, &config));
         PdrCore { config, plan, pf, rng, start }
     }
@@ -80,7 +78,7 @@ impl PdrCore {
     /// the center by a wall (you cannot be on the other side of a wall from
     /// where you know you are).
     fn spawn_cloud(
-        rng: &mut ChaCha8Rng,
+        rng: &mut Rng,
         plan: &FloorPlan,
         center: Point,
         config: &PdrConfig,
@@ -205,7 +203,7 @@ impl PdrCore {
     }
 }
 
-fn gauss(rng: &mut ChaCha8Rng) -> f64 {
+fn gauss(rng: &mut Rng) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -272,7 +270,7 @@ mod tests {
     use uniloc_sensors::{DeviceProfile, SensorHub};
 
     fn run(scenario: &campus::Scenario, seed: u64) -> Vec<(f64, f64)> {
-        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(seed));
+        let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(seed));
         let walk = walker.walk(&scenario.route);
         let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), seed + 1);
         let frames = hub.sample_walk(&walk, 0.5);
@@ -307,13 +305,17 @@ mod tests {
     #[test]
     fn error_grows_on_long_unlandmarked_stretch() {
         // The open-space tail of the daily path has no landmarks: drift
-        // accumulates, as the paper's beta_1 feature captures.
-        let scenario = campus::daily_path(73);
-        let results = run(&scenario, 74);
-        let open: Vec<f64> =
-            results.iter().filter(|r| r.0 > 240.0).map(|r| r.1).collect();
-        let office: Vec<f64> =
-            results.iter().filter(|r| r.0 < 50.0).map(|r| r.1).collect();
+        // accumulates, as the paper's beta_1 feature captures. A single
+        // walk's drift is noisy, so the claim is averaged over several
+        // seeds.
+        let mut open = Vec::new();
+        let mut office = Vec::new();
+        for seed in 0..6 {
+            let scenario = campus::daily_path(73 + seed);
+            let results = run(&scenario, 74 + seed);
+            open.extend(results.iter().filter(|r| r.0 > 240.0).map(|r| r.1));
+            office.extend(results.iter().filter(|r| r.0 < 50.0).map(|r| r.1));
+        }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(
             mean(&open) > mean(&office),
@@ -326,7 +328,7 @@ mod tests {
     #[test]
     fn always_available() {
         let scenario = campus::daily_path(75);
-        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(76));
+        let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(76));
         let walk = walker.walk(&scenario.route);
         let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 77);
         let frames = hub.sample_walk(&walk, 0.5);
@@ -344,7 +346,7 @@ mod tests {
         let plan = FloorPlan::new();
         let mut core = PdrCore::new(plan, Point::origin(), PdrConfig::default(), 79);
         // Drift the cloud artificially.
-        core.pf.predict(&mut ChaCha8Rng::seed_from_u64(1), |p, _| {
+        core.pf.predict(&mut Rng::seed_from_u64(1), |p, _| {
             p.pos = p.pos + Vector2::new(10.0, 0.0);
         });
         let before = core.estimate().position;
@@ -368,7 +370,7 @@ mod tests {
             81,
         );
         // Walk a bit.
-        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(82));
+        let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(82));
         let walk = walker.walk(&scenario.route);
         let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 83);
         for f in hub.sample_walk(&walk, 0.5).iter().take(40) {

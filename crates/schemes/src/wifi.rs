@@ -135,8 +135,7 @@ impl LocalizationScheme for WifiFingerprintScheme {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
+    use uniloc_rng::Rng;
     use uniloc_env::{campus, venues, GaitProfile, Walker};
     use uniloc_sensors::{DeviceProfile, SensorHub};
 
@@ -152,7 +151,7 @@ mod tests {
         device: DeviceProfile,
         seed: u64,
     ) -> Vec<(f64, Option<f64>)> {
-        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(seed));
+        let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(seed));
         let walk = walker.walk(&scenario.route);
         let mut hub = SensorHub::new(&scenario.world, device, seed + 1);
         hub.sample_walk(&walk, 0.5)
@@ -181,7 +180,7 @@ mod tests {
     fn unavailable_in_basement() {
         let scenario = campus::daily_path(44);
         let mut scheme = scheme_for(&scenario, 45);
-        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(46));
+        let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(46));
         let walk = walker.walk(&scenario.route);
         let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 47);
         let frames = hub.sample_walk(&walk, 0.5);

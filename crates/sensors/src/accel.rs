@@ -9,9 +9,7 @@
 //! an accelerometer-magnitude trace (with hand-tremble spikes),
 //! [`detect_steps`] finds step peaks and applies the compensation.
 
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
+use uniloc_rng::Rng;
 use uniloc_env::Trajectory;
 
 /// Sampling rate of the synthetic accelerometer (Hz) — phones report ~50 Hz.
@@ -21,7 +19,7 @@ pub const SAMPLE_RATE_HZ: f64 = 50.0;
 const GRAVITY: f64 = 9.81;
 
 /// One accelerometer magnitude sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccelSample {
     /// Time since walk start (s).
     pub t: f64,
@@ -30,7 +28,7 @@ pub struct AccelSample {
 }
 
 /// A detected (and compensated) step.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DetectedStep {
     /// Detection time (s).
     pub t: f64,
@@ -49,7 +47,7 @@ pub struct DetectedStep {
 pub fn synthesize_accel_trace(
     walk: &Trajectory,
     tremble: f64,
-    rng: &mut ChaCha8Rng,
+    rng: &mut Rng,
 ) -> Vec<AccelSample> {
     let duration = walk.duration();
     let n = (duration * SAMPLE_RATE_HZ).ceil() as usize;
@@ -145,7 +143,7 @@ pub fn detect_steps(trace: &[AccelSample]) -> Vec<DetectedStep> {
     steps
 }
 
-fn gauss(rng: &mut ChaCha8Rng) -> f64 {
+fn gauss(rng: &mut Rng) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -154,20 +152,19 @@ fn gauss(rng: &mut ChaCha8Rng) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use uniloc_env::{GaitProfile, Walker};
     use uniloc_geom::{Point, Polyline};
 
     fn walk(len: f64, seed: u64) -> Trajectory {
         let route = Polyline::new(vec![Point::new(0.0, 0.0), Point::new(len, 0.0)]).unwrap();
-        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(seed));
+        let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(seed));
         walker.walk(&route)
     }
 
     #[test]
     fn trace_has_expected_rate_and_baseline() {
         let w = walk(30.0, 1);
-        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let trace = synthesize_accel_trace(&w, 0.0, &mut rng);
         let expected = (w.duration() * SAMPLE_RATE_HZ).ceil() as usize;
         assert_eq!(trace.len(), expected);
@@ -179,7 +176,7 @@ mod tests {
     #[test]
     fn step_count_accurate_without_tremble() {
         let w = walk(100.0, 3);
-        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let trace = synthesize_accel_trace(&w, 0.0, &mut rng);
         let detected = detect_steps(&trace);
         let true_n = w.len() as f64;
@@ -193,7 +190,7 @@ mod tests {
     #[test]
     fn compensation_bounds_tremble_damage() {
         let w = walk(100.0, 5);
-        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut rng = Rng::seed_from_u64(6);
         let trace = synthesize_accel_trace(&w, 1.0, &mut rng);
         let detected = detect_steps(&trace);
         let true_n = w.len() as f64;
@@ -208,7 +205,7 @@ mod tests {
     #[test]
     fn detected_periods_mostly_in_band() {
         let w = walk(80.0, 7);
-        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut rng = Rng::seed_from_u64(8);
         let trace = synthesize_accel_trace(&w, 0.2, &mut rng);
         let steps = detect_steps(&trace);
         let in_band = steps
@@ -222,7 +219,7 @@ mod tests {
     #[test]
     fn detection_times_increase() {
         let w = walk(50.0, 9);
-        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let mut rng = Rng::seed_from_u64(10);
         let trace = synthesize_accel_trace(&w, 0.5, &mut rng);
         let steps = detect_steps(&trace);
         for pair in steps.windows(2) {

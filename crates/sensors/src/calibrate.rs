@@ -7,7 +7,6 @@
 //! reading) and apply it before matching. Fig. 8d shows this recovering most
 //! of the heterogeneity-induced error (1.9x at the 90th percentile).
 
-use serde::{Deserialize, Serialize};
 
 /// An affine RSSI transfer function between a device and the reference
 /// device.
@@ -27,7 +26,7 @@ use serde::{Deserialize, Serialize};
 /// let cal = RssiCalibration::learn(&pairs).unwrap();
 /// assert!((cal.apply(-65.0) - (-60.0)).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RssiCalibration {
     /// Multiplicative term (close to 1).
     pub alpha: f64,

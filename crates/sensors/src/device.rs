@@ -11,10 +11,9 @@
 //! Table III and Fig. 8d; the Samsung Galaxy S2 is the power-measurement
 //! phone of Table IV.
 
-use serde::{Deserialize, Serialize};
 
 /// Phone models used in the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum DeviceModel {
     /// Google Nexus 5X (Qualcomm QCA6174a combo SoC) — the reference.
@@ -54,7 +53,7 @@ impl std::fmt::Display for DeviceModel {
 /// // The G3 reads a few dB differently.
 /// assert!((g3.measure_rssi(-60.0) - (-60.0)).abs() > 1.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceProfile {
     /// Which phone this is.
     pub model: DeviceModel,

@@ -11,15 +11,12 @@
 
 use crate::device::DeviceProfile;
 use crate::scans::{CellScan, GpsFix, WifiScan};
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use uniloc_rng::Rng;
 use uniloc_env::{Trajectory, World};
 use uniloc_geom::{LandmarkKind, Point, Vector2};
 
 /// One IMU-derived step, as the phone's PDR front-end reports it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepMeasurement {
     /// Completion time (s since walk start).
     pub t: f64,
@@ -35,7 +32,7 @@ pub struct StepMeasurement {
 /// by the gyroscope, a door or WiFi/magnetic signature matched against the
 /// landmark database. The position is the landmark's *known map position*
 /// (how UnLoc-style calibration works), not the user's.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LandmarkObservation {
     /// What kind of landmark fired.
     pub kind: LandmarkKind,
@@ -48,7 +45,7 @@ pub struct LandmarkObservation {
 /// `true_position` is carried for evaluation (computing localization error
 /// against ground truth, training error models) — schemes must not read it
 /// at inference time.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SensorFrame {
     /// Epoch time (s since walk start).
     pub t: f64,
@@ -77,10 +74,9 @@ pub struct SensorFrame {
 /// ```
 /// use uniloc_env::{campus, GaitProfile, Walker};
 /// use uniloc_sensors::{DeviceProfile, SensorHub};
-/// use rand::SeedableRng;
 ///
 /// let scenario = campus::daily_path(1);
-/// let walk = Walker::new(GaitProfile::average(), rand_chacha::ChaCha8Rng::seed_from_u64(2))
+/// let walk = Walker::new(GaitProfile::average(), uniloc_rng::Rng::seed_from_u64(2))
 ///     .walk(&scenario.route);
 /// let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 3);
 /// let frames = hub.sample_walk(&walk, 0.5);
@@ -92,7 +88,7 @@ pub struct SensorFrame {
 pub struct SensorHub<'w> {
     world: &'w World,
     device: DeviceProfile,
-    rng: ChaCha8Rng,
+    rng: Rng,
     heading_bias: f64,
     /// Persistent per-walk step-length scale error (gait personalisation
     /// residual).
@@ -107,7 +103,7 @@ impl<'w> SensorHub<'w> {
     /// Creates a hub for `device` in `world`, with deterministic noise from
     /// `seed`.
     pub fn new(world: &'w World, device: DeviceProfile, seed: u64) -> Self {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
         let u2: f64 = rng.gen_range(0.0..1.0);
         let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
@@ -297,7 +293,7 @@ mod tests {
     fn path_frames(seed: u64) -> (campus::Scenario, Trajectory, Vec<SensorFrame>) {
         let scenario = campus::daily_path(seed);
         let mut walker =
-            Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(seed + 1));
+            Walker::new(GaitProfile::average(), Rng::seed_from_u64(seed + 1));
         let walk = walker.walk(&scenario.route);
         let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), seed + 2);
         let frames = hub.sample_walk(&walk, 0.5);
@@ -398,7 +394,7 @@ mod tests {
     #[test]
     fn radios_can_be_disabled() {
         let scenario = campus::daily_path(6);
-        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(1));
+        let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(1));
         let walk = walker.walk(&scenario.route);
         let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 8);
         hub.set_wifi_enabled(false);
@@ -428,7 +424,7 @@ mod tests {
     #[test]
     fn landmarks_observed_once_per_pass() {
         let scenario = campus::daily_path(9);
-        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(10));
+        let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(10));
         let walk = walker.walk(&scenario.route);
         let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 11);
         let frames = hub.sample_walk(&walk, 0.5);
@@ -461,9 +457,9 @@ mod tests {
     #[test]
     fn sample_walk_is_deterministic() {
         let scenario = campus::daily_path(12);
-        let mut walker1 = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(13));
+        let mut walker1 = Walker::new(GaitProfile::average(), Rng::seed_from_u64(13));
         let walk1 = walker1.walk(&scenario.route);
-        let mut walker2 = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(13));
+        let mut walker2 = Walker::new(GaitProfile::average(), Rng::seed_from_u64(13));
         let walk2 = walker2.walk(&scenario.route);
         let mut hub1 = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 14);
         let mut hub2 = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 14);
@@ -476,7 +472,7 @@ mod tests {
     #[should_panic(expected = "sampling interval must be positive")]
     fn zero_interval_panics() {
         let scenario = campus::daily_path(8);
-        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(1));
+        let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(1));
         let walk = walker.walk(&scenario.route);
         let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 9);
         hub.sample_walk(&walk, 0.0);

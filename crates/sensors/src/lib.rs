@@ -22,12 +22,11 @@
 //! ```
 //! use uniloc_env::{campus, GaitProfile, Walker};
 //! use uniloc_sensors::{DeviceProfile, SensorHub};
-//! use rand::SeedableRng;
 //!
 //! let scenario = campus::daily_path(1);
 //! let mut walker = Walker::new(
 //!     GaitProfile::average(),
-//!     rand_chacha::ChaCha8Rng::seed_from_u64(2),
+//!     uniloc_rng::Rng::seed_from_u64(2),
 //! );
 //! let walk = walker.walk(&scenario.route);
 //! let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), 3);

@@ -1,12 +1,11 @@
 //! Scan result types: what one measurement epoch delivers per radio.
 
-use serde::{Deserialize, Serialize};
 use uniloc_env::{ApId, TowerId};
 use uniloc_geom::GeoCoord;
 
 /// A WiFi scan: RSSI per audible access point, in dBm, as measured by the
 /// scanning device (device offset already applied).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct WifiScan {
     /// `(AP id, RSSI dBm)` pairs, in AP-id order.
     pub readings: Vec<(ApId, f64)>,
@@ -70,7 +69,7 @@ impl WifiScan {
 }
 
 /// A cellular scan: RSSI per audible tower, in dBm.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CellScan {
     /// `(tower id, RSSI dBm)` pairs, in tower-id order.
     pub readings: Vec<(TowerId, f64)>,
@@ -104,7 +103,7 @@ impl CellScan {
 ///
 /// "A reliable location estimation requires that the number of visible
 /// satellites is larger than 4 and HDOP is less than 6."
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpsFix {
     /// Reported coordinate (contains the positioning error).
     pub coordinate: GeoCoord,
@@ -191,3 +190,7 @@ mod tests {
         assert!(mk(5, 5.9).is_reliable());
     }
 }
+
+uniloc_stats::impl_json_struct!(WifiScan { readings });
+uniloc_stats::impl_json_struct!(CellScan { readings });
+uniloc_stats::impl_json_struct!(GpsFix { coordinate, hdop, satellites });

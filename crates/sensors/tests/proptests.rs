@@ -1,105 +1,166 @@
-//! Property-based tests for the sensor layer.
+//! Property-based tests for the sensor layer, on the in-repo
+//! [`uniloc_rng::check`] harness.
 
-use proptest::prelude::*;
+use std::collections::BTreeMap;
+use uniloc_env::ApId;
 use uniloc_geom::GeoCoord;
+use uniloc_rng::check::Checker;
+use uniloc_rng::{require, require_eq, Rng};
 use uniloc_sensors::nmea::{encode_gga, parse_gga};
 use uniloc_sensors::{DeviceProfile, GpsFix, RssiCalibration, WifiScan};
-use uniloc_env::ApId;
 
-proptest! {
-    /// NMEA GGA encoding round-trips any valid fix to within the format's
-    /// 0.0001-arcminute resolution (~2e-6 degrees).
-    #[test]
-    fn gga_roundtrip(
-        lat in -89.9f64..89.9,
-        lon in -179.9f64..179.9,
-        hdop in 0.1f64..20.0,
-        sats in 4u32..14,
-        t in 0.0f64..86_400.0,
-    ) {
-        let fix = GpsFix {
-            coordinate: GeoCoord::new(lat, lon).unwrap(),
-            hdop,
-            satellites: sats,
-        };
-        let sentence = encode_gga(&fix, t);
-        let back = parse_gga(&sentence).unwrap();
-        prop_assert!((back.coordinate.lat - lat).abs() < 2e-6, "{sentence}");
-        prop_assert!((back.coordinate.lon - lon).abs() < 2e-6, "{sentence}");
-        prop_assert_eq!(back.satellites, sats);
-        prop_assert!((back.hdop - hdop).abs() <= 0.05 + 1e-9, "{sentence}");
-    }
+const REGRESSIONS: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/proptests.regressions");
 
-    /// Corrupting any payload character breaks the checksum (or produces a
-    /// parse error) — never a silently wrong fix.
-    #[test]
-    fn gga_detects_single_byte_corruption(
-        lat in -89.0f64..89.0,
-        lon in -179.0f64..179.0,
-        pos in 1usize..20,
-        replacement in proptest::char::range('0', '9'),
-    ) {
-        let fix = GpsFix {
-            coordinate: GeoCoord::new(lat, lon).unwrap(),
-            hdop: 1.0,
-            satellites: 8,
-        };
-        let sentence = encode_gga(&fix, 0.0);
-        let mut bytes: Vec<char> = sentence.chars().collect();
-        let idx = 7 + (pos % 12); // inside the time/lat fields
-        if bytes[idx] != replacement && bytes[idx].is_ascii_digit() {
-            bytes[idx] = replacement;
-            let corrupted: String = bytes.into_iter().collect();
-            prop_assert!(parse_gga(&corrupted).is_err(), "{corrupted}");
-        }
-    }
+fn checker(name: &str) -> Checker {
+    Checker::new(name).cases(128).regressions(REGRESSIONS)
+}
 
-    /// The RSSI calibration inverts any affine device transfer exactly when
-    /// learned from noise-free pairs.
-    #[test]
-    fn calibration_inverts_affine_transfer(
-        alpha in 0.8f64..1.2,
-        delta in -10.0f64..10.0,
-    ) {
-        let pairs: Vec<(f64, f64)> = (0..24)
-            .map(|i| {
-                let truth = -35.0 - i as f64 * 2.3;
-                (alpha * truth + delta, truth)
-            })
-            .collect();
-        let cal = RssiCalibration::learn(&pairs).unwrap();
-        for truth in [-40.0, -63.7, -88.0] {
-            let recovered = cal.apply(alpha * truth + delta);
-            prop_assert!((recovered - truth).abs() < 1e-6);
-        }
-    }
+fn gen_readings(rng: &mut Rng) -> BTreeMap<u32, f64> {
+    let n = rng.gen_range(1..6usize);
+    (0..n)
+        .map(|_| (rng.gen_range(0..8u32), rng.gen_range(-90.0..-30.0)))
+        .collect()
+}
 
-    /// Scan distance is a semi-metric on common-AP scans: symmetric,
-    /// non-negative, zero on identity.
-    #[test]
-    fn scan_distance_semimetric(
-        a in proptest::collection::btree_map(0u32..8, -90.0f64..-30.0, 1..6),
-        b in proptest::collection::btree_map(0u32..8, -90.0f64..-30.0, 1..6),
-    ) {
-        let sa = WifiScan { readings: a.into_iter().map(|(i, r)| (ApId(i), r)).collect() };
-        let sb = WifiScan { readings: b.into_iter().map(|(i, r)| (ApId(i), r)).collect() };
-        prop_assert_eq!(sa.distance(&sa, 12.0), Some(0.0));
-        match (sa.distance(&sb, 12.0), sb.distance(&sa, 12.0)) {
-            (Some(x), Some(y)) => {
-                prop_assert!((x - y).abs() < 1e-12, "asymmetric: {x} vs {y}");
-                prop_assert!(x >= 0.0);
+/// NMEA GGA encoding round-trips any valid fix to within the format's
+/// 0.0001-arcminute resolution (~2e-6 degrees).
+#[test]
+fn gga_roundtrip() {
+    checker("gga_roundtrip").run(
+        |rng, scale| {
+            (
+                rng.gen_range(-89.9 * scale..89.9 * scale), // lat
+                rng.gen_range(-179.9 * scale..179.9 * scale), // lon
+                rng.gen_range(0.1..0.1 + 19.9 * scale),     // hdop
+                rng.gen_range(4..14u32),                    // sats
+                rng.gen_range(0.0..86_400.0 * scale),       // t
+            )
+        },
+        |&(lat, lon, hdop, sats, t)| {
+            let fix = GpsFix {
+                coordinate: GeoCoord::new(lat, lon).unwrap(),
+                hdop,
+                satellites: sats,
+            };
+            let sentence = encode_gga(&fix, t);
+            let back = parse_gga(&sentence).unwrap();
+            require!((back.coordinate.lat - lat).abs() < 2e-6, "{sentence}");
+            require!((back.coordinate.lon - lon).abs() < 2e-6, "{sentence}");
+            require_eq!(back.satellites, sats);
+            require!((back.hdop - hdop).abs() <= 0.05 + 1e-9, "{sentence}");
+            Ok(())
+        },
+    );
+}
+
+/// Corrupting any payload character breaks the checksum (or produces a
+/// parse error) — never a silently wrong fix.
+#[test]
+fn gga_detects_single_byte_corruption() {
+    checker("gga_detects_single_byte_corruption").run(
+        |rng, scale| {
+            (
+                rng.gen_range(-89.0 * scale..89.0 * scale),
+                rng.gen_range(-179.0 * scale..179.0 * scale),
+                rng.gen_range(1..20usize),
+                // A replacement digit '0'..='9'.
+                char::from(b'0' + rng.gen_range(0..10u32) as u8),
+            )
+        },
+        |&(lat, lon, pos, replacement)| {
+            let fix = GpsFix {
+                coordinate: GeoCoord::new(lat, lon).unwrap(),
+                hdop: 1.0,
+                satellites: 8,
+            };
+            let sentence = encode_gga(&fix, 0.0);
+            let mut bytes: Vec<char> = sentence.chars().collect();
+            let idx = 7 + (pos % 12); // inside the time/lat fields
+            if bytes[idx] != replacement && bytes[idx].is_ascii_digit() {
+                bytes[idx] = replacement;
+                let corrupted: String = bytes.into_iter().collect();
+                require!(parse_gga(&corrupted).is_err(), "{corrupted}");
             }
-            (None, None) => {}
-            other => prop_assert!(false, "asymmetric availability {other:?}"),
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Device RSSI transfer is strictly monotone: stronger physical signals
-    /// never read weaker.
-    #[test]
-    fn device_transfer_monotone(r1 in -95.0f64..-20.0, gap in 0.1f64..30.0) {
-        for device in [DeviceProfile::nexus_5x(), DeviceProfile::lg_g3(), DeviceProfile::galaxy_s2()] {
-            prop_assert!(device.measure_rssi(r1 + gap) > device.measure_rssi(r1));
-        }
-    }
+/// The RSSI calibration inverts any affine device transfer exactly when
+/// learned from noise-free pairs.
+#[test]
+fn calibration_inverts_affine_transfer() {
+    checker("calibration_inverts_affine_transfer").run(
+        |rng, scale| {
+            (
+                1.0 + (rng.gen_range(0.8..1.2) - 1.0) * scale, // alpha
+                rng.gen_range(-10.0 * scale..10.0 * scale),    // delta
+            )
+        },
+        |&(alpha, delta)| {
+            let pairs: Vec<(f64, f64)> = (0..24)
+                .map(|i| {
+                    let truth = -35.0 - i as f64 * 2.3;
+                    (alpha * truth + delta, truth)
+                })
+                .collect();
+            let cal = RssiCalibration::learn(&pairs).unwrap();
+            for truth in [-40.0, -63.7, -88.0] {
+                let recovered = cal.apply(alpha * truth + delta);
+                require!((recovered - truth).abs() < 1e-6);
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Scan distance is a semi-metric on common-AP scans: symmetric,
+/// non-negative, zero on identity.
+#[test]
+fn scan_distance_semimetric() {
+    checker("scan_distance_semimetric").run(
+        |rng, _scale| (gen_readings(rng), gen_readings(rng)),
+        |(a, b)| {
+            let sa = WifiScan {
+                readings: a.iter().map(|(&i, &r)| (ApId(i), r)).collect(),
+            };
+            let sb = WifiScan {
+                readings: b.iter().map(|(&i, &r)| (ApId(i), r)).collect(),
+            };
+            require_eq!(sa.distance(&sa, 12.0), Some(0.0));
+            match (sa.distance(&sb, 12.0), sb.distance(&sa, 12.0)) {
+                (Some(x), Some(y)) => {
+                    require!((x - y).abs() < 1e-12, "asymmetric: {x} vs {y}");
+                    require!(x >= 0.0);
+                }
+                (None, None) => {}
+                other => require!(false, "asymmetric availability {other:?}"),
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Device RSSI transfer is strictly monotone: stronger physical signals
+/// never read weaker.
+#[test]
+fn device_transfer_monotone() {
+    checker("device_transfer_monotone").run(
+        |rng, scale| {
+            (
+                rng.gen_range(-95.0..-20.0),
+                rng.gen_range(0.1..0.1 + 29.9 * scale),
+            )
+        },
+        |&(r1, gap)| {
+            for device in [
+                DeviceProfile::nexus_5x(),
+                DeviceProfile::lg_g3(),
+                DeviceProfile::galaxy_s2(),
+            ] {
+                require!(device.measure_rssi(r1 + gap) > device.measure_rssi(r1));
+            }
+            Ok(())
+        },
+    );
 }

@@ -6,7 +6,6 @@
 //! primitives.
 
 use crate::{Result, StatsError};
-use serde::{Deserialize, Serialize};
 
 /// Arithmetic mean.
 ///
@@ -125,7 +124,7 @@ pub fn percentile(xs: &[f64], q: f64) -> Result<f64> {
 /// assert!(s.mean > s.median); // outlier pulls the mean
 /// # Ok::<(), uniloc_stats::StatsError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Sample size.
     pub n: usize,
@@ -185,7 +184,7 @@ impl Summary {
 /// assert_eq!(cdf.eval(10.0), 1.0);
 /// # Ok::<(), uniloc_stats::StatsError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ecdf {
     sorted: Vec<f64>,
 }

@@ -8,7 +8,6 @@
 //! function approximations (no external numerics crates).
 
 use crate::{Result, StatsError};
-use serde::{Deserialize, Serialize};
 
 /// Error function `erf(x)`, accurate to ~1.2e-7 (Abramowitz & Stegun 7.1.26).
 ///
@@ -156,7 +155,7 @@ fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
 /// assert!(p > 0.7 && p < 0.8);
 /// # Ok::<(), uniloc_stats::StatsError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Normal {
     mean: f64,
     std_dev: f64,
@@ -287,7 +286,7 @@ fn standard_normal_quantile(p: f64) -> f64 {
 /// assert!(t.p_value_two_sided(6.0) < 0.001);
 /// # Ok::<(), uniloc_stats::StatsError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StudentT {
     nu: f64,
 }

@@ -1,0 +1,952 @@
+//! A minimal JSON document model, writer and reader.
+//!
+//! The workspace's hermetic-build policy (see `DESIGN.md`) forbids external
+//! dependencies, so this module replaces `serde`/`serde_json` for the small
+//! amount of (de)serialization UniLoc actually needs: persisting trained
+//! error-model sets, emitting walk traces, and round-trip tests on the
+//! statistical types.
+//!
+//! Design points:
+//!
+//! * [`Json`] keeps integers ([`Json::Int`]) and floats ([`Json::Num`])
+//!   distinct so counters round-trip exactly; the writer prints floats with
+//!   Rust's shortest-round-trip `Display` and appends `.0` to integral
+//!   floats so the distinction survives a parse.
+//! * Objects preserve insertion order (`Vec<(String, Json)>`), which makes
+//!   the output deterministic — a requirement for the golden-trace tests.
+//! * Maps with non-string keys (e.g. `BTreeMap<SchemeId, _>`) serialize as
+//!   arrays of `[key, value]` pairs.
+//! * Non-finite floats serialize as `null`, matching `serde_json`.
+//!
+//! # Examples
+//!
+//! ```
+//! use uniloc_stats::json::{Json, ToJson, FromJson};
+//!
+//! let doc = Json::Obj(vec![
+//!     ("name".to_owned(), "gps".to_json()),
+//!     ("errors".to_owned(), vec![1.5, 2.25].to_json()),
+//! ]);
+//! let text = doc.to_string();
+//! assert_eq!(text, r#"{"name":"gps","errors":[1.5,2.25]}"#);
+//! let back = Json::parse(&text).unwrap();
+//! let errors: Vec<f64> = FromJson::from_json(back.get("errors").unwrap()).unwrap();
+//! assert_eq!(errors, [1.5, 2.25]);
+//! ```
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (also produced when serializing NaN / infinity).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer literal (no decimal point or exponent).
+    Int(i64),
+    /// A floating-point literal.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse or conversion error, with a byte offset when parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    msg: String,
+    offset: Option<usize>,
+}
+
+impl JsonError {
+    /// Creates a conversion (non-parse) error.
+    pub fn new(msg: impl Into<String>) -> Self {
+        JsonError { msg: msg.into(), offset: None }
+    }
+
+    fn at(msg: impl Into<String>, offset: usize) -> Self {
+        JsonError { msg: msg.into(), offset: Some(offset) }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "{} (at byte {o})", self.msg),
+            None => write!(f, "{}", self.msg),
+        }
+    }
+}
+
+impl Error for JsonError {}
+
+impl Json {
+    /// Looks up a key in an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float; integers widen.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer (floats do not narrow).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object pairs.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::at("trailing characters after document", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Serializes compactly (no whitespace).
+    #[allow(clippy::inherent_to_string_shadow_display)]
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        write_value(self, None, 0, &mut out);
+        out
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(self, Some(2), 0, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(value: &Json, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Int(i) => {
+            out.push_str(&i.to_string());
+        }
+        Json::Num(x) => write_f64(*x, out),
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => {
+            write_seq(items.len(), indent, depth, out, '[', ']', |i, depth, out| {
+                write_value(&items[i], indent, depth, out);
+            });
+        }
+        Json::Obj(pairs) => {
+            write_seq(pairs.len(), indent, depth, out, '{', '}', |i, depth, out| {
+                write_string(&pairs[i].0, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(&pairs[i].1, indent, depth, out);
+            });
+        }
+    }
+}
+
+fn write_seq(
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    open: char,
+    close: char,
+    mut item: impl FnMut(usize, usize, &mut String),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(step * (depth + 1)));
+        }
+        item(i, depth + 1, out);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(step * depth));
+    }
+    out.push(close);
+}
+
+/// Writes a float with Rust's shortest round-trip formatting, forcing a
+/// `.0` suffix on integral values so the parser returns [`Json::Num`].
+fn write_f64(x: f64, out: &mut String) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = x.to_string();
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::at(format!("expected `{}`", b as char), self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError::at(format!("expected `{word}`"), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(JsonError::at(format!("unexpected byte `{}`", b as char), self.pos)),
+            None => Err(JsonError::at("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(JsonError::at("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(JsonError::at("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::at("unterminated string", self.pos)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((cp - 0xD800) << 10)
+                                        + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => {
+                                    return Err(JsonError::at(
+                                        "invalid \\u escape",
+                                        self.pos,
+                                    ))
+                                }
+                            }
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return Err(JsonError::at("invalid escape", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a valid &str).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| JsonError::at("invalid UTF-8", self.pos))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(JsonError::at("truncated \\u escape", self.pos));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| JsonError::at("invalid \\u escape", self.pos))?;
+        let cp = u32::from_str_radix(hex, 16)
+            .map_err(|_| JsonError::at("invalid \\u escape", self.pos))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::at("invalid number", start))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| JsonError::at(format!("invalid number `{text}`"), start))
+        } else {
+            // Integer literal; fall back to f64 on i64 overflow.
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Json::Int(i)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Json::Num)
+                    .map_err(|_| JsonError::at(format!("invalid number `{text}`"), start)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conversion traits
+// ---------------------------------------------------------------------------
+
+/// Conversion into a [`Json`] document.
+pub trait ToJson {
+    /// Builds the JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion from a [`Json`] document.
+pub trait FromJson: Sized {
+    /// Reconstructs `Self`, failing with a descriptive [`JsonError`] on
+    /// shape mismatch.
+    fn from_json(json: &Json) -> Result<Self, JsonError>;
+}
+
+/// Serializes any [`ToJson`] value compactly (the `serde_json::to_string`
+/// analogue).
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_string()
+}
+
+/// Serializes any [`ToJson`] value with indentation.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_string_pretty()
+}
+
+/// Parses and converts in one step (the `serde_json::from_str` analogue).
+pub fn from_str<T: FromJson>(text: &str) -> Result<T, JsonError> {
+    T::from_json(&Json::parse(text)?)
+}
+
+/// Extracts and converts an object field — the building block used by
+/// [`impl_json_struct!`].
+pub fn field<T: FromJson>(json: &Json, name: &str) -> Result<T, JsonError> {
+    let value = json
+        .get(name)
+        .ok_or_else(|| JsonError::new(format!("missing field `{name}`")))?;
+    T::from_json(value).map_err(|e| JsonError::new(format!("field `{name}`: {e}")))
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(json.clone())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_bool().ok_or_else(|| JsonError::new("expected bool"))
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            // Non-finite floats serialize as null; accept it back as NaN.
+            Json::Null => Ok(f64::NAN),
+            _ => json.as_f64().ok_or_else(|| JsonError::new("expected number")),
+        }
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Num(f64::from(*self))
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        f64::from_json(json).map(|x| x as f32)
+    }
+}
+
+macro_rules! impl_json_int {
+    ($($ty:ty),+) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::Int(i64::try_from(*self).expect("integer fits in i64"))
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(json: &Json) -> Result<Self, JsonError> {
+                let i = json
+                    .as_i64()
+                    .ok_or_else(|| JsonError::new("expected integer"))?;
+                <$ty>::try_from(i).map_err(|_| {
+                    JsonError::new(format!(
+                        "integer {i} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )+};
+}
+
+impl_json_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| JsonError::new("expected string"))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_arr()
+            .ok_or_else(|| JsonError::new("expected array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.as_arr() {
+            Some([a, b]) => Ok((A::from_json(a)?, B::from_json(b)?)),
+            _ => Err(JsonError::new("expected two-element array")),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.as_arr() {
+            Some([a, b, c]) => Ok((A::from_json(a)?, B::from_json(b)?, C::from_json(c)?)),
+            _ => Err(JsonError::new("expected three-element array")),
+        }
+    }
+}
+
+/// Maps serialize as arrays of `[key, value]` pairs so non-string keys
+/// (e.g. scheme identifiers) need no string encoding.
+impl<K: ToJson, V: ToJson> ToJson for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(|(k, v)| (k, v).to_json()).collect())
+    }
+}
+
+impl<K: FromJson + Ord, V: FromJson> FromJson for BTreeMap<K, V> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Vec::<(K, V)>::from_json(json).map(|pairs| pairs.into_iter().collect())
+    }
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a struct with named fields,
+/// serializing as an object in field order.
+///
+/// ```
+/// # use uniloc_stats::impl_json_struct;
+/// # use uniloc_stats::json::{to_string, from_str};
+/// #[derive(Debug, PartialEq)]
+/// struct Sample { t: f64, label: String }
+/// impl_json_struct!(Sample { t, label });
+///
+/// let s = Sample { t: 0.5, label: "indoor".into() };
+/// let back: Sample = from_str(&to_string(&s)).unwrap();
+/// assert_eq!(back, s);
+/// ```
+#[macro_export]
+macro_rules! impl_json_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Obj(vec![
+                    $((
+                        stringify!($field).to_owned(),
+                        $crate::json::ToJson::to_json(&self.$field),
+                    )),+
+                ])
+            }
+        }
+        impl $crate::json::FromJson for $ty {
+            fn from_json(
+                json: &$crate::json::Json,
+            ) -> std::result::Result<Self, $crate::json::JsonError> {
+                Ok(Self {
+                    $($field: $crate::json::field(json, stringify!($field))?),+
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a field-less enum, serializing
+/// each variant as its name string.
+///
+/// ```
+/// # use uniloc_stats::impl_json_enum;
+/// # use uniloc_stats::json::{to_string, from_str};
+/// #[derive(Debug, PartialEq)]
+/// enum Env { Indoor, Outdoor }
+/// impl_json_enum!(Env { Indoor, Outdoor });
+///
+/// assert_eq!(to_string(&Env::Indoor), "\"Indoor\"");
+/// let back: Env = from_str("\"Outdoor\"").unwrap();
+/// assert_eq!(back, Env::Outdoor);
+/// ```
+#[macro_export]
+macro_rules! impl_json_enum {
+    ($ty:ty { $($variant:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                let name = match self {
+                    $(<$ty>::$variant => stringify!($variant),)+
+                    #[allow(unreachable_patterns)]
+                    _ => unreachable!("non-unit variant in impl_json_enum"),
+                };
+                $crate::json::Json::Str(name.to_owned())
+            }
+        }
+        impl $crate::json::FromJson for $ty {
+            fn from_json(
+                json: &$crate::json::Json,
+            ) -> std::result::Result<Self, $crate::json::JsonError> {
+                let name = json
+                    .as_str()
+                    .ok_or_else(|| $crate::json::JsonError::new("expected string"))?;
+                match name {
+                    $(stringify!($variant) => Ok(<$ty>::$variant),)+
+                    other => Err($crate::json::JsonError::new(format!(
+                        "unknown {} variant `{other}`",
+                        stringify!($ty)
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-7", "1.5", "-2.25e3", "\"hi\""] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(Json::parse(&v.to_string()).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn int_and_float_stay_distinct() {
+        assert_eq!(Json::parse("3").unwrap(), Json::Int(3));
+        assert_eq!(Json::parse("3.0").unwrap(), Json::Num(3.0));
+        // An integral float keeps its `.0` through a write/parse cycle.
+        assert_eq!(Json::Num(3.0).to_string(), "3.0");
+        assert_eq!(Json::parse(&Json::Num(3.0).to_string()).unwrap(), Json::Num(3.0));
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for &x in &[0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -123.456e-78, 0.0, -0.0] {
+            let mut s = String::new();
+            write_f64(x, &mut s);
+            let back = Json::parse(&s).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {s} -> {back}");
+        }
+    }
+
+    #[test]
+    fn non_finite_serializes_as_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+        let back: f64 = from_str("null").unwrap();
+        assert!(back.is_nan());
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "line\nbreak \"quoted\" back\\slash \t ünïcødé \u{1}";
+        let json = Json::Str(s.to_owned());
+        assert_eq!(Json::parse(&json.to_string()).unwrap(), json);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(Json::parse(r#""A""#).unwrap(), Json::Str("A".into()));
+        // Surrogate pair for U+1F600.
+        assert_eq!(
+            Json::parse(r#""😀""#).unwrap(),
+            Json::Str("\u{1F600}".into())
+        );
+    }
+
+    #[test]
+    fn nested_document_round_trips() {
+        let text = r#"{"a":[1,2.5,null,{"b":true}],"c":{"d":"e"},"f":[]}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.to_string(), text);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = Json::parse(r#"{"a":[1,2],"b":{"c":null},"d":[]}"#).unwrap();
+        let pretty = v.to_string_pretty();
+        assert!(pretty.contains("\n  \"a\": [\n    1,"), "{pretty}");
+        assert_eq!(Json::parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let v = Json::parse(r#"{"z":1,"a":2}"#).unwrap();
+        assert_eq!(v.to_string(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1.2.3", "\"unterminated", "[] []"] {
+            let err = Json::parse(bad).unwrap_err();
+            assert!(err.offset.is_some(), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v: Vec<Option<f64>> = vec![Some(1.5), None, Some(-2.0)];
+        let back: Vec<Option<f64>> = from_str(&to_string(&v)).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "three".to_owned());
+        m.insert(1u32, "one".to_owned());
+        assert_eq!(to_string(&m), r#"[[1,"one"],[3,"three"]]"#);
+        let back: BTreeMap<u32, String> = from_str(&to_string(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn struct_macro_round_trips() {
+        #[derive(Debug, PartialEq)]
+        struct Reading {
+            t: f64,
+            count: u32,
+            tag: Option<String>,
+        }
+        impl_json_struct!(Reading { t, count, tag });
+
+        let r = Reading { t: 1.25, count: 7, tag: None };
+        let text = to_string(&r);
+        assert_eq!(text, r#"{"t":1.25,"count":7,"tag":null}"#);
+        let back: Reading = from_str(&text).unwrap();
+        assert_eq!(back, r);
+
+        let err = from_str::<Reading>(r#"{"t":1.0}"#).unwrap_err();
+        assert!(err.to_string().contains("missing field `count`"), "{err}");
+    }
+
+    #[test]
+    fn enum_macro_round_trips() {
+        #[derive(Debug, PartialEq)]
+        enum Mode {
+            Fast,
+            Accurate,
+        }
+        impl_json_enum!(Mode { Fast, Accurate });
+
+        let back: Mode = from_str(&to_string(&Mode::Accurate)).unwrap();
+        assert_eq!(back, Mode::Accurate);
+        assert!(from_str::<Mode>("\"Slow\"").is_err());
+    }
+
+    #[test]
+    fn i64_overflow_falls_back_to_float() {
+        let v = Json::parse("99999999999999999999999").unwrap();
+        assert!(matches!(v, Json::Num(_)));
+    }
+}

@@ -41,6 +41,7 @@
 
 pub mod describe;
 pub mod dist;
+pub mod json;
 pub mod matrix;
 pub mod ols;
 
@@ -103,5 +104,6 @@ pub type Result<T> = std::result::Result<T, StatsError>;
 
 pub use describe::{mean, normalized_rmse, percentile, rmse, std_dev, variance, Ecdf, Summary};
 pub use dist::{erf, erfc, Normal, StudentT};
+pub use json::{FromJson, Json, JsonError, ToJson};
 pub use matrix::Matrix;
 pub use ols::{OlsBuilder, OlsFit};

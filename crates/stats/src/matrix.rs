@@ -8,7 +8,6 @@
 //! faster and easier to audit than a general BLAS dependency.
 
 use crate::{Result, StatsError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
@@ -24,12 +23,14 @@ use std::ops::{Add, Index, IndexMut, Mul, Sub};
 /// assert_eq!(b[(0, 1)], 3.0);
 /// # Ok::<(), uniloc_stats::StatsError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
 }
+
+crate::impl_json_struct!(Matrix { rows, cols, data });
 
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
@@ -513,10 +514,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let a = Matrix::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]]).unwrap();
-        let json = serde_json::to_string(&a).unwrap();
-        let back: Matrix = serde_json::from_str(&json).unwrap();
+        let json = crate::json::to_string(&a);
+        let back: Matrix = crate::json::from_str(&json).unwrap();
         assert_eq!(a, back);
     }
 

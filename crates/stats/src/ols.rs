@@ -18,7 +18,6 @@
 use crate::dist::StudentT;
 use crate::matrix::Matrix;
 use crate::{Result, StatsError};
-use serde::{Deserialize, Serialize};
 
 /// Configures and runs an OLS fit.
 ///
@@ -213,7 +212,7 @@ fn solve_cholesky(l: &Matrix, b: &Matrix) -> Vec<f64> {
 
 /// The result of an OLS fit: estimates plus the inference quantities UniLoc's
 /// Table II reports.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OlsFit {
     intercept: bool,
     coefficients: Vec<f64>,
@@ -226,6 +225,19 @@ pub struct OlsFit {
     r_squared: f64,
     n_obs: usize,
 }
+
+crate::impl_json_struct!(OlsFit {
+    intercept,
+    coefficients,
+    std_errors,
+    t_stats,
+    p_values,
+    residuals,
+    residual_mean,
+    residual_std,
+    r_squared,
+    n_obs,
+});
 
 impl OlsFit {
     /// Fitted coefficients. If the model includes an intercept it is element
@@ -307,11 +319,10 @@ impl OlsFit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::prelude::*;
-    use rand_chacha::ChaCha8Rng;
+    use uniloc_rng::Rng;
 
     fn noisy_dataset(n: usize, betas: &[f64], noise: f64, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut xs = Vec::with_capacity(n);
         let mut ys = Vec::with_capacity(n);
         for _ in 0..n {
@@ -356,7 +367,7 @@ mod tests {
 
     #[test]
     fn irrelevant_feature_has_large_p_value() {
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for _ in 0..300 {
@@ -437,11 +448,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let (xs, ys) = noisy_dataset(50, &[1.0], 0.1, 7);
         let fit = OlsBuilder::new().fit(&xs, &ys).unwrap();
-        let json = serde_json::to_string(&fit).unwrap();
-        let back: OlsFit = serde_json::from_str(&json).unwrap();
+        let json = crate::json::to_string(&fit);
+        let back: OlsFit = crate::json::from_str(&json).unwrap();
         assert_eq!(fit.n_obs(), back.n_obs());
         assert_eq!(fit.has_intercept(), back.has_intercept());
         for (a, b) in fit.coefficients().iter().zip(back.coefficients()) {

@@ -10,8 +10,7 @@
 //!
 //! Run with: `cargo run --release --example crowdsourced_map`
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use uniloc_rng::Rng;
 use uniloc::env::{venues, GaitProfile, Walker};
 use uniloc::schemes::{
     LocalizationScheme, PdrConfig, PdrScheme, RadioMapBuilder, WifiFingerprintDb,
@@ -27,7 +26,7 @@ fn main() {
     // and PDR positions feed the map builder.
     let mut builder = RadioMapBuilder::new(3.0);
     for (i, gait) in personas.iter().enumerate() {
-        let mut walker = Walker::new(gait.clone(), ChaCha8Rng::seed_from_u64(201 + i as u64));
+        let mut walker = Walker::new(gait.clone(), Rng::seed_from_u64(201 + i as u64));
         let walk = walker.walk(&venue.route);
         let mut hub =
             SensorHub::new(&venue.world, DeviceProfile::nexus_5x(), 210 + i as u64);
@@ -64,7 +63,7 @@ fn main() {
         WifiFingerprintDb::survey_wifi(&mut survey_hub, &venue.survey_points(3.0, 12.0));
     println!("surveyed map:     {} fingerprints", surveyed.len());
 
-    let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(240));
+    let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(240));
     let walk = walker.walk(&venue.route);
     let mut hub = SensorHub::new(&venue.world, DeviceProfile::nexus_5x(), 241);
     let frames = hub.sample_walk(&walk, 0.5);

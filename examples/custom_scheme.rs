@@ -13,8 +13,7 @@
 //!
 //! Run with: `cargo run --release --example custom_scheme`
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use uniloc_rng::Rng;
 use uniloc::core::engine::UniLocEngine;
 use uniloc::core::error_model::{train, LinearErrorModel};
 use uniloc::core::pipeline::{self, PipelineConfig};
@@ -71,7 +70,7 @@ fn main() {
     let ctx = pipeline::build_context(&venue, &cfg, 82);
 
     // Step 2: measure the custom scheme's typical error with ground truth.
-    let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(83));
+    let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(83));
     let walk = walker.walk(&venue.route);
     let mut hub = SensorHub::new(&venue.world, DeviceProfile::nexus_5x(), 84);
     let frames = hub.sample_walk(&walk, 0.5);

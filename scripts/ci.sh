@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Tier-1 verification with the hermetic-build policy enforced.
+#
+# 1. Every dependency named in a workspace Cargo.toml must be an in-repo
+#    `uniloc-*` path crate (the `bench-external` feature may reference
+#    external crates once something opts in; nothing else may).
+# 2. The workspace must build and test fully offline, with the registry
+#    untouched.
+#
+# Run from anywhere inside the repository.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. dependency audit -------------------------------------------------
+# Walk every manifest's dependency tables and flag anything that is not a
+# uniloc-* crate. Feature tables are exempt (that is where the default-off
+# `bench-external` feature lives).
+echo "==> auditing workspace manifests for external dependencies"
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    bad=$(awk '
+        /^\[/ {
+            in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies\]/)
+            next
+        }
+        in_deps && /^[a-zA-Z0-9_-]+[ \t]*=/ {
+            dep = $1
+            sub(/[ \t]*=.*/, "", dep)
+            if (dep !~ /^uniloc-/) print dep
+        }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "ERROR: $manifest names non-uniloc dependencies:" >&2
+        echo "$bad" | sed 's/^/    /' >&2
+        fail=1
+    fi
+done
+if [ "$fail" -ne 0 ]; then
+    echo "hermetic-build policy violated (see DESIGN.md)" >&2
+    exit 1
+fi
+echo "    ok: all dependencies are in-repo uniloc-* crates"
+
+# --- 2. tier-1 verify, fully offline ------------------------------------
+export CARGO_NET_OFFLINE=true
+echo "==> cargo build --release (offline)"
+cargo build --release
+echo "==> cargo test -q (offline)"
+cargo test -q
+echo "==> ci.sh: all checks passed"

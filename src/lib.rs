@@ -14,7 +14,8 @@
 //! | [`filters`] | `uniloc-filters` | particle filter, Kalman filter, 2nd-order HMM |
 //! | [`iodetect`] | `uniloc-iodetect` | indoor/outdoor detection |
 //! | [`geom`] | `uniloc-geom` | planar geometry, floor plans, geo frames |
-//! | [`stats`] | `uniloc-stats` | OLS regression, distributions, descriptive stats |
+//! | [`stats`] | `uniloc-stats` | OLS regression, distributions, descriptive stats, JSON |
+//! | [`rng`] | `uniloc-rng` | deterministic seeded random streams, property-test harness |
 //!
 //! See `examples/quickstart.rs` for the end-to-end train-then-localize
 //! flow, and the `uniloc-bench` crate for the per-figure/table experiment
@@ -23,6 +24,7 @@
 //! [UniLoc reproduction]: https://doi.org/10.1109/ICDCS.2018.00149
 
 pub use uniloc_core as core;
+pub use uniloc_rng as rng;
 pub use uniloc_env as env;
 pub use uniloc_filters as filters;
 pub use uniloc_geom as geom;

@@ -3,10 +3,9 @@
 //! Kalman-smoothed cellular tracker — gives it an error model, and checks
 //! the engine folds it into the ensemble.
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use uniloc_rng::Rng;
 use uniloc::core::engine::UniLocEngine;
-use uniloc::core::error_model::{train, LinearErrorModel, TrainingSample};
+use uniloc::core::error_model::{train, LinearErrorModel};
 use uniloc::core::pipeline::{self, PipelineConfig};
 use uniloc::env::{venues, GaitProfile, Walker};
 use uniloc::filters::Kalman2D;
@@ -70,7 +69,7 @@ fn smoothing_beats_raw_cellular() {
     let mut raw = CellFingerprintScheme::new(ctx.cell_db.clone());
     let mut smoothed = SmoothedCellular::new(ctx.cell_db.clone());
 
-    let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(83));
+    let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(83));
     let walk = walker.walk(&venue.route);
     let mut hub = SensorHub::new(&venue.world, DeviceProfile::nexus_5x(), 84);
     let frames = hub.sample_walk(&walk, 0.5);
@@ -130,7 +129,7 @@ fn custom_scheme_joins_the_ensemble() {
         }),
     );
 
-    let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(91));
+    let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(91));
     let walk = walker.walk(&venue.route);
     let mut hub = SensorHub::new(&venue.world, DeviceProfile::nexus_5x(), 92);
     let frames = hub.sample_walk(&walk, 0.5);
@@ -187,7 +186,7 @@ fn engine_reset_restores_walk_state() {
     let schemes = pipeline::build_schemes(&venue, &ctx, &cfg, 98);
     let mut engine = UniLocEngine::new(schemes, models, ctx);
 
-    let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(99));
+    let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(99));
     let walk = walker.walk(&venue.route);
     let mut hub = SensorHub::new(&venue.world, DeviceProfile::nexus_5x(), 100);
     let frames = hub.sample_walk(&walk, 0.5);

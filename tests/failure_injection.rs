@@ -3,8 +3,7 @@
 //! simply setting its confidence as zero, if it is not available in some
 //! regions, e.g., no signal."
 
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use uniloc_rng::Rng;
 use uniloc::core::engine::UniLocEngine;
 use uniloc::core::error_model::{train, ErrorModelSet};
 use uniloc::core::pipeline::{self, PipelineConfig};
@@ -28,7 +27,7 @@ fn engine_survives_all_radios_dying_mid_walk() {
     let schemes = pipeline::build_schemes(&venue, &ctx, &cfg, 46);
     let mut engine = UniLocEngine::new(schemes, set, ctx);
 
-    let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(47));
+    let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(47));
     let walk = walker.walk(&venue.route);
     let mut hub = SensorHub::new(&venue.world, DeviceProfile::nexus_5x(), 48);
     let frames = hub.sample_walk(&walk, 0.5);
@@ -69,7 +68,7 @@ fn dead_radio_degrades_but_does_not_break_accuracy() {
         let ctx = pipeline::build_context(&venue, &cfg, seed);
         let schemes = pipeline::build_schemes(&venue, &ctx, &cfg, seed + 1);
         let mut engine = UniLocEngine::new(schemes, set.clone(), ctx);
-        let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(seed + 2));
+        let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(seed + 2));
         let walk = walker.walk(&venue.route);
         let mut hub = SensorHub::new(&venue.world, DeviceProfile::nexus_5x(), seed + 3);
         if disable_wifi {
@@ -110,7 +109,7 @@ fn empty_fingerprint_database_is_survivable() {
     assert!(empty.is_empty());
     let mut scheme = WifiFingerprintScheme::new(empty);
     let venue = venues::training_office(71);
-    let mut walker = Walker::new(GaitProfile::average(), ChaCha8Rng::seed_from_u64(72));
+    let mut walker = Walker::new(GaitProfile::average(), Rng::seed_from_u64(72));
     let walk = walker.walk(&venue.route);
     let mut hub = SensorHub::new(&venue.world, DeviceProfile::nexus_5x(), 73);
     for frame in hub.sample_walk(&walk, 0.5).iter().take(50) {

@@ -19,9 +19,9 @@ fn models() -> ErrorModelSet {
 #[test]
 fn model_set_round_trips_through_json() {
     let set = models();
-    let json = serde_json::to_string_pretty(&set).expect("model sets serialize");
+    let json = uniloc::stats::json::to_string_pretty(&set);
     assert!(json.len() > 200, "serialized models look too small");
-    let back: ErrorModelSet = serde_json::from_str(&json).expect("model sets deserialize");
+    let back: ErrorModelSet = uniloc::stats::json::from_str(&json).expect("model sets deserialize");
 
     for id in SchemeId::BUILTIN {
         for io in [IoState::Indoor, IoState::Outdoor] {
@@ -44,8 +44,8 @@ fn model_set_round_trips_through_json() {
 #[test]
 fn deserialized_models_predict_identically() {
     let set = models();
-    let json = serde_json::to_string(&set).expect("model sets serialize");
-    let back: ErrorModelSet = serde_json::from_str(&json).expect("model sets deserialize");
+    let json = uniloc::stats::json::to_string(&set);
+    let back: ErrorModelSet = uniloc::stats::json::from_str(&json).expect("model sets deserialize");
     let queries: [(SchemeId, IoState, Vec<f64>); 4] = [
         (SchemeId::Wifi, IoState::Indoor, vec![2.0, 4.0]),
         (SchemeId::Motion, IoState::Indoor, vec![25.0, 2.0]),
@@ -69,9 +69,9 @@ fn deserialized_models_predict_identically() {
 #[test]
 fn shipped_models_work_in_a_new_venue() {
     // Serialize in the "training lab", deserialize in the "field", run.
-    let json = serde_json::to_string(&models()).expect("model sets serialize");
+    let json = uniloc::stats::json::to_string(&models());
     let field_models: ErrorModelSet =
-        serde_json::from_str(&json).expect("model sets deserialize");
+        uniloc::stats::json::from_str(&json).expect("model sets deserialize");
     let cfg = PipelineConfig::default();
     let venue = venues::office("field-office", 31, 40.0, 16.0);
     let records = pipeline::run_walk(&venue, &field_models, &cfg, 32);

@@ -1,175 +1,280 @@
-//! Cross-crate property-based tests (proptest) on UniLoc's core invariants.
+//! Cross-crate property-based tests on UniLoc's core invariants, on the
+//! in-repo [`uniloc::rng::check`] harness.
 
-use proptest::prelude::*;
 use uniloc::core::confidence::{adaptive_tau, confidence};
 use uniloc::core::error_model::{train, ErrorPrediction, TrainingSample};
 use uniloc::geom::{Point, Polygon, Polyline};
 use uniloc::iodetect::IoState;
+use uniloc::rng::check::Checker;
+use uniloc::rng::{require, require_eq};
 use uniloc::schemes::SchemeId;
 use uniloc::stats::{Ecdf, Normal, OlsBuilder};
 
-proptest! {
-    /// Eq. 2 confidence is a probability and monotone in tau.
-    #[test]
-    fn confidence_is_probability_and_monotone(
-        mean in 0.1f64..50.0,
-        sigma in 0.1f64..20.0,
-        tau_lo in 0.0f64..30.0,
-        delta in 0.0f64..30.0,
-    ) {
-        let p = ErrorPrediction { mean, sigma };
-        let c_lo = confidence(p, tau_lo);
-        let c_hi = confidence(p, tau_lo + delta);
-        prop_assert!((0.0..=1.0).contains(&c_lo));
-        prop_assert!((0.0..=1.0).contains(&c_hi));
-        prop_assert!(c_hi >= c_lo - 1e-12, "confidence must grow with tau");
-    }
+const REGRESSIONS: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/properties.regressions");
 
-    /// The adaptive threshold is always inside the predictions' range.
-    #[test]
-    fn tau_lies_within_prediction_range(
-        means in proptest::collection::vec(0.1f64..50.0, 1..10),
-    ) {
-        let preds: Vec<ErrorPrediction> =
-            means.iter().map(|&m| ErrorPrediction { mean: m, sigma: 1.0 }).collect();
-        let tau = adaptive_tau(&preds).unwrap();
-        let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(tau >= lo - 1e-9 && tau <= hi + 1e-9);
-    }
+fn checker(name: &str) -> Checker {
+    Checker::new(name).cases(128).regressions(REGRESSIONS)
+}
 
-    /// BMA weights from any confidence vector form a simplex, and the fused
-    /// point stays inside the bounding box of the scheme estimates.
-    #[test]
-    fn bma_stays_in_the_hull(
-        confs in proptest::collection::vec(0.0f64..1.0, 2..8),
-        xs in proptest::collection::vec(-100.0f64..100.0, 8),
-        ys in proptest::collection::vec(-100.0f64..100.0, 8),
-    ) {
-        let n = confs.len();
-        let total: f64 = confs.iter().sum();
-        prop_assume!(total > 1e-9);
-        let weights: Vec<f64> = confs.iter().map(|c| c / total).collect();
-        prop_assert!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        let fused_x: f64 = weights.iter().zip(&xs).map(|(w, x)| w * x).sum();
-        let fused_y: f64 = weights.iter().zip(&ys).map(|(w, y)| w * y).sum();
-        let (min_x, max_x) = xs[..n].iter().fold((f64::INFINITY, f64::NEG_INFINITY),
-            |(lo, hi), &v| (lo.min(v), hi.max(v)));
-        let (min_y, max_y) = ys[..n].iter().fold((f64::INFINITY, f64::NEG_INFINITY),
-            |(lo, hi), &v| (lo.min(v), hi.max(v)));
-        prop_assert!(fused_x >= min_x - 1e-9 && fused_x <= max_x + 1e-9);
-        prop_assert!(fused_y >= min_y - 1e-9 && fused_y <= max_y + 1e-9);
-    }
+/// Eq. 2 confidence is a probability and monotone in tau.
+#[test]
+fn confidence_is_probability_and_monotone() {
+    checker("confidence_is_probability_and_monotone").run(
+        |rng, scale| {
+            (
+                rng.gen_range(0.1..0.1 + 49.9 * scale), // mean
+                rng.gen_range(0.1..0.1 + 19.9 * scale), // sigma
+                rng.gen_range(0.0..30.0 * scale.max(0.01)), // tau_lo
+                rng.gen_range(0.0..30.0 * scale.max(0.01)), // delta
+            )
+        },
+        |&(mean, sigma, tau_lo, delta)| {
+            let p = ErrorPrediction { mean, sigma };
+            let c_lo = confidence(p, tau_lo);
+            let c_hi = confidence(p, tau_lo + delta);
+            require!((0.0..=1.0).contains(&c_lo));
+            require!((0.0..=1.0).contains(&c_hi));
+            require!(c_hi >= c_lo - 1e-12, "confidence must grow with tau");
+            Ok(())
+        },
+    );
+}
 
-    /// OLS recovers planted coefficients from noiseless data, whatever they
-    /// are.
-    #[test]
-    fn ols_recovers_planted_model(
-        b1 in -5.0f64..5.0,
-        b2 in -5.0f64..5.0,
-    ) {
-        let xs: Vec<Vec<f64>> = (0..40)
-            .map(|i| vec![(i % 7) as f64 + 0.5, ((i * 3) % 11) as f64 * 0.7 + 0.1])
-            .collect();
-        let ys: Vec<f64> = xs.iter().map(|r| b1 * r[0] + b2 * r[1]).collect();
-        let fit = OlsBuilder::new().fit(&xs, &ys).unwrap();
-        prop_assert!((fit.coefficients()[0] - b1).abs() < 1e-6);
-        prop_assert!((fit.coefficients()[1] - b2).abs() < 1e-6);
-    }
+/// The adaptive threshold is always inside the predictions' range.
+#[test]
+fn tau_lies_within_prediction_range() {
+    checker("tau_lies_within_prediction_range").run(
+        |rng, scale| {
+            let n = rng.gen_range(1..10usize);
+            (0..n)
+                .map(|_| rng.gen_range(0.1..0.1 + 49.9 * scale))
+                .collect::<Vec<f64>>()
+        },
+        |means| {
+            let preds: Vec<ErrorPrediction> = means
+                .iter()
+                .map(|&m| ErrorPrediction { mean: m, sigma: 1.0 })
+                .collect();
+            let tau = adaptive_tau(&preds).unwrap();
+            let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            require!(tau >= lo - 1e-9 && tau <= hi + 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    /// Trained error models never predict a non-positive error.
-    #[test]
-    fn error_predictions_stay_positive(
-        noise in proptest::collection::vec(-0.5f64..0.5, 30),
-        query in proptest::collection::vec(0.0f64..40.0, 2),
-    ) {
-        let samples: Vec<TrainingSample> = noise
-            .iter()
-            .enumerate()
-            .map(|(i, n)| TrainingSample {
-                scheme: SchemeId::Motion,
-                indoor: true,
-                features: vec![(i % 9) as f64 + 0.5, (i % 4) as f64 + 1.0],
-                error: ((i % 9) as f64 * 0.3 + n).max(0.0),
-            })
-            .collect();
-        if let Ok(set) = train(&samples) {
-            if let Some(p) = set.predict(SchemeId::Motion, IoState::Indoor, &query) {
-                prop_assert!(p.mean > 0.0);
-                prop_assert!(p.sigma > 0.0);
+/// BMA weights from any confidence vector form a simplex, and the fused
+/// point stays inside the bounding box of the scheme estimates.
+#[test]
+fn bma_stays_in_the_hull() {
+    checker("bma_stays_in_the_hull").run(
+        |rng, scale| {
+            let n = rng.gen_range(2..8usize);
+            (
+                (0..n).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<f64>>(),
+                (0..8)
+                    .map(|_| rng.gen_range(-100.0 * scale..100.0 * scale.max(0.01)))
+                    .collect::<Vec<f64>>(),
+                (0..8)
+                    .map(|_| rng.gen_range(-100.0 * scale..100.0 * scale.max(0.01)))
+                    .collect::<Vec<f64>>(),
+            )
+        },
+        |(confs, xs, ys)| {
+            let n = confs.len();
+            let total: f64 = confs.iter().sum();
+            if total <= 1e-9 {
+                return Ok(()); // degenerate confidences: nothing to fuse
             }
-        }
-    }
+            let weights: Vec<f64> = confs.iter().map(|c| c / total).collect();
+            require!((weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            let fused_x: f64 = weights.iter().zip(xs).map(|(w, x)| w * x).sum();
+            let fused_y: f64 = weights.iter().zip(ys).map(|(w, y)| w * y).sum();
+            let (min_x, max_x) = xs[..n]
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                });
+            let (min_y, max_y) = ys[..n]
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                });
+            require!(fused_x >= min_x - 1e-9 && fused_x <= max_x + 1e-9);
+            require!(fused_y >= min_y - 1e-9 && fused_y <= max_y + 1e-9);
+            Ok(())
+        },
+    );
+}
 
-    /// Normal CDF is monotone and symmetric (backs Eq. 2).
-    #[test]
-    fn normal_cdf_properties(mu in -10.0f64..10.0, sigma in 0.1f64..10.0, x in -30.0f64..30.0) {
-        let n = Normal::new(mu, sigma).unwrap();
-        let c = n.cdf(x);
-        prop_assert!((0.0..=1.0).contains(&c));
-        prop_assert!(n.cdf(x + 1.0) >= c - 1e-12);
-        // Symmetry around the mean.
-        let d = x - mu;
-        prop_assert!((n.cdf(mu + d) + n.cdf(mu - d) - 1.0).abs() < 1e-6);
-    }
+/// OLS recovers planted coefficients from noiseless data, whatever they
+/// are.
+#[test]
+fn ols_recovers_planted_model() {
+    checker("ols_recovers_planted_model").run(
+        |rng, scale| {
+            (
+                rng.gen_range(-5.0 * scale..5.0 * scale.max(0.01)),
+                rng.gen_range(-5.0 * scale..5.0 * scale.max(0.01)),
+            )
+        },
+        |&(b1, b2)| {
+            let xs: Vec<Vec<f64>> = (0..40)
+                .map(|i| vec![(i % 7) as f64 + 0.5, ((i * 3) % 11) as f64 * 0.7 + 0.1])
+                .collect();
+            let ys: Vec<f64> = xs.iter().map(|r| b1 * r[0] + b2 * r[1]).collect();
+            let fit = OlsBuilder::new().fit(&xs, &ys).unwrap();
+            require!((fit.coefficients()[0] - b1).abs() < 1e-6);
+            require!((fit.coefficients()[1] - b2).abs() < 1e-6);
+            Ok(())
+        },
+    );
+}
 
-    /// Polyline stations round-trip: point_at(project(p)) is the nearest
-    /// on-path point.
-    #[test]
-    fn polyline_projection_consistency(
-        x in -50.0f64..150.0,
-        y in -50.0f64..50.0,
-    ) {
-        let path = Polyline::new(vec![
-            Point::new(0.0, 0.0),
-            Point::new(50.0, 0.0),
-            Point::new(50.0, 30.0),
-            Point::new(100.0, 30.0),
-        ]).unwrap();
-        let p = Point::new(x, y);
-        let (on_path, station) = path.project(p);
-        prop_assert!((0.0..=path.length() + 1e-9).contains(&station));
-        let reconstructed = path.point_at(station);
-        prop_assert!(reconstructed.distance(on_path) < 1e-6);
-        // No station is closer than the projection (sampled check).
-        for s in [0.0, 10.0, 40.0, 80.0, path.length()] {
-            prop_assert!(path.point_at(s).distance(p) + 1e-9 >= on_path.distance(p));
-        }
-    }
+/// Trained error models never predict a non-positive error.
+#[test]
+fn error_predictions_stay_positive() {
+    checker("error_predictions_stay_positive").run(
+        |rng, scale| {
+            (
+                (0..30)
+                    .map(|_| rng.gen_range(-0.5 * scale..0.5 * scale.max(0.01)))
+                    .collect::<Vec<f64>>(),
+                (0..2).map(|_| rng.gen_range(0.0..40.0 * scale.max(0.01))).collect::<Vec<f64>>(),
+            )
+        },
+        |(noise, query)| {
+            let samples: Vec<TrainingSample> = noise
+                .iter()
+                .enumerate()
+                .map(|(i, n)| TrainingSample {
+                    scheme: SchemeId::Motion,
+                    indoor: true,
+                    features: vec![(i % 9) as f64 + 0.5, (i % 4) as f64 + 1.0],
+                    error: ((i % 9) as f64 * 0.3 + n).max(0.0),
+                })
+                .collect();
+            if let Ok(set) = train(&samples) {
+                if let Some(p) = set.predict(SchemeId::Motion, IoState::Indoor, query) {
+                    require!(p.mean > 0.0);
+                    require!(p.sigma > 0.0);
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Polygon containment is translation-invariant.
-    #[test]
-    fn polygon_containment_translates(
-        px in -5.0f64..15.0,
-        py in -5.0f64..15.0,
-        dx in -100.0f64..100.0,
-        dy in -100.0f64..100.0,
-    ) {
-        let poly = Polygon::new(vec![
-            Point::new(0.0, 0.0),
-            Point::new(10.0, 0.0),
-            Point::new(10.0, 10.0),
-            Point::new(0.0, 10.0),
-        ]).unwrap();
-        let p = Point::new(px, py);
-        let moved = poly.translated(uniloc::geom::Vector2::new(dx, dy));
-        prop_assert_eq!(poly.contains(p), moved.contains(Point::new(px + dx, py + dy)));
-    }
+/// Normal CDF is monotone and symmetric (backs Eq. 2).
+#[test]
+fn normal_cdf_properties() {
+    checker("normal_cdf_properties").run(
+        |rng, scale| {
+            (
+                rng.gen_range(-10.0 * scale..10.0 * scale.max(0.01)),
+                rng.gen_range(0.1..0.1 + 9.9 * scale),
+                rng.gen_range(-30.0 * scale..30.0 * scale.max(0.01)),
+            )
+        },
+        |&(mu, sigma, x)| {
+            let n = Normal::new(mu, sigma).unwrap();
+            let c = n.cdf(x);
+            require!((0.0..=1.0).contains(&c));
+            require!(n.cdf(x + 1.0) >= c - 1e-12);
+            // Symmetry around the mean.
+            let d = x - mu;
+            require!((n.cdf(mu + d) + n.cdf(mu - d) - 1.0).abs() < 1e-6);
+            Ok(())
+        },
+    );
+}
 
-    /// ECDF is a valid CDF: monotone, 0-at-left, 1-at-right.
-    #[test]
-    fn ecdf_is_a_cdf(sample in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
-        let lo = sample.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let cdf = Ecdf::new(sample).unwrap();
-        prop_assert_eq!(cdf.eval(lo - 1.0), 0.0);
-        prop_assert_eq!(cdf.eval(hi), 1.0);
-        let mut last = 0.0;
-        for i in -10..=10 {
-            let x = lo + (hi - lo) * (i as f64 + 10.0) / 20.0;
-            let c = cdf.eval(x);
-            prop_assert!(c >= last - 1e-12);
-            last = c;
-        }
-    }
+/// Polyline stations round-trip: point_at(project(p)) is the nearest
+/// on-path point.
+#[test]
+fn polyline_projection_consistency() {
+    checker("polyline_projection_consistency").run(
+        |rng, scale| {
+            (
+                50.0 + (rng.gen_range(-50.0..150.0) - 50.0) * scale,
+                rng.gen_range(-50.0 * scale..50.0 * scale.max(0.01)),
+            )
+        },
+        |&(x, y)| {
+            let path = Polyline::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(50.0, 0.0),
+                Point::new(50.0, 30.0),
+                Point::new(100.0, 30.0),
+            ])
+            .unwrap();
+            let p = Point::new(x, y);
+            let (on_path, station) = path.project(p);
+            require!((0.0..=path.length() + 1e-9).contains(&station));
+            let reconstructed = path.point_at(station);
+            require!(reconstructed.distance(on_path) < 1e-6);
+            // No station is closer than the projection (sampled check).
+            for s in [0.0, 10.0, 40.0, 80.0, path.length()] {
+                require!(path.point_at(s).distance(p) + 1e-9 >= on_path.distance(p));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Polygon containment is translation-invariant.
+#[test]
+fn polygon_containment_translates() {
+    checker("polygon_containment_translates").run(
+        |rng, scale| {
+            (
+                5.0 + (rng.gen_range(-5.0..15.0) - 5.0) * scale,
+                5.0 + (rng.gen_range(-5.0..15.0) - 5.0) * scale,
+                rng.gen_range(-100.0 * scale..100.0 * scale.max(0.01)),
+                rng.gen_range(-100.0 * scale..100.0 * scale.max(0.01)),
+            )
+        },
+        |&(px, py, dx, dy)| {
+            let poly = Polygon::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(10.0, 10.0),
+                Point::new(0.0, 10.0),
+            ])
+            .unwrap();
+            let p = Point::new(px, py);
+            let moved = poly.translated(uniloc::geom::Vector2::new(dx, dy));
+            require_eq!(poly.contains(p), moved.contains(Point::new(px + dx, py + dy)));
+            Ok(())
+        },
+    );
+}
+
+/// ECDF is a valid CDF: monotone, 0-at-left, 1-at-right.
+#[test]
+fn ecdf_is_a_cdf() {
+    checker("ecdf_is_a_cdf").run(
+        |rng, scale| {
+            let n = rng.gen_range(1..50usize);
+            (0..n)
+                .map(|_| rng.gen_range(-100.0 * scale..100.0 * scale.max(0.01)))
+                .collect::<Vec<f64>>()
+        },
+        |sample| {
+            let lo = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let cdf = Ecdf::new(sample.clone()).unwrap();
+            require_eq!(cdf.eval(lo - 1.0), 0.0);
+            require_eq!(cdf.eval(hi), 1.0);
+            let mut last = 0.0;
+            for i in -10..=10 {
+                let x = lo + (hi - lo) * (i as f64 + 10.0) / 20.0;
+                let c = cdf.eval(x);
+                require!(c >= last - 1e-12);
+                last = c;
+            }
+            Ok(())
+        },
+    );
 }
