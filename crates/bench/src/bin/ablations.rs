@@ -74,6 +74,7 @@ fn prediction_of(r: &EpochRecord, id: SchemeId) -> Option<ErrorPrediction> {
 }
 
 fn main() {
+    uniloc_bench::init_obs();
     let cfg = PipelineConfig::default();
     let models = trained_models(1);
     let scenario = campus::daily_path(3);
@@ -267,4 +268,5 @@ fn main() {
     println!("  Eq. 4's estimate is the mixture mean, so combining each scheme's");
     println!("  posterior mean (top-k candidates / particle cloud) is the literal");
     println!("  reading; with posteriors centered on the estimates both agree.");
+    uniloc_bench::finish("ablations");
 }

@@ -20,6 +20,7 @@ use uniloc_env::campus;
 use uniloc_schemes::SchemeId;
 
 fn main() {
+    uniloc_bench::init_obs();
     let cfg = PipelineConfig::default();
     // Models are needed only for UniLoc's own columns; the five schemes and
     // the oracle are model-free.
@@ -75,4 +76,5 @@ fn main() {
             basement_wins as f64 / total as f64 * 100.0
         );
     }
+    uniloc_bench::finish("fig2_motivation");
 }

@@ -11,6 +11,7 @@ use uniloc_core::pipeline::{self, PipelineConfig};
 use uniloc_env::campus;
 
 fn main() {
+    uniloc_bench::init_obs();
     let cfg = PipelineConfig::default();
     let models = trained_models(1);
     let scenario = campus::daily_path(3);
@@ -51,4 +52,5 @@ fn main() {
     );
     println!("paper: combining can beat the best single scheme because the other");
     println!("schemes pull the combined result closer to the true location.");
+    uniloc_bench::finish("fig3_uniloc_vs_oracle");
 }

@@ -7,6 +7,7 @@ use uniloc_bench::print_table;
 use uniloc_env::campus;
 
 fn main() {
+    uniloc_bench::init_obs();
     println!("Fig. 4 — the eight daily paths");
     let paths = campus::all_paths(3);
     let mut rows = Vec::new();
@@ -49,4 +50,5 @@ fn main() {
         outdoor / 1000.0,
         (total - outdoor) / 1000.0
     );
+    uniloc_bench::finish("fig4_paths");
 }

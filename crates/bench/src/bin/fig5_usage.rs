@@ -16,6 +16,7 @@ use uniloc_env::campus;
 use uniloc_schemes::SchemeId;
 
 fn main() {
+    uniloc_bench::init_obs();
     let cfg = PipelineConfig::default();
     let models = trained_models(1);
     let scenario = campus::daily_path(3);
@@ -73,4 +74,5 @@ fn main() {
             regrets.len()
         );
     }
+    uniloc_bench::finish("fig5_usage");
 }

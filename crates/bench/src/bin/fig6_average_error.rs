@@ -12,6 +12,7 @@ use uniloc_core::pipeline::{self, PipelineConfig};
 use uniloc_env::campus;
 
 fn main() {
+    uniloc_bench::init_obs();
     let cfg = PipelineConfig::default();
     let models = trained_models(1);
     let scenario = campus::daily_path(3);
@@ -61,4 +62,5 @@ fn main() {
         fusion / uniloc2,
         uniloc1 / uniloc2
     );
+    uniloc_bench::finish("fig6_average_error");
 }

@@ -16,6 +16,7 @@ use uniloc_core::pipeline::{self, PipelineConfig};
 use uniloc_env::{campus, GaitProfile};
 
 fn main() {
+    uniloc_bench::init_obs();
     let models = trained_models(1);
 
     println!("Fig. 7 — error CDF over the eight daily paths (3 walkers each)");
@@ -62,4 +63,5 @@ fn main() {
             u2.1, w.1, w.1 / u2.1, f.1, f.1 / u2.1);
         println!("paper: p50 gains 1.4x (uniloc1) / 1.6x (uniloc2); p90 uniloc2 ~5.8 m.");
     }
+    uniloc_bench::finish("fig7_cdf_eight_paths");
 }

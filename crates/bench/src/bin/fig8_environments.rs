@@ -47,6 +47,7 @@ fn venue_table(title: &str, runs: &[Vec<EpochRecord>]) {
 }
 
 fn main() {
+    uniloc_bench::init_obs();
     let cfg = PipelineConfig::default();
     let models = trained_models(1);
 
@@ -97,4 +98,5 @@ fn main() {
     }
     println!("\npaper: calibration recovers most heterogeneity loss (~1.9x at p90),");
     println!("and UniLoc assimilates the per-scheme heterogeneity handling.");
+    uniloc_bench::finish("fig8_environments");
 }

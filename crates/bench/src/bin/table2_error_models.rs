@@ -54,6 +54,7 @@ fn print_models(models: &ErrorModelSet) {
 }
 
 fn main() {
+    uniloc_bench::init_obs();
     println!("Table II — error-model coefficients (trained in the office + open space)");
     let models = trained_models(1);
     print_models(&models);
@@ -75,4 +76,5 @@ fn main() {
     }
     println!("\npaper targets: motion/fusion R^2 high (>=0.7-0.85); wifi/cellular R^2 low");
     println!("but sufficient, since UniLoc only needs *relative* errors to rank schemes.");
+    uniloc_bench::finish("table2_error_models");
 }

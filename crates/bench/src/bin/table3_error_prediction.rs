@@ -72,6 +72,7 @@ fn condition_nrmse(
 }
 
 fn main() {
+    uniloc_bench::init_obs();
     println!("Table III — normalized RMSE of online error prediction");
     let models = trained_models(1);
 
@@ -124,4 +125,5 @@ fn main() {
     );
     println!("\npaper targets: ~0.49 average for same place + device, ~0.76 for new");
     println!("place + device; prediction degrades away from training but stays usable.");
+    uniloc_bench::finish("table3_error_prediction");
 }

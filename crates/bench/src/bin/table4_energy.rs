@@ -13,6 +13,7 @@ use uniloc_env::campus;
 use uniloc_schemes::SchemeId;
 
 fn main() {
+    uniloc_bench::init_obs();
     let cfg = PipelineConfig::default();
     let models = trained_models(1);
     let profile = PowerProfile::default();
@@ -61,4 +62,5 @@ fn main() {
         println!("other schemes' predicted errors stayed below the GPS constant (13.5 m).");
     }
     println!("paper: 2.1x outdoor saving from turning GPS off when it cannot win.");
+    uniloc_bench::finish("table4_energy");
 }

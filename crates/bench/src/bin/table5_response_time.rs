@@ -37,6 +37,7 @@ fn print_model(title: &str, model: &ResponseTimeModel) {
 }
 
 fn main() {
+    uniloc_bench::init_obs();
     println!("Table V — response time for one location estimate");
 
     // Measure the real error-prediction stage: five schemes x predict.
@@ -96,4 +97,5 @@ fn main() {
     println!("\nmeasured: error prediction {errpred_ms:.4} ms, BMA {bma_ms:.4} ms per fix");
     println!("paper: error prediction 6.0 ms, BMA 0.1 ms on their workstation; both are");
     println!("'light-weight, as they only involve simple linear calculation'.");
+    uniloc_bench::finish("table5_response_time");
 }

@@ -8,12 +8,77 @@
 
 pub mod microbench;
 
+use std::sync::Arc;
+
 use uniloc_core::error_model::{train, ErrorModelSet};
 use uniloc_core::pipeline::{self, EpochRecord, PipelineConfig};
 use uniloc_env::{venues, Scenario};
+use uniloc_obs::{StderrSubscriber, TraceLevel};
 use uniloc_schemes::SchemeId;
 use uniloc_sensors::{DeviceProfile, RssiCalibration, SensorHub};
+use uniloc_stats::json::{Json, ToJson};
 use uniloc_stats::{percentile, Ecdf};
+
+/// Installs a stderr progress subscriber at `Info` so the regenerators'
+/// `uniloc_obs::info!` progress lines are visible; set `UNILOC_QUIET=1` to
+/// suppress them. Every `src/bin/` regenerator calls this first.
+pub fn init_obs() {
+    if std::env::var_os("UNILOC_QUIET").is_some_and(|v| v == "1") {
+        return;
+    }
+    uniloc_obs::global()
+        .set_subscriber(Some(Arc::new(StderrSubscriber::new(TraceLevel::Info))));
+}
+
+/// Writes `results/BENCH_<name>.json` (or `./BENCH_<name>.json` when no
+/// `results/` directory exists under the working directory): the per-stage
+/// latency breakdown accumulated in the global `span.*` duration
+/// histograms while the regenerator ran. Returns the path written, or
+/// `None` when no spans were recorded.
+///
+/// # Errors
+///
+/// Propagates the write error.
+pub fn write_latency_breakdown(name: &str) -> std::io::Result<Option<String>> {
+    let snap = uniloc_obs::global_metrics().snapshot();
+    let mut stages = Vec::new();
+    for (metric, h) in &snap.histograms {
+        let Some(stage) = metric.strip_prefix("span.") else { continue };
+        let Some((p50, p90, p99)) = h.summary() else { continue };
+        stages.push((
+            stage.to_owned(),
+            Json::Obj(vec![
+                ("count".to_owned(), h.count().to_json()),
+                ("mean_ns".to_owned(), h.mean().to_json()),
+                ("p50_ns".to_owned(), p50.to_json()),
+                ("p90_ns".to_owned(), p90.to_json()),
+                ("p99_ns".to_owned(), p99.to_json()),
+                ("sum_ns".to_owned(), h.sum.to_json()),
+            ]),
+        ));
+    }
+    if stages.is_empty() {
+        return Ok(None);
+    }
+    let doc = Json::Obj(vec![
+        ("bench".to_owned(), Json::Str(name.to_owned())),
+        ("stages".to_owned(), Json::Obj(stages)),
+    ]);
+    let dir = if std::path::Path::new("results").is_dir() { "results" } else { "." };
+    let path = format!("{dir}/BENCH_{name}.json");
+    std::fs::write(&path, doc.to_string_pretty())?;
+    Ok(Some(path))
+}
+
+/// Emits the run's latency breakdown (see [`write_latency_breakdown`]) and
+/// logs where it went; every regenerator calls this last.
+pub fn finish(name: &str) {
+    match write_latency_breakdown(name) {
+        Ok(Some(path)) => uniloc_obs::info!("latency breakdown: {path}"),
+        Ok(None) => {}
+        Err(e) => uniloc_obs::warn!("latency breakdown for {name} not written: {e}"),
+    }
+}
 
 /// The labels used across printed tables, in the paper's order.
 pub const SYSTEM_LABELS: [&str; 8] =
@@ -27,6 +92,7 @@ pub const SYSTEM_LABELS: [&str; 8] =
 /// Panics if the training venues fail to produce enough samples (they
 /// cannot, unless the substrate is broken).
 pub fn trained_models(seed: u64) -> ErrorModelSet {
+    uniloc_obs::info!("training error models (office + open space, seed {seed}) ...");
     let cfg = PipelineConfig::default();
     let mut samples = pipeline::collect_training(&venues::training_office(seed), &cfg, seed + 10);
     samples.extend(pipeline::collect_training(

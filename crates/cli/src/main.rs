@@ -4,22 +4,33 @@
 //! uniloc train [--seed N] [--out FILE]          train error models, write JSON
 //! uniloc run   --models FILE [--scenario NAME]  walk a venue with trained models
 //!              [--seed N] [--device nexus5x|lgg3] [--json]
+//!              [--metrics FILE] [--trace-level LEVEL] [--virtual-clock]
 //! uniloc inspect --models FILE                  print trained coefficients
+//! uniloc inspect-metrics --file FILE            summarize a --metrics JSONL sidecar
 //! uniloc scenarios                              list available venues
 //! ```
+//!
+//! Global flags: `--quiet` silences progress output (progress is routed
+//! through the `uniloc-obs` tracing facade at `info` level, not
+//! `eprintln!`, so any subscriber can capture it).
 //!
 //! Argument parsing is hand-rolled (the workspace's dependency policy has no
 //! CLI crate); flags are order-independent `--key value` pairs.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use uniloc_core::error_model::{train, ErrorModelSet};
 use uniloc_core::pipeline::{self, PipelineConfig};
 use uniloc_env::{campus, venues, Scenario};
 use uniloc_iodetect::IoState;
+use uniloc_obs::{
+    JsonlExporter, MultiSubscriber, StderrSubscriber, Subscriber, TraceLevel, VirtualClock,
+};
 use uniloc_schemes::SchemeId;
 use uniloc_sensors::DeviceProfile;
+use uniloc_stats::json::Json;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,10 +45,18 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let exporter = match init_obs(&flags) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
     let result = match command.as_str() {
         "train" => cmd_train(&flags),
-        "run" => cmd_run(&flags),
+        "run" => cmd_run(&flags, exporter.as_deref()),
         "inspect" => cmd_inspect(&flags),
+        "inspect-metrics" => cmd_inspect_metrics(&flags),
         "scenarios" => cmd_scenarios(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -45,6 +64,7 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
+    uniloc_obs::global().flush();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -57,8 +77,49 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   uniloc train [--seed N] [--out FILE]
   uniloc run --models FILE [--scenario NAME] [--seed N] [--device nexus5x|lgg3] [--json]
+             [--metrics FILE] [--trace-level off|error|warn|info|debug|span] [--virtual-clock]
   uniloc inspect --models FILE
-  uniloc scenarios";
+  uniloc inspect-metrics --file FILE
+  uniloc scenarios
+global flags: --quiet (suppress progress output)";
+
+/// Configures the global `uniloc-obs` dispatcher from the flags: a stderr
+/// progress printer (unless `--quiet`), a JSONL exporter when `--metrics
+/// FILE` is given (returned so `cmd_run` can append the metrics snapshot),
+/// and a deterministic [`VirtualClock`] under `--virtual-clock`.
+fn init_obs(flags: &BTreeMap<String, String>) -> Result<Option<Arc<JsonlExporter>>, String> {
+    let quiet = flags.contains_key("quiet");
+    let exporter = match flags.get("metrics") {
+        Some(path) => Some(Arc::new(
+            JsonlExporter::to_file(path).map_err(|e| format!("create {path}: {e}"))?,
+        )),
+        None => None,
+    };
+    let level = match flags.get("trace-level") {
+        Some(s) => TraceLevel::parse(s)?,
+        // Spans are only worth dispatching when something records them.
+        None if exporter.is_some() => Some(TraceLevel::Span),
+        None => Some(TraceLevel::Info),
+    };
+    let mut subs: Vec<Arc<dyn Subscriber>> = Vec::new();
+    if !quiet {
+        subs.push(Arc::new(StderrSubscriber::new(TraceLevel::Info)));
+    }
+    if let Some(e) = &exporter {
+        subs.push(Arc::clone(e) as Arc<dyn Subscriber>);
+    }
+    let d = uniloc_obs::global();
+    d.set_level(level);
+    d.set_subscriber(match subs.len() {
+        0 => None,
+        1 => Some(subs.pop().expect("one subscriber")),
+        _ => Some(Arc::new(MultiSubscriber::new(subs))),
+    });
+    if flags.contains_key("virtual-clock") {
+        d.set_clock(Arc::new(VirtualClock::new()));
+    }
+    Ok(exporter)
+}
 
 /// Parses `--key value` pairs (and bare `--flag` booleans).
 fn parse_flags(args: &[String]) -> Result<BTreeMap<String, String>, String> {
@@ -90,18 +151,18 @@ fn cmd_train(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let seed = seed_flag(flags)?;
     let out = flags.get("out").map(String::as_str).unwrap_or("uniloc-models.json");
     let cfg = PipelineConfig::default();
-    eprintln!("collecting training data (office + open space, seed {seed}) ...");
+    uniloc_obs::info!("collecting training data (office + open space, seed {seed}) ...");
     let mut samples = pipeline::collect_training(&venues::training_office(seed), &cfg, seed + 10);
     samples.extend(pipeline::collect_training(
         &venues::training_open_space(seed + 1),
         &cfg,
         seed + 11,
     ));
-    eprintln!("  {} samples", samples.len());
+    uniloc_obs::info!("  {} samples", samples.len());
     let models = train(&samples).map_err(|e| format!("training failed: {e}"))?;
     let json = uniloc_stats::json::to_string_pretty(&models);
     std::fs::write(out, json).map_err(|e| format!("write {out}: {e}"))?;
-    eprintln!("wrote {out}");
+    uniloc_obs::info!("wrote {out}");
     Ok(())
 }
 
@@ -125,7 +186,7 @@ fn scenario_by_name(name: &str, seed: u64) -> Result<Scenario, String> {
     }
 }
 
-fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
+fn cmd_run(flags: &BTreeMap<String, String>, exporter: Option<&JsonlExporter>) -> Result<(), String> {
     let models = load_models(flags)?;
     let seed = seed_flag(flags)?;
     let name = flags.get("scenario").map(String::as_str).unwrap_or("path1");
@@ -136,8 +197,17 @@ fn cmd_run(flags: &BTreeMap<String, String>) -> Result<(), String> {
         Some(other) => return Err(format!("unknown device `{other}`")),
     };
     let cfg = PipelineConfig { device, ..PipelineConfig::default() };
-    eprintln!("walking {} ({:.0} m) ...", scenario.name, scenario.route.length());
+    uniloc_obs::info!("walking {} ({:.0} m) ...", scenario.name, scenario.route.length());
     let records = pipeline::run_walk(&scenario, &models, &cfg, seed + 100);
+
+    // Append the end-of-run metrics snapshot (counters, gauges, span-timing
+    // and residual histograms) after the trace events already streamed out.
+    if let Some(e) = exporter {
+        for line in uniloc_obs::global_metrics().snapshot().jsonl_lines() {
+            e.write_line(&line);
+        }
+        e.flush();
+    }
 
     if flags.contains_key("json") {
         let json = uniloc_stats::json::to_string(&records);
@@ -195,6 +265,61 @@ fn cmd_inspect(flags: &BTreeMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Reads a `--metrics` JSONL sidecar back and pretty-prints its metric
+/// lines: counters, gauges, then histograms with count/mean/p50/p90/p99.
+/// Trace-event lines (kind `span`/`event`) are counted but not rendered.
+fn cmd_inspect_metrics(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let path = flags.get("file").ok_or("--file FILE is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut snap = uniloc_obs::MetricsSnapshot::default();
+    let mut spans = 0usize;
+    let mut events = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let absorbed =
+            snap.absorb_jsonl(&doc).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        if !absorbed {
+            match doc.get("kind").and_then(Json::as_str) {
+                Some("span") => spans += 1,
+                _ => events += 1,
+            }
+        }
+    }
+    println!("{path}: {spans} span records, {events} events");
+    if !snap.counters.is_empty() {
+        println!("counters:");
+        for (name, v) in &snap.counters {
+            println!("  {name:<40} {v}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        println!("gauges:");
+        for (name, v) in &snap.gauges {
+            println!("  {name:<40} {v:.4}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        println!("histograms:");
+        println!(
+            "  {:<40} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "name", "count", "mean", "p50", "p90", "p99"
+        );
+        for (name, h) in &snap.histograms {
+            match (h.mean(), h.summary()) {
+                (Some(mean), Some((p50, p90, p99))) => println!(
+                    "  {name:<40} {:>8} {mean:>12.2} {p50:>12.2} {p90:>12.2} {p99:>12.2}",
+                    h.count()
+                ),
+                _ => println!("  {name:<40} {:>8} (empty)", h.count()),
+            }
+        }
+    }
+    Ok(())
+}
+
 fn cmd_scenarios() -> Result<(), String> {
     println!("available scenarios:");
     println!("  path1 .. path8   the eight daily campus paths (path1 = the 320 m daily path)");
@@ -239,6 +364,38 @@ mod tests {
         assert_eq!(seed_flag(&f).unwrap(), 1);
         let f = parse_flags(&args(&["--seed", "nope"])).unwrap();
         assert!(seed_flag(&f).is_err());
+    }
+
+    #[test]
+    fn inspect_metrics_reads_sidecar_and_reports_bad_lines() {
+        let dir = std::env::temp_dir();
+        let good = dir.join("uniloc-cli-test-metrics.jsonl");
+        std::fs::write(
+            &good,
+            concat!(
+                "{\"kind\":\"span\",\"level\":\"span\",\"name\":\"engine.update\",\"t_ns\":5,\"duration_ns\":3,\"fields\":{}}\n",
+                "{\"kind\":\"counter\",\"name\":\"pipeline.epochs\",\"value\":12}\n",
+                "{\"kind\":\"gauge\",\"name\":\"engine.tau\",\"value\":0.5}\n",
+                "{\"kind\":\"histogram\",\"name\":\"h\",\"bounds\":[1.0,2.0],\"counts\":[1,0,0],\"sum\":0.5,\"dropped\":0}\n",
+            ),
+        )
+        .unwrap();
+        let f = parse_flags(&args(&["--file", good.to_str().unwrap()])).unwrap();
+        assert!(cmd_inspect_metrics(&f).is_ok());
+
+        let bad = dir.join("uniloc-cli-test-metrics-bad.jsonl");
+        std::fs::write(&bad, "{\"kind\":\"counter\"\n").unwrap();
+        let f = parse_flags(&args(&["--file", bad.to_str().unwrap()])).unwrap();
+        let err = cmd_inspect_metrics(&f).unwrap_err();
+        assert!(err.contains(":1:"), "error should cite the line: {err}");
+        std::fs::remove_file(&good).ok();
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn inspect_metrics_requires_file_flag() {
+        let f = parse_flags(&args(&[])).unwrap();
+        assert!(cmd_inspect_metrics(&f).unwrap_err().contains("--file"));
     }
 
     #[test]

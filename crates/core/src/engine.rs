@@ -172,12 +172,19 @@ impl UniLocEngine {
     }
 
     /// Processes one epoch.
+    ///
+    /// Instrumentation (spans + counters through `uniloc-obs`) is
+    /// sidecar-only: it reads pipeline state and the clock but never
+    /// writes back, so output is byte-identical at any trace level.
     pub fn update(&mut self, frame: &SensorFrame) -> UniLocOutput {
+        let obs = uniloc_obs::global();
+        let _update_span = obs.span("engine.update").field("t", frame.t);
         let io = self.iodetector.classify_frame(frame);
         self.extractor.begin_epoch(frame);
 
         // GPS duty cycling: predict GPS error without the receiver and
         // compare with every other scheme's prediction.
+        let predict_span = obs.span("engine.predict");
         let gps_prediction = self
             .extractor
             .features(&self.ctx, SchemeId::Gps, io, frame, None)
@@ -201,6 +208,7 @@ impl UniLocEngine {
             Some(p) => p.mean <= non_gps_best || !non_gps_best.is_finite(),
             None => false,
         };
+        drop(predict_span);
 
         // Run every scheme on the full frame (schemes execute
         // independently, as in the paper's Section II) and assemble
@@ -208,11 +216,21 @@ impl UniLocEngine {
         // whether *UniLoc* powers the receiver and lets GPS participate in
         // the ensemble; the standalone scheme's output is still reported
         // for evaluation.
+        let metrics = uniloc_obs::global_metrics();
         let mut reports: Vec<SchemeReport> = Vec::with_capacity(self.schemes.len());
         let mut posterior_means: Vec<Option<Point>> = Vec::with_capacity(self.schemes.len());
         for s in &mut self.schemes {
             let id = s.id();
-            let estimate = s.update(frame);
+            let estimate = {
+                let _s = obs.span(&format!("scheme.estimate.{id}"));
+                s.update(frame)
+            };
+            metrics
+                .counter(&format!(
+                    "engine.scheme.{}.{id}",
+                    if estimate.is_some() { "available" } else { "unavailable" }
+                ))
+                .inc();
             // The posterior mean of P(l | M_n, s_t) — the component mean
             // the literal Eq. 4 integrates.
             posterior_means.push(estimate.and(s.posterior()).and_then(|cand| {
@@ -241,6 +259,7 @@ impl UniLocEngine {
 
         // Adaptive tau over schemes that are available, predictable and
         // participating.
+        let confidence_span = obs.span("engine.confidence");
         let usable: Vec<ErrorPrediction> = reports
             .iter()
             .filter(|r| r.estimate.is_some() && participates(r))
@@ -262,7 +281,10 @@ impl UniLocEngine {
                     r.weight = r.confidence / total;
                 }
             }
+            metrics.gauge("engine.tau").set(tau);
         }
+        drop(confidence_span);
+        let fuse_span = obs.span("engine.fuse");
 
         // UniLoc1: most-confident scheme.
         let best = reports
@@ -295,10 +317,15 @@ impl UniLocEngine {
             }
         }
         let bayesian_average = if wsum > 0.0 {
+            metrics.counter("engine.fusion.mode.bma").inc();
             Some(Point::new(x / wsum, y / wsum))
         } else {
+            metrics.counter("engine.fusion.mode.fallback").inc();
             best_selection
         };
+        if let Some(id) = selected {
+            metrics.counter(&format!("engine.uniloc1.selected.{id}")).inc();
+        }
 
         // The mixture-mean variant: identical weights, but each component
         // contributes its posterior mean instead of its point estimate.
@@ -319,6 +346,7 @@ impl UniLocEngine {
         } else {
             bayesian_average
         };
+        drop(fuse_span);
 
         // Feed the fused estimate back into the HMM location predictor.
         if let Some(p) = bayesian_average.or(best_selection) {
@@ -591,6 +619,37 @@ mod tests {
         let out = engine.update(&frame_indoor());
         // Scripted has no posterior: mixture == point BMA.
         assert_eq!(out.mixture_average, out.bayesian_average);
+    }
+
+    #[test]
+    fn instrumentation_populates_sidecar_metrics_only() {
+        let a = Scripted {
+            id: SchemeId::Motion,
+            output: Some(LocationEstimate::at(Point::new(1.0, 2.0))),
+        };
+        let mut models = ErrorModelSet::default();
+        motion_model(&mut models, 0.05, 1.0);
+        let mut engine = UniLocEngine::new(vec![Box::new(a)], models, empty_ctx());
+        let out = engine.update(&frame_indoor());
+        // The pipeline output is what it always was...
+        assert_eq!(out.bayesian_average, Some(Point::new(1.0, 2.0)));
+        // ...and the sidecar has availability, fusion-mode and span-timing
+        // records (counts are global across parallel tests, so only
+        // presence and positivity are asserted).
+        let snap = uniloc_obs::global_metrics().snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert!(counter("engine.scheme.available.motion") >= 1);
+        assert!(counter("engine.fusion.mode.bma") >= 1);
+        assert!(
+            snap.histograms.iter().any(|(n, h)| n == "span.engine.update" && h.count() >= 1),
+            "engine.update span timings recorded"
+        );
     }
 
     #[test]

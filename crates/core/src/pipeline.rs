@@ -174,6 +174,9 @@ pub fn collect_training(
     cfg: &PipelineConfig,
     seed: u64,
 ) -> Vec<TrainingSample> {
+    let _span = uniloc_obs::global()
+        .span("pipeline.collect_training")
+        .field("scenario", scenario.name.as_str());
     let base_ctx = build_context(scenario, cfg, seed);
     let mut samples = Vec::new();
     for (pass, spacing) in [None, Some(5.0), Some(10.0), Some(15.0)].into_iter().enumerate() {
@@ -242,7 +245,16 @@ pub fn run_walk(
     cfg: &PipelineConfig,
     seed: u64,
 ) -> Vec<EpochRecord> {
-    let ctx = build_context(scenario, cfg, seed);
+    let obs = uniloc_obs::global();
+    let metrics = uniloc_obs::global_metrics();
+    let _walk_span = obs
+        .span("pipeline.run_walk")
+        .field("scenario", scenario.name.as_str())
+        .field("seed", seed);
+    let ctx = {
+        let _s = obs.span("pipeline.build_context");
+        build_context(scenario, cfg, seed)
+    };
     let schemes = build_schemes(scenario, &ctx, cfg, seed + 2);
     let mut engine =
         UniLocEngine::with_predictor(schemes, models.clone(), ctx, cfg.predictor);
@@ -252,8 +264,13 @@ pub fn run_walk(
     let mut hub = SensorHub::new(&scenario.world, cfg.device, seed + 4);
     let frames = hub.sample_walk(&walk, cfg.epoch_interval);
 
+    let epoch_counter = metrics.counter("pipeline.epochs");
     let mut records = Vec::with_capacity(frames.len());
     for frame in &frames {
+        // Under a VirtualClock the sidecar's timestamps follow simulation
+        // time; under the default MonotonicClock this is a no-op.
+        obs.sync_virtual_clock(frame.t);
+        epoch_counter.inc();
         let out = engine.update(frame);
         let truth = frame.true_position;
         let (_, station) = scenario.route.project(truth);
@@ -262,6 +279,18 @@ pub fn run_walk(
             .iter()
             .map(|r| (r.id, r.estimate.map(|e| e.position.distance(truth))))
             .collect();
+        // Predicted-minus-actual residuals: only the evaluation harness
+        // knows ground truth, so the calibration histograms live here.
+        for r in &out.reports {
+            if let (Some(p), Some(e)) = (r.prediction, r.estimate) {
+                metrics
+                    .histogram(
+                        &format!("error_model.residual.{}", r.id),
+                        uniloc_obs::RESIDUAL_BUCKETS_M,
+                    )
+                    .record(p.mean - e.position.distance(truth));
+            }
+        }
         let estimates: Vec<(SchemeId, Option<Point>)> = out
             .reports
             .iter()
@@ -294,13 +323,22 @@ pub fn run_walk(
     records
 }
 
-/// Mean of the defined values of an optional-valued series.
+/// Mean of the defined, finite values of an optional-valued series.
+///
+/// Non-finite values (a scheme reporting a NaN/infinite error is a
+/// defined-but-useless observation) are excluded rather than poisoning
+/// the mean; a series with no finite values yields `None`.
 pub fn mean_defined(values: impl Iterator<Item = Option<f64>>) -> Option<f64> {
-    let defined: Vec<f64> = values.flatten().collect();
-    if defined.is_empty() {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for v in values.flatten().filter(|v| v.is_finite()) {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
         None
     } else {
-        Some(defined.iter().sum::<f64>() / defined.len() as f64)
+        Some(sum / n as f64)
     }
 }
 
@@ -376,6 +414,20 @@ mod tests {
         );
         // UniLoc should be well under 10 m indoors.
         assert!(uniloc2 < 10.0, "UniLoc2 error {uniloc2}");
+    }
+
+    #[test]
+    fn mean_defined_filters_non_finite() {
+        // All-NaN input must be None, not Some(NaN).
+        let all_nan = [Some(f64::NAN), Some(f64::NAN), None];
+        assert_eq!(mean_defined(all_nan.into_iter()), None);
+        // Non-finite values are excluded from an otherwise defined series.
+        let mixed = [Some(1.0), Some(f64::NAN), Some(3.0), Some(f64::INFINITY), None];
+        assert_eq!(mean_defined(mixed.into_iter()), Some(2.0));
+        // Plain cases are unchanged.
+        assert_eq!(mean_defined([Some(2.0), Some(4.0)].into_iter()), Some(3.0));
+        assert_eq!(mean_defined(std::iter::empty()), None);
+        assert_eq!(mean_defined([None, None].into_iter()), None);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! `uniloc-obs` — the in-repo observability layer.
+//!
+//! The pipeline's core claim (per-scheme error can be predicted online and
+//! used to arbitrate among schemes) is only debuggable when the pipeline
+//! is not a black box: which scheme's confidence was miscalibrated, how
+//! long fingerprint matching took, how the particle filter's spread
+//! evolved. The hermetic-build policy (see `DESIGN.md`) forbids the
+//! `tracing`/`metrics` crates, so this crate provides the slice the
+//! workspace needs:
+//!
+//! * [`trace`] — structured spans with key/value fields, a thread-safe
+//!   [`Subscriber`] trait, a bounded [`RingCollector`], a [`JsonlExporter`]
+//!   over `uniloc_stats`' byte-stable JSON writer, and a process-wide
+//!   [`Dispatcher`] (see [`trace::global`]).
+//! * [`metrics`] — named counters, gauges and fixed-bucket histograms with
+//!   cheap atomic updates and a [`MetricsRegistry::snapshot`] that is
+//!   deterministic in content ordering (see [`metrics::global_metrics`]).
+//! * [`clock`] — the [`Clock`] abstraction: [`MonotonicClock`] for real
+//!   timing, [`VirtualClock`] keyed to simulation epochs for
+//!   deterministic sidecar content.
+//!
+//! # Determinism contract
+//!
+//! Instrumentation writes the sidecar and never the pipeline: no span,
+//! counter or clock read feeds back into any estimate, weight or RNG
+//! stream. The golden-trace tests (`tests/golden/`) and
+//! `tests/determinism.rs` therefore pass unchanged with instrumentation
+//! enabled at any level. Wall-clock values appear only in the
+//! metrics/trace sidecar — and even those become deterministic when a
+//! [`VirtualClock`] is installed.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use uniloc_obs::{RingCollector, Subscriber, TraceLevel};
+//!
+//! // Collect spans in memory through the global dispatcher.
+//! let ring = Arc::new(RingCollector::new(128));
+//! let d = uniloc_obs::trace::global();
+//! d.set_subscriber(Some(ring.clone() as Arc<dyn Subscriber>));
+//! d.set_level(Some(TraceLevel::Span));
+//! {
+//!     let _span = d.span("demo.stage").field("items", 3usize);
+//! }
+//! d.set_subscriber(None);
+//! assert!(ring.events().iter().any(|e| e.name == "demo.stage"));
+//!
+//! // Metrics: counters / gauges / histograms with a deterministic snapshot.
+//! let m = uniloc_obs::metrics::global_metrics();
+//! m.counter("demo.epochs").inc();
+//! m.histogram("demo.residual", uniloc_obs::metrics::RESIDUAL_BUCKETS_M).record(0.7);
+//! let snapshot = m.snapshot();
+//! assert!(snapshot.counters.iter().any(|(n, v)| n == "demo.epochs" && *v >= 1));
+//! ```
+
+pub mod clock;
+pub mod metrics;
+pub mod trace;
+
+pub use clock::{Clock, MonotonicClock, VirtualClock};
+pub use metrics::{
+    global_metrics, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot, DURATION_BUCKETS_NS, RESIDUAL_BUCKETS_M,
+};
+pub use trace::{
+    global, Dispatcher, FieldValue, JsonlExporter, MultiSubscriber, RingCollector, SpanGuard,
+    StderrSubscriber, Subscriber, TraceEvent, TraceLevel,
+};

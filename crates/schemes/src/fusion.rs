@@ -174,6 +174,11 @@ impl LocalizationScheme for FusionScheme {
         if let Some(scan) = frame.wifi.as_ref() {
             self.rssi_reweight(scan);
         }
+        // Sidecar-only telemetry: degeneracy of the particle cloud after
+        // the RSSI reweight.
+        uniloc_obs::global_metrics()
+            .gauge("fusion.particle_filter.ess")
+            .set(self.core.pf.effective_sample_size());
         Some(self.core.estimate())
     }
 

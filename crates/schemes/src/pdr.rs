@@ -251,6 +251,10 @@ impl LocalizationScheme for PdrScheme {
         if let Some(lm) = frame.landmark {
             self.core.calibrate_landmark(lm.position);
         }
+        // Sidecar-only telemetry: degeneracy of the particle cloud.
+        uniloc_obs::global_metrics()
+            .gauge("pdr.particle_filter.ess")
+            .set(self.core.pf.effective_sample_size());
         Some(self.core.estimate())
     }
 

@@ -49,4 +49,25 @@ echo "==> cargo build --release (offline)"
 cargo build --release
 echo "==> cargo test -q (offline)"
 cargo test -q
+
+# --- 3. metrics smoke ----------------------------------------------------
+# Run a short scenario with the observability sidecar enabled, then assert
+# the JSONL parses with the in-repo reader (via inspect-metrics) and
+# carries the expected metric names.
+echo "==> metrics smoke (uniloc run --metrics)"
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+target/release/uniloc train --seed 1 --out "$smoke/models.json" --quiet
+target/release/uniloc run --models "$smoke/models.json" --scenario office \
+    --seed 3 --metrics "$smoke/metrics.jsonl" --virtual-clock --quiet >/dev/null
+target/release/uniloc inspect-metrics --file "$smoke/metrics.jsonl" > "$smoke/summary.txt"
+for name in pipeline.epochs engine.fusion.mode.bma engine.scheme.available.wifi \
+            engine.tau error_model.residual.wifi span.engine.update \
+            span.scheme.estimate.fusion; do
+    if ! grep -q "$name" "$smoke/summary.txt"; then
+        echo "ERROR: metrics sidecar is missing \`$name\`" >&2
+        exit 1
+    fi
+done
+echo "    ok: sidecar parses and carries the expected metrics"
 echo "==> ci.sh: all checks passed"

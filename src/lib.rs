@@ -13,6 +13,7 @@
 //! | [`sensors`] | `uniloc-sensors` | device profiles, scans, GPS fixes, IMU pipeline |
 //! | [`filters`] | `uniloc-filters` | particle filter, Kalman filter, 2nd-order HMM |
 //! | [`iodetect`] | `uniloc-iodetect` | indoor/outdoor detection |
+//! | [`obs`] | `uniloc-obs` | structured tracing, metrics registry, clocks |
 //! | [`geom`] | `uniloc-geom` | planar geometry, floor plans, geo frames |
 //! | [`stats`] | `uniloc-stats` | OLS regression, distributions, descriptive stats, JSON |
 //! | [`rng`] | `uniloc-rng` | deterministic seeded random streams, property-test harness |
@@ -29,6 +30,7 @@ pub use uniloc_env as env;
 pub use uniloc_filters as filters;
 pub use uniloc_geom as geom;
 pub use uniloc_iodetect as iodetect;
+pub use uniloc_obs as obs;
 pub use uniloc_schemes as schemes;
 pub use uniloc_sensors as sensors;
 pub use uniloc_stats as stats;
