@@ -7,6 +7,7 @@
 //! plain-text table/series printing.
 
 pub mod microbench;
+pub mod regression;
 
 use std::sync::Arc;
 

@@ -1,0 +1,409 @@
+//! The bench-regression gate: diffing a fresh latency breakdown against
+//! the committed `results/BENCH_*.json` baselines.
+//!
+//! Every regenerator in `src/bin/` writes a per-stage latency breakdown
+//! (see [`crate::write_latency_breakdown`]). Those files are committed, so
+//! the tree carries a performance baseline — this module turns it into a
+//! gate: parse every baseline strictly (rejecting malformed JSON and
+//! duplicate keys, which the lenient reader would otherwise shadow
+//! silently), compare stage-by-stage, and classify differences.
+//!
+//! Two classes of signal get different treatment:
+//!
+//! * **Structure** — the stage set and each stage's sample `count` are
+//!   deterministic for a fixed workload. A missing stage or a count change
+//!   means the instrumentation or the workload changed: a hard finding,
+//!   fixed by re-blessing the baseline.
+//! * **Latency** — wall-clock numbers vary across machines and runs, so
+//!   mean latency only counts as a regression beyond a generous relative
+//!   threshold ([`DiffConfig::latency_tolerance`]), and `scripts/ci.sh`
+//!   runs the fresh-run comparison warn-only.
+
+use std::collections::BTreeMap;
+
+use uniloc_stats::impl_json_struct;
+use uniloc_stats::json::Json;
+
+/// Per-stage latency statistics, mirroring the breakdown JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStats {
+    /// Recorded span count (deterministic for a fixed workload).
+    pub count: u64,
+    /// Mean span duration (ns).
+    pub mean_ns: f64,
+    /// Median span duration (ns).
+    pub p50_ns: f64,
+    /// 90th-percentile span duration (ns).
+    pub p90_ns: f64,
+    /// 99th-percentile span duration (ns).
+    pub p99_ns: f64,
+    /// Total time in the stage (ns).
+    pub sum_ns: f64,
+}
+
+impl_json_struct!(StageStats { count, mean_ns, p50_ns, p90_ns, p99_ns, sum_ns });
+
+/// One parsed `BENCH_<name>.json` breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Bench name (the regenerator's name).
+    pub bench: String,
+    /// Stage name → statistics, sorted by stage name.
+    pub stages: BTreeMap<String, StageStats>,
+}
+
+/// Rejects any JSON document containing a duplicate object key anywhere —
+/// the in-repo parser keeps both entries and `get` returns the first, so a
+/// duplicated key would silently shadow data in a committed baseline.
+///
+/// # Errors
+///
+/// Returns the offending key (with enough context to find it).
+pub fn check_duplicate_keys(doc: &Json) -> Result<(), String> {
+    match doc {
+        Json::Obj(pairs) => {
+            let mut seen = std::collections::BTreeSet::new();
+            for (key, value) in pairs {
+                if !seen.insert(key.as_str()) {
+                    return Err(format!("duplicate object key `{key}`"));
+                }
+                check_duplicate_keys(value)
+                    .map_err(|e| format!("under key `{key}`: {e}"))?;
+            }
+            Ok(())
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                check_duplicate_keys(item).map_err(|e| format!("at index {i}: {e}"))?;
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Parses one breakdown document strictly: duplicate keys rejected, every
+/// stage's statistics required.
+///
+/// # Errors
+///
+/// Describes the first structural problem found.
+pub fn parse_bench_report(doc: &Json) -> Result<BenchReport, String> {
+    check_duplicate_keys(doc)?;
+    let bench = doc
+        .get("bench")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `bench`")?
+        .to_owned();
+    let Some(Json::Obj(stage_pairs)) = doc.get("stages") else {
+        return Err("missing object field `stages`".to_owned());
+    };
+    let mut stages = BTreeMap::new();
+    for (name, stats) in stage_pairs {
+        let stats: StageStats = uniloc_stats::json::FromJson::from_json(stats)
+            .map_err(|e| format!("stage `{name}`: {e}"))?;
+        stages.insert(name.clone(), stats);
+    }
+    Ok(BenchReport { bench, stages })
+}
+
+/// Loads every `BENCH_*.json` in `dir`, sorted by file name.
+///
+/// # Errors
+///
+/// Fails on an unreadable directory, unreadable file, malformed JSON,
+/// duplicate keys or a structurally invalid report — naming the file.
+pub fn load_dir(dir: &str) -> Result<Vec<(String, BenchReport)>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("cannot read {dir}: {e}"))?;
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    let mut reports = Vec::with_capacity(names.len());
+    for name in names {
+        let path = format!("{dir}/{name}");
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let report = parse_bench_report(&doc).map_err(|e| format!("{path}: {e}"))?;
+        reports.push((name, report));
+    }
+    Ok(reports)
+}
+
+/// Comparison tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffConfig {
+    /// Maximum tolerated relative increase in a stage's mean latency
+    /// before it counts as a regression (e.g. `4.0` = five-fold). Latency
+    /// baselines come from whatever machine last blessed them, so the
+    /// default is deliberately generous; structure is compared exactly.
+    pub latency_tolerance: f64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig { latency_tolerance: 4.0 }
+    }
+}
+
+/// One difference between a baseline and a candidate report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Finding {
+    /// A baseline stage is absent from the candidate run.
+    MissingStage {
+        /// Stage name.
+        stage: String,
+    },
+    /// The candidate recorded a stage the baseline does not know.
+    NewStage {
+        /// Stage name.
+        stage: String,
+    },
+    /// A stage's deterministic sample count changed.
+    CountMismatch {
+        /// Stage name.
+        stage: String,
+        /// Baseline count.
+        baseline: u64,
+        /// Candidate count.
+        candidate: u64,
+    },
+    /// A stage's mean latency grew beyond the tolerance.
+    LatencyRegression {
+        /// Stage name.
+        stage: String,
+        /// Baseline mean (ns).
+        baseline_mean_ns: f64,
+        /// Candidate mean (ns).
+        candidate_mean_ns: f64,
+        /// `candidate / baseline`.
+        ratio: f64,
+    },
+}
+
+impl Finding {
+    /// Whether this finding should fail a strict gate (new stages are
+    /// informational: they appear whenever instrumentation is added).
+    pub fn is_regression(&self) -> bool {
+        !matches!(self, Finding::NewStage { .. })
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Finding::MissingStage { stage } => {
+                write!(f, "stage `{stage}` missing from candidate run")
+            }
+            Finding::NewStage { stage } => {
+                write!(f, "stage `{stage}` is new (not in baseline)")
+            }
+            Finding::CountMismatch { stage, baseline, candidate } => write!(
+                f,
+                "stage `{stage}` count changed: {baseline} -> {candidate} (re-bless if intended)"
+            ),
+            Finding::LatencyRegression {
+                stage,
+                baseline_mean_ns,
+                candidate_mean_ns,
+                ratio,
+            } => write!(
+                f,
+                "stage `{stage}` mean latency {:.1} us -> {:.1} us ({ratio:.2}x)",
+                baseline_mean_ns / 1e3,
+                candidate_mean_ns / 1e3,
+            ),
+        }
+    }
+}
+
+/// Diffs one candidate report against its baseline.
+pub fn diff_reports(
+    baseline: &BenchReport,
+    candidate: &BenchReport,
+    cfg: &DiffConfig,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (stage, base) in &baseline.stages {
+        let Some(cand) = candidate.stages.get(stage) else {
+            findings.push(Finding::MissingStage { stage: stage.clone() });
+            continue;
+        };
+        if cand.count != base.count {
+            findings.push(Finding::CountMismatch {
+                stage: stage.clone(),
+                baseline: base.count,
+                candidate: cand.count,
+            });
+        }
+        if base.mean_ns > 0.0 && cand.mean_ns.is_finite() {
+            let ratio = cand.mean_ns / base.mean_ns;
+            if ratio > 1.0 + cfg.latency_tolerance {
+                findings.push(Finding::LatencyRegression {
+                    stage: stage.clone(),
+                    baseline_mean_ns: base.mean_ns,
+                    candidate_mean_ns: cand.mean_ns,
+                    ratio,
+                });
+            }
+        }
+    }
+    for stage in candidate.stages.keys() {
+        if !baseline.stages.contains_key(stage) {
+            findings.push(Finding::NewStage { stage: stage.clone() });
+        }
+    }
+    findings
+}
+
+/// The outcome of a directory-level comparison.
+#[derive(Debug, Clone, Default)]
+pub struct DiffOutcome {
+    /// `(file name, findings)` per bench compared (empty findings = clean).
+    pub compared: Vec<(String, Vec<Finding>)>,
+    /// Baseline benches the candidate directory did not regenerate (the
+    /// gate can run against a partial fresh run).
+    pub skipped: Vec<String>,
+}
+
+impl DiffOutcome {
+    /// Regression-grade findings across every compared bench.
+    pub fn regressions(&self) -> impl Iterator<Item = (&str, &Finding)> {
+        self.compared.iter().flat_map(|(name, findings)| {
+            findings
+                .iter()
+                .filter(|f| f.is_regression())
+                .map(move |f| (name.as_str(), f))
+        })
+    }
+
+    /// Whether the gate passes.
+    pub fn is_clean(&self) -> bool {
+        self.regressions().next().is_none()
+    }
+}
+
+/// Diffs every baseline `BENCH_*.json` in `baseline_dir` against the same
+/// file in `candidate_dir`; candidate files absent from the baseline are
+/// ignored, baseline files absent from the candidate are reported as
+/// skipped (a fresh run may regenerate only a subset).
+///
+/// # Errors
+///
+/// Fails when either directory or any present report fails strict parsing
+/// (see [`load_dir`]).
+pub fn diff_dirs(
+    baseline_dir: &str,
+    candidate_dir: &str,
+    cfg: &DiffConfig,
+) -> Result<DiffOutcome, String> {
+    let baselines = load_dir(baseline_dir)?;
+    if baselines.is_empty() {
+        return Err(format!("no BENCH_*.json baselines in {baseline_dir}"));
+    }
+    let candidates: BTreeMap<String, BenchReport> =
+        load_dir(candidate_dir)?.into_iter().collect();
+    let mut outcome = DiffOutcome::default();
+    for (name, baseline) in baselines {
+        match candidates.get(&name) {
+            Some(candidate) => outcome
+                .compared
+                .push((name, diff_reports(&baseline, candidate, cfg))),
+            None => outcome.skipped.push(name),
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(count: u64, mean_ns: f64) -> StageStats {
+        StageStats {
+            count,
+            mean_ns,
+            p50_ns: mean_ns,
+            p90_ns: mean_ns * 1.5,
+            p99_ns: mean_ns * 2.0,
+            sum_ns: mean_ns * count as f64,
+        }
+    }
+
+    fn report(stages: &[(&str, StageStats)]) -> BenchReport {
+        BenchReport {
+            bench: "demo".to_owned(),
+            stages: stages.iter().map(|(n, s)| (n.to_string(), s.clone())).collect(),
+        }
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let r = report(&[("a", stats(10, 1e6)), ("b", stats(5, 2e6))]);
+        assert!(diff_reports(&r, &r, &DiffConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn structural_changes_are_regressions() {
+        let base = report(&[("a", stats(10, 1e6)), ("b", stats(5, 2e6))]);
+        let cand = report(&[("a", stats(11, 1e6)), ("c", stats(1, 1e6))]);
+        let findings = diff_reports(&base, &cand, &DiffConfig::default());
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, Finding::CountMismatch { stage, .. } if stage == "a")));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, Finding::MissingStage { stage } if stage == "b")));
+        let new = findings
+            .iter()
+            .find(|f| matches!(f, Finding::NewStage { stage } if stage == "c"))
+            .unwrap();
+        assert!(!new.is_regression(), "new stages are informational");
+    }
+
+    #[test]
+    fn latency_needs_to_exceed_tolerance() {
+        let base = report(&[("a", stats(10, 1e6))]);
+        let slower = report(&[("a", stats(10, 3e6))]);
+        let cfg = DiffConfig { latency_tolerance: 4.0 };
+        assert!(diff_reports(&base, &slower, &cfg).is_empty(), "3x is within 5x budget");
+        let much_slower = report(&[("a", stats(10, 6e6))]);
+        let findings = diff_reports(&base, &much_slower, &cfg);
+        assert!(matches!(findings[0], Finding::LatencyRegression { ratio, .. } if ratio > 5.0));
+    }
+
+    #[test]
+    fn duplicate_keys_rejected_recursively() {
+        let ok = Json::parse(r#"{"a":1,"b":{"c":2}}"#).unwrap();
+        assert!(check_duplicate_keys(&ok).is_ok());
+        let top = Json::parse(r#"{"a":1,"a":2}"#).unwrap();
+        assert!(check_duplicate_keys(&top).unwrap_err().contains("`a`"));
+        let nested = Json::parse(r#"{"outer":[{"k":1,"k":2}]}"#).unwrap();
+        let err = check_duplicate_keys(&nested).unwrap_err();
+        assert!(err.contains("`k`") && err.contains("outer"), "{err}");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_reports() {
+        let no_bench = Json::parse(r#"{"stages":{}}"#).unwrap();
+        assert!(parse_bench_report(&no_bench).is_err());
+        let bad_stage =
+            Json::parse(r#"{"bench":"x","stages":{"a":{"count":1}}}"#).unwrap();
+        assert!(parse_bench_report(&bad_stage).unwrap_err().contains("stage `a`"));
+    }
+
+    #[test]
+    fn committed_results_parse_and_self_diff_clean() {
+        // The repo's own baselines must always satisfy the strict parser.
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+        let reports = load_dir(dir).expect("committed baselines parse strictly");
+        assert!(!reports.is_empty(), "results/ has committed BENCH files");
+        let outcome = diff_dirs(dir, dir, &DiffConfig::default()).unwrap();
+        assert!(outcome.is_clean(), "self-diff must report no regression");
+        assert!(outcome.skipped.is_empty());
+        assert_eq!(outcome.compared.len(), reports.len());
+    }
+}

@@ -6,13 +6,24 @@
 //!              [--seed N] [--device nexus5x|lgg3] [--json]
 //!              [--metrics FILE] [--trace-level LEVEL] [--virtual-clock]
 //! uniloc inspect --models FILE                  print trained coefficients
-//! uniloc inspect-metrics --file FILE            summarize a --metrics JSONL sidecar
+//! uniloc inspect-metrics --file FILE [--json]   summarize a --metrics JSONL sidecar
+//!                                               (--json emits the snapshot as JSON)
+//! uniloc inspect-calibration --file FILE        per-scheme reliability bins, coverage
+//!                                               and drift state from a sidecar
+//! uniloc inspect-flight --file FILE [--full]    flight-recorder postmortems from a
+//!                                               sidecar (--full pretty-prints dumps)
+//! uniloc bench-diff [--baseline DIR] [--candidate DIR]
+//!                   [--threshold X] [--warn-only]
+//!                                               diff BENCH_*.json latency breakdowns
+//!                                               against the committed baselines
 //! uniloc scenarios                              list available venues
 //! ```
 //!
 //! Global flags: `--quiet` silences progress output (progress is routed
 //! through the `uniloc-obs` tracing facade at `info` level, not
-//! `eprintln!`, so any subscriber can capture it).
+//! `eprintln!`, so any subscriber can capture it). `--trace-level` takes
+//! `off|error|warn|info|debug|span`; `--virtual-clock` timestamps the
+//! sidecar with simulation time so same-seed runs are byte-identical.
 //!
 //! Argument parsing is hand-rolled (the workspace's dependency policy has no
 //! CLI crate); flags are order-independent `--key value` pairs.
@@ -57,6 +68,9 @@ fn main() -> ExitCode {
         "run" => cmd_run(&flags, exporter.as_deref()),
         "inspect" => cmd_inspect(&flags),
         "inspect-metrics" => cmd_inspect_metrics(&flags),
+        "inspect-calibration" => cmd_inspect_calibration(&flags),
+        "inspect-flight" => cmd_inspect_flight(&flags),
+        "bench-diff" => cmd_bench_diff(&flags),
         "scenarios" => cmd_scenarios(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -79,14 +93,18 @@ const USAGE: &str = "usage:
   uniloc run --models FILE [--scenario NAME] [--seed N] [--device nexus5x|lgg3] [--json]
              [--metrics FILE] [--trace-level off|error|warn|info|debug|span] [--virtual-clock]
   uniloc inspect --models FILE
-  uniloc inspect-metrics --file FILE
+  uniloc inspect-metrics --file FILE [--json]
+  uniloc inspect-calibration --file FILE
+  uniloc inspect-flight --file FILE [--full]
+  uniloc bench-diff [--baseline DIR] [--candidate DIR] [--threshold X] [--warn-only]
   uniloc scenarios
 global flags: --quiet (suppress progress output)";
 
 /// Configures the global `uniloc-obs` dispatcher from the flags: a stderr
 /// progress printer (unless `--quiet`), a JSONL exporter when `--metrics
 /// FILE` is given (returned so `cmd_run` can append the metrics snapshot),
-/// and a deterministic [`VirtualClock`] under `--virtual-clock`.
+/// the flight recorder (whose postmortems go to the same exporter), and a
+/// deterministic [`VirtualClock`] under `--virtual-clock`.
 fn init_obs(flags: &BTreeMap<String, String>) -> Result<Option<Arc<JsonlExporter>>, String> {
     let quiet = flags.contains_key("quiet");
     let exporter = match flags.get("metrics") {
@@ -108,6 +126,11 @@ fn init_obs(flags: &BTreeMap<String, String>) -> Result<Option<Arc<JsonlExporter
     if let Some(e) = &exporter {
         subs.push(Arc::clone(e) as Arc<dyn Subscriber>);
     }
+    // The flight recorder rides the subscriber chain so its ring always
+    // holds the recent window; postmortems land in the metrics sidecar.
+    let flight = uniloc_obs::global_flight();
+    flight.set_sink(exporter.clone());
+    subs.push(Arc::clone(flight) as Arc<dyn Subscriber>);
     let d = uniloc_obs::global();
     d.set_level(level);
     d.set_subscriber(match subs.len() {
@@ -200,10 +223,14 @@ fn cmd_run(flags: &BTreeMap<String, String>, exporter: Option<&JsonlExporter>) -
     uniloc_obs::info!("walking {} ({:.0} m) ...", scenario.name, scenario.route.length());
     let records = pipeline::run_walk(&scenario, &models, &cfg, seed + 100);
 
-    // Append the end-of-run metrics snapshot (counters, gauges, span-timing
-    // and residual histograms) after the trace events already streamed out.
+    // Append the end-of-run metrics and calibration snapshots (counters,
+    // gauges, span-timing and residual histograms, then the per-scheme
+    // calibration cells) after the trace events already streamed out.
     if let Some(e) = exporter {
         for line in uniloc_obs::global_metrics().snapshot().jsonl_lines() {
+            e.write_line(&line);
+        }
+        for line in uniloc_obs::global_calibration().snapshot().jsonl_lines() {
             e.write_line(&line);
         }
         e.flush();
@@ -268,6 +295,9 @@ fn cmd_inspect(flags: &BTreeMap<String, String>) -> Result<(), String> {
 /// Reads a `--metrics` JSONL sidecar back and pretty-prints its metric
 /// lines: counters, gauges, then histograms with count/mean/p50/p90/p99.
 /// Trace-event lines (kind `span`/`event`) are counted but not rendered.
+/// With `--json`, emits the reassembled [`uniloc_obs::MetricsSnapshot`] as
+/// one JSON document instead — the machine-readable format `bench-diff`
+/// and external tooling share.
 fn cmd_inspect_metrics(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let path = flags.get("file").ok_or("--file FILE is required")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
@@ -287,6 +317,10 @@ fn cmd_inspect_metrics(flags: &BTreeMap<String, String>) -> Result<(), String> {
                 _ => events += 1,
             }
         }
+    }
+    if flags.contains_key("json") {
+        println!("{}", uniloc_stats::json::to_string(&snap));
+        return Ok(());
     }
     println!("{path}: {spans} span records, {events} events");
     if !snap.counters.is_empty() {
@@ -318,6 +352,135 @@ fn cmd_inspect_metrics(flags: &BTreeMap<String, String>) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Reads the `"kind":"calibration"` cells out of a `--metrics` sidecar and
+/// prints each scheme × environment's reliability diagnostics: PIT bin
+/// counts, nominal-vs-observed coverage, sharpness and drift state.
+fn cmd_inspect_calibration(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let path = flags.get("file").ok_or("--file FILE is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut snap = uniloc_obs::CalibrationSnapshot::default();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        snap.absorb_jsonl(&doc).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+    }
+    if snap.cells.is_empty() {
+        println!("{path}: no calibration cells (was the run recorded with --metrics?)");
+        return Ok(());
+    }
+    for cell in &snap.cells {
+        println!("== {} / {} ==", cell.scheme, cell.io);
+        println!("  observations: {} ({} dropped non-finite)", cell.n, cell.dropped);
+        let bins: Vec<String> = cell.pit_counts.iter().map(u64::to_string).collect();
+        println!("  reliability bins (PIT 0..1): [{}]", bins.join(", "));
+        let cov: Vec<String> = cell
+            .quantiles
+            .iter()
+            .zip(&cell.coverage)
+            .map(|(q, c)| format!("{q:.2}->{c:.3}"))
+            .collect();
+        println!("  coverage (nominal->observed): {}", cov.join("  "));
+        println!(
+            "  sharpness: predicted {:.2} m (sigma {:.2} m), realized {:.2} m, residual {:+.2} m",
+            cell.mean_predicted, cell.mean_sigma, cell.mean_realized, cell.mean_residual
+        );
+        println!(
+            "  drift: cusum +{:.2}/-{:.2}, {} alarm(s)",
+            cell.cusum_pos, cell.cusum_neg, cell.drift_alarms
+        );
+    }
+    Ok(())
+}
+
+/// Reads the `"kind":"flight"` postmortem dumps out of a `--metrics`
+/// sidecar. Default output is one summary line per dump; `--full`
+/// pretty-prints the complete dumps (window events, counter deltas,
+/// gauges).
+fn cmd_inspect_flight(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let path = flags.get("file").ok_or("--file FILE is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut dumps = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        if doc.get("kind").and_then(Json::as_str) == Some("flight") {
+            dumps.push(doc);
+        }
+    }
+    if dumps.is_empty() {
+        println!("{path}: no flight-recorder dumps (the run hit no anomaly)");
+        return Ok(());
+    }
+    println!("{path}: {} flight-recorder dump(s)", dumps.len());
+    for dump in &dumps {
+        if flags.contains_key("full") {
+            println!("{}", dump.to_string_pretty());
+            continue;
+        }
+        let seq = dump.get("seq").and_then(Json::as_i64).unwrap_or(-1);
+        let reason = dump.get("reason").and_then(Json::as_str).unwrap_or("?");
+        let t_ns = dump.get("t_ns").and_then(Json::as_i64).unwrap_or(0);
+        let events = dump.get("events").and_then(Json::as_arr).map_or(0, <[Json]>::len);
+        let deltas =
+            dump.get("counters_delta").and_then(Json::as_arr).map_or(0, <[Json]>::len);
+        println!(
+            "  #{seq} {reason:<22} t={:.1}s window={events} events, {deltas} counters moved",
+            t_ns as f64 / 1e9
+        );
+    }
+    Ok(())
+}
+
+/// The bench-regression gate: diffs `BENCH_*.json` latency breakdowns in
+/// `--candidate DIR` against `--baseline DIR` (both default to
+/// `results/`, so a bare `uniloc bench-diff` self-checks the committed
+/// baselines). Structural drift (missing stages, changed span counts)
+/// always fails; mean-latency growth fails beyond `--threshold` (relative,
+/// default 4.0 = five-fold). `--warn-only` reports without failing.
+fn cmd_bench_diff(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    use uniloc_bench::regression::{diff_dirs, DiffConfig};
+    let baseline = flags.get("baseline").map(String::as_str).unwrap_or("results");
+    let candidate = flags.get("candidate").map(String::as_str).unwrap_or(baseline);
+    let mut cfg = DiffConfig::default();
+    if let Some(t) = flags.get("threshold") {
+        cfg.latency_tolerance = t
+            .parse()
+            .map_err(|_| format!("--threshold must be a number, got `{t}`"))?;
+    }
+    let outcome = diff_dirs(baseline, candidate, &cfg)?;
+    for (name, findings) in &outcome.compared {
+        if findings.is_empty() {
+            println!("ok   {name}");
+        } else {
+            for f in findings {
+                let tag = if f.is_regression() { "FAIL" } else { "note" };
+                println!("{tag} {name}: {f}");
+            }
+        }
+    }
+    for name in &outcome.skipped {
+        println!("skip {name} (not in candidate dir)");
+    }
+    let regressions = outcome.regressions().count();
+    if regressions == 0 {
+        println!(
+            "no regression across {} bench(es) ({} skipped)",
+            outcome.compared.len(),
+            outcome.skipped.len()
+        );
+        Ok(())
+    } else if flags.contains_key("warn-only") {
+        println!("{regressions} regression finding(s) — warn-only mode, not failing");
+        Ok(())
+    } else {
+        Err(format!("{regressions} bench regression finding(s)"))
+    }
 }
 
 fn cmd_scenarios() -> Result<(), String> {

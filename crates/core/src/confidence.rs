@@ -9,7 +9,6 @@
 //! available schemes."
 
 use crate::error_model::ErrorPrediction;
-use uniloc_stats::Normal;
 
 /// The adaptive threshold `tau`: the mean of the available schemes'
 /// predicted errors. Returns `None` when nothing is available.
@@ -35,10 +34,11 @@ pub fn adaptive_tau(predictions: &[ErrorPrediction]) -> Option<f64> {
 /// assert!(confidence(bad, tau) < 0.01);
 /// ```
 pub fn confidence(prediction: ErrorPrediction, tau: f64) -> f64 {
-    let sigma = prediction.sigma.max(1e-6);
-    Normal::new(prediction.mean, sigma)
-        .expect("sigma clamped positive")
-        .cdf(tau)
+    // Eq. 2 is the prediction's probability integral transform evaluated
+    // at the threshold — the same function the calibration monitor bins
+    // against realized error, so confidence and calibration judge one
+    // distribution.
+    prediction.pit(tau)
 }
 
 #[cfg(test)]

@@ -348,6 +348,32 @@ impl UniLocEngine {
         };
         drop(fuse_span);
 
+        // Numerical-corruption tripwire (sidecar-only): a NaN/infinite
+        // fused position means a scheme or the weight math broke; flag it
+        // for the flight recorder rather than letting it propagate
+        // silently into downstream consumers.
+        for (kind, p) in [
+            ("best_selection", best_selection),
+            ("bayesian_average", bayesian_average),
+            ("mixture_average", mixture_average),
+        ] {
+            if let Some(p) = p {
+                if !p.x.is_finite() || !p.y.is_finite() {
+                    metrics.counter("engine.non_finite_estimate").inc();
+                    obs.event(
+                        uniloc_obs::TraceLevel::Warn,
+                        "engine.non_finite_estimate",
+                        vec![
+                            ("output".to_owned(), kind.into()),
+                            ("t".to_owned(), frame.t.into()),
+                            ("x".to_owned(), p.x.into()),
+                            ("y".to_owned(), p.y.into()),
+                        ],
+                    );
+                }
+            }
+        }
+
         // Feed the fused estimate back into the HMM location predictor.
         if let Some(p) = bayesian_average.or(best_selection) {
             self.extractor.note_estimate(p);

@@ -17,7 +17,7 @@
 use std::collections::BTreeMap;
 use uniloc_iodetect::IoState;
 use uniloc_schemes::SchemeId;
-use uniloc_stats::{OlsBuilder, StatsError};
+use uniloc_stats::{Normal, OlsBuilder, StatsError};
 
 /// Minimum predicted error (m) — regressions with negative coefficients can
 /// extrapolate below zero; a localization error is never smaller than this.
@@ -87,6 +87,34 @@ pub struct ErrorPrediction {
     pub mean: f64,
     /// Residual standard deviation of the model (m).
     pub sigma: f64,
+}
+
+impl ErrorPrediction {
+    /// The probability integral transform of a realized value `x`:
+    /// `P(Y_t <= x)` under this prediction. Uniform on `[0, 1]` across
+    /// observations exactly when the model is calibrated — the quantity
+    /// the calibration monitor bins — and, evaluated at the adaptive
+    /// threshold `tau`, exactly Eq. 2's confidence.
+    pub fn pit(&self, x: f64) -> f64 {
+        let sigma = self.sigma.max(1e-6);
+        Normal::new(self.mean, sigma)
+            .expect("sigma clamped positive")
+            .cdf(x)
+    }
+
+    /// The `q`-quantile of the predicted error distribution: the error
+    /// bound this model claims holds with probability `q` (the value
+    /// coverage diagnostics compare against realized error).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `(0, 1)`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let sigma = self.sigma.max(1e-6);
+        Normal::new(self.mean, sigma)
+            .expect("sigma clamped positive")
+            .quantile(q)
+    }
 }
 
 /// The trained error models of all integrated schemes.

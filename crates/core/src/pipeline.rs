@@ -247,6 +247,8 @@ pub fn run_walk(
 ) -> Vec<EpochRecord> {
     let obs = uniloc_obs::global();
     let metrics = uniloc_obs::global_metrics();
+    let calib = uniloc_obs::global_calibration();
+    let flight = uniloc_obs::global_flight();
     let _walk_span = obs
         .span("pipeline.run_walk")
         .field("scenario", scenario.name.as_str())
@@ -280,16 +282,57 @@ pub fn run_walk(
             .map(|r| (r.id, r.estimate.map(|e| e.position.distance(truth))))
             .collect();
         // Predicted-minus-actual residuals: only the evaluation harness
-        // knows ground truth, so the calibration histograms live here.
+        // knows ground truth, so the calibration histograms — and the
+        // calibration monitor judging them — live here, not in the engine.
         for r in &out.reports {
+            if flight.note_availability(&r.id.to_string(), r.estimate.is_some()) {
+                flight.trigger(
+                    "scheme_unavailable",
+                    vec![
+                        ("scheme".to_owned(), r.id.to_string().into()),
+                        ("t".to_owned(), frame.t.into()),
+                    ],
+                );
+            }
             if let (Some(p), Some(e)) = (r.prediction, r.estimate) {
+                let realized = e.position.distance(truth);
                 metrics
                     .histogram(
                         &format!("error_model.residual.{}", r.id),
                         uniloc_obs::RESIDUAL_BUCKETS_M,
                     )
-                    .record(p.mean - e.position.distance(truth));
+                    .record(p.mean - realized);
+                if let Some(alarm) = calib.observe(
+                    &r.id.to_string(),
+                    &out.io.to_string(),
+                    p.mean,
+                    p.sigma,
+                    realized,
+                ) {
+                    flight.trigger(
+                        "calibration_drift",
+                        vec![
+                            ("scheme".to_owned(), alarm.scheme.into()),
+                            ("io".to_owned(), alarm.io.into()),
+                            ("direction".to_owned(), alarm.direction.into()),
+                            ("statistic".to_owned(), alarm.statistic.into()),
+                            ("t".to_owned(), frame.t.into()),
+                        ],
+                    );
+                }
             }
+        }
+        // Numerical corruption in any fused output freezes a postmortem
+        // (the engine already counted it and raised the warn event).
+        if [out.best_selection, out.bayesian_average, out.mixture_average]
+            .iter()
+            .flatten()
+            .any(|p| !p.x.is_finite() || !p.y.is_finite())
+        {
+            flight.trigger(
+                "non_finite_estimate",
+                vec![("t".to_owned(), frame.t.into())],
+            );
         }
         let estimates: Vec<(SchemeId, Option<Point>)> = out
             .reports

@@ -18,6 +18,14 @@
 //! * [`clock`] — the [`Clock`] abstraction: [`MonotonicClock`] for real
 //!   timing, [`VirtualClock`] keyed to simulation epochs for
 //!   deterministic sidecar content.
+//! * [`calib`] — the online calibration monitor: per-scheme × environment
+//!   PIT reliability bins, coverage/sharpness summaries and a CUSUM drift
+//!   detector that raises `calib.drift` alarms when an error model goes
+//!   stale (see [`calib::global_calibration`]).
+//! * [`flight`] — the flight recorder: a bounded window of recent trace
+//!   activity dumped as a byte-stable JSON postmortem on drift alarms,
+//!   scheme-unavailability streaks or non-finite estimates (see
+//!   [`flight::global_flight`]).
 //!
 //! # Determinism contract
 //!
@@ -54,11 +62,18 @@
 //! assert!(snapshot.counters.iter().any(|(n, v)| n == "demo.epochs" && *v >= 1));
 //! ```
 
+pub mod calib;
 pub mod clock;
+pub mod flight;
 pub mod metrics;
 pub mod trace;
 
+pub use calib::{
+    global_calibration, CalibrationCell, CalibrationConfig, CalibrationMonitor,
+    CalibrationSnapshot, DriftAlarm,
+};
 pub use clock::{Clock, MonotonicClock, VirtualClock};
+pub use flight::{global_flight, FlightRecorder};
 pub use metrics::{
     global_metrics, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
     MetricsSnapshot, DURATION_BUCKETS_NS, RESIDUAL_BUCKETS_M,

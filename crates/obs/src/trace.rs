@@ -241,9 +241,18 @@ impl RingCollector {
         self.buf.lock().expect("ring mutex").iter().cloned().collect()
     }
 
-    /// Drains the buffered events, oldest first.
+    /// Drains the buffered events, oldest first. The eviction counter
+    /// ([`dropped`](Self::dropped)) keeps its lifetime total; use
+    /// [`reset`](Self::reset) to zero it too.
     pub fn take(&self) -> Vec<TraceEvent> {
         self.buf.lock().expect("ring mutex").drain(..).collect()
+    }
+
+    /// Clears the buffer AND the eviction counter — a factory-fresh ring,
+    /// for back-to-back runs that must reproduce identical output.
+    pub fn reset(&self) {
+        self.buf.lock().expect("ring mutex").clear();
+        *self.dropped.lock().expect("ring mutex") = 0;
     }
 }
 

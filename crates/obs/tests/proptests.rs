@@ -2,7 +2,7 @@
 //! [`uniloc_rng::check`] harness: histogram bucket invariants and virtual
 //! clock monotonicity.
 
-use uniloc_obs::{Clock, Histogram, VirtualClock};
+use uniloc_obs::{Clock, Histogram, RingCollector, Subscriber, TraceEvent, TraceLevel, VirtualClock};
 use uniloc_rng::check::Checker;
 use uniloc_rng::require;
 
@@ -118,6 +118,108 @@ fn histogram_merge_is_associative() {
             require!(left.dropped == right.dropped);
             require!((left.sum - right.sum).abs() <= 1e-9 * (1.0 + left.sum.abs()));
             require!(left.count() == sa.count() + sb.count() + sc.count());
+            Ok(())
+        },
+    );
+}
+
+/// Merging snapshots is commutative: `a.merge(b)` and `b.merge(a)` agree
+/// bucket-for-bucket.
+#[test]
+fn histogram_merge_is_commutative() {
+    checker("histogram_merge_is_commutative").run(
+        |rng, scale| {
+            let bounds = gen_bounds(rng, scale);
+            let a = gen_values(rng, scale);
+            let b = gen_values(rng, scale);
+            (bounds, a, b)
+        },
+        |(bounds, a, b)| {
+            let snap = |values: &[f64]| {
+                let h = Histogram::new(bounds);
+                for &v in values {
+                    h.record(v);
+                }
+                h.snapshot()
+            };
+            let (sa, sb) = (snap(a), snap(b));
+            let ab = sa.merge(&sb).expect("same bounds");
+            let ba = sb.merge(&sa).expect("same bounds");
+            require!(ab.counts == ba.counts);
+            require!(ab.dropped == ba.dropped);
+            require!((ab.sum - ba.sum).abs() <= 1e-9 * (1.0 + ab.sum.abs()));
+            Ok(())
+        },
+    );
+}
+
+/// Merging snapshots with different bucket layouts returns an error — it
+/// never panics and never silently mixes incompatible buckets.
+#[test]
+fn histogram_merge_bucket_mismatch_errors() {
+    checker("histogram_merge_bucket_mismatch_errors").run(
+        |rng, scale| {
+            let a = gen_bounds(rng, scale);
+            let mut b = gen_bounds(rng, scale * 1.7 + 0.3);
+            if b == a {
+                // Force a layout difference when the generators collide.
+                let last = *b.last().expect("non-empty bounds");
+                b.push(last + 1.0);
+            }
+            (a, b, gen_values(rng, scale), gen_values(rng, scale))
+        },
+        |(bounds_a, bounds_b, va, vb)| {
+            let snap = |bounds: &[f64], values: &[f64]| {
+                let h = Histogram::new(bounds);
+                for &v in values {
+                    h.record(v);
+                }
+                h.snapshot()
+            };
+            let sa = snap(bounds_a, va);
+            let sb = snap(bounds_b, vb);
+            require!(sa.merge(&sb).is_err());
+            require!(sb.merge(&sa).is_err());
+            // Mismatch must not corrupt either side: self-merge still works.
+            require!(sa.merge(&sa).is_ok());
+            require!(sb.merge(&sb).is_ok());
+            Ok(())
+        },
+    );
+}
+
+/// The ring keeps exactly the last `capacity` events in arrival order and
+/// accounts for every eviction: for `n` pushes into a ring of capacity `c`
+/// the buffer holds events `max(0, n-c)..n` oldest-first and reports
+/// `max(0, n-c)` dropped.
+#[test]
+fn ring_collector_evicts_oldest_in_order() {
+    checker("ring_collector_evicts_oldest_in_order").run(
+        |rng, scale| {
+            let capacity = rng.gen_range(1..32usize);
+            let pushes = rng.gen_range(0..(96.0 * scale.max(0.05)) as usize + 2);
+            (capacity, pushes)
+        },
+        |&(capacity, pushes)| {
+            let ring = RingCollector::new(capacity);
+            for i in 0..pushes {
+                ring.event(&TraceEvent {
+                    level: TraceLevel::Info,
+                    name: format!("e{i}"),
+                    t_ns: i as u64,
+                    duration_ns: None,
+                    fields: Vec::new(),
+                });
+            }
+            let events = ring.events();
+            let expect_dropped = pushes.saturating_sub(capacity);
+            require!(events.len() == pushes.min(capacity));
+            require!(ring.dropped() == expect_dropped as u64);
+            for (offset, e) in events.iter().enumerate() {
+                let i = expect_dropped + offset;
+                require!(e.name == format!("e{i}"));
+                require!(e.t_ns == i as u64);
+            }
             Ok(())
         },
     );

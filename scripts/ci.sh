@@ -70,4 +70,34 @@ for name in pipeline.epochs engine.fusion.mode.bma engine.scheme.available.wifi 
     fi
 done
 echo "    ok: sidecar parses and carries the expected metrics"
+
+# The same sidecar must round-trip through the calibration and flight
+# inspectors: per-scheme reliability bins with coverage summaries, and the
+# GPS-indoors scheme_unavailable postmortem the office walk always trips.
+target/release/uniloc inspect-calibration --file "$smoke/metrics.jsonl" > "$smoke/calib.txt"
+for needle in "reliability bins (PIT 0..1)" "coverage (nominal->observed)" "drift: cusum"; do
+    if ! grep -qF "$needle" "$smoke/calib.txt"; then
+        echo "ERROR: inspect-calibration output is missing \`$needle\`" >&2
+        exit 1
+    fi
+done
+target/release/uniloc inspect-flight --file "$smoke/metrics.jsonl" > "$smoke/flight.txt"
+if ! grep -q "scheme_unavailable" "$smoke/flight.txt"; then
+    echo "ERROR: inspect-flight shows no scheme_unavailable postmortem" >&2
+    exit 1
+fi
+echo "    ok: calibration cells and flight postmortems inspect cleanly"
+
+# --- 4. bench-regression gate --------------------------------------------
+# Strict self-diff first: re-parses every committed results/BENCH_*.json
+# with the in-repo JSON reader (malformed or duplicate-key files are hard
+# errors) and must report no regression against itself.
+echo "==> bench gate (uniloc bench-diff)"
+target/release/uniloc bench-diff
+# Then a fresh run of one representative bench, compared warn-only: latency
+# on shared CI hardware is too noisy to gate hard, but structural drift
+# (stages appearing/vanishing, per-stage counts changing) gets surfaced.
+(cd "$smoke" && UNILOC_QUIET=1 "$OLDPWD/target/release/table5_response_time" >/dev/null)
+target/release/uniloc bench-diff --baseline results --candidate "$smoke" --warn-only
+echo "    ok: committed bench breakdowns parse and self-diff clean"
 echo "==> ci.sh: all checks passed"
