@@ -45,28 +45,27 @@ impl ALocSelector {
             .iter()
             .filter(|r| r.estimate.is_some() && r.prediction.is_some())
             .collect();
+        // A missing or NaN prediction ranks as infinitely bad rather than
+        // panicking: selection must survive a corrupt epoch.
+        let predicted_mean = |r: &SchemeReport| {
+            r.prediction
+                .map(|p| p.mean)
+                .filter(|m| m.is_finite())
+                .unwrap_or(f64::INFINITY)
+        };
         let qualifying = candidates
             .iter()
-            .filter(|r| {
-                r.prediction.expect("filtered above").mean <= self.accuracy_requirement_m
-            })
+            .filter(|r| predicted_mean(r) <= self.accuracy_requirement_m)
             .min_by(|a, b| {
                 self.power
                     .scheme_power_mw(a.id)
-                    .partial_cmp(&self.power.scheme_power_mw(b.id))
-                    .expect("finite powers")
+                    .total_cmp(&self.power.scheme_power_mw(b.id))
             });
         match qualifying {
             Some(r) => Some(r.id),
             None => candidates
                 .iter()
-                .min_by(|a, b| {
-                    a.prediction
-                        .expect("filtered above")
-                        .mean
-                        .partial_cmp(&b.prediction.expect("filtered above").mean)
-                        .expect("finite predictions")
-                })
+                .min_by(|a, b| predicted_mean(a).total_cmp(&predicted_mean(b)))
                 .map(|r| r.id),
         }
     }

@@ -164,6 +164,8 @@ mod tests {
             weights: vec![],
             gps_enabled,
             tau: None,
+            ladder: crate::quarantine::DegradationLadder::Nominal,
+            quarantined: vec![],
         }
     }
 

@@ -22,6 +22,10 @@
 use crate::confidence::{adaptive_tau, confidence};
 use crate::error_model::{ErrorModelSet, ErrorPrediction};
 use crate::features::{FeatureExtractor, PredictorKind, SharedContext};
+use crate::guard::{self, FrameGate, GateVerdict};
+use crate::quarantine::{
+    trip, DegradationLadder, QuarantineMachine, QuarantineTransition, SchemeVerdict,
+};
 use uniloc_geom::Point;
 use uniloc_iodetect::{IoDetector, IoState};
 use uniloc_schemes::{LocalizationScheme, LocationEstimate, SchemeId};
@@ -75,6 +79,12 @@ pub struct UniLocOutput {
     pub gps_enabled: bool,
     /// Per-scheme diagnostics.
     pub reports: Vec<SchemeReport>,
+    /// How degraded the ensemble was this epoch (see
+    /// [`DegradationLadder`]); never feeds back into fusion.
+    pub ladder: DegradationLadder,
+    /// Schemes excluded from this epoch's fusion by the quarantine
+    /// machine (trips detected this epoch take effect next epoch).
+    pub quarantined: Vec<SchemeId>,
 }
 
 impl UniLocOutput {
@@ -98,6 +108,24 @@ pub struct UniLocEngine {
     ctx: SharedContext,
     extractor: FeatureExtractor,
     iodetector: IoDetector,
+    /// Frame-stream gate: duplicate / time-regression / bad-clock frames.
+    gate: FrameGate,
+    /// Per-scheme quarantine state machine.
+    quarantine: QuarantineMachine,
+    /// Last `(t, position)` each scheme reported (teleport detection).
+    prev_scheme: Vec<Option<(f64, Point)>>,
+    /// Consecutive epochs each scheme exceeded its speed limit.
+    teleport_streak: Vec<u32>,
+    /// Consecutive epochs each scheme diverged from the fused estimate.
+    diverge_streak: Vec<u32>,
+    /// Last `(t, position)` the ensemble fused (watchdog).
+    prev_fused: Option<(f64, Point)>,
+    /// Consecutive epochs the fused estimate did not move while steps
+    /// kept arriving.
+    frozen_streak: u32,
+    /// IODetector verdict of the last admitted frame (reported when a
+    /// frame is rejected outright).
+    last_io: IoState,
 }
 
 impl std::fmt::Debug for UniLocEngine {
@@ -138,7 +166,23 @@ impl UniLocEngine {
     ) -> Self {
         assert!(!schemes.is_empty(), "UniLoc needs at least one scheme");
         let extractor = FeatureExtractor::with_predictor(&ctx, predictor);
-        UniLocEngine { schemes, models, ctx, extractor, iodetector: IoDetector::new() }
+        let ids: Vec<SchemeId> = schemes.iter().map(|s| s.id()).collect();
+        let n = schemes.len();
+        UniLocEngine {
+            schemes,
+            models,
+            ctx,
+            extractor,
+            iodetector: IoDetector::new(),
+            gate: FrameGate::new(),
+            quarantine: QuarantineMachine::new(&ids),
+            prev_scheme: vec![None; n],
+            teleport_streak: vec![0; n],
+            diverge_streak: vec![0; n],
+            prev_fused: None,
+            frozen_streak: 0,
+            last_io: IoState::Outdoor,
+        }
     }
 
     /// The integrated schemes.
@@ -162,13 +206,57 @@ impl UniLocEngine {
         self.extractor.register_custom(id, f);
     }
 
-    /// Resets per-walk state (schemes, feature extractor, IODetector).
+    /// Resets per-walk state (schemes, feature extractor, IODetector,
+    /// frame gate, quarantine and watchdog).
     pub fn reset(&mut self) {
         for s in &mut self.schemes {
             s.reset();
         }
         self.extractor.reset(&self.ctx);
         self.iodetector = IoDetector::new();
+        self.gate.reset();
+        self.quarantine.reset();
+        self.prev_scheme.fill(None);
+        self.teleport_streak.fill(0);
+        self.diverge_streak.fill(0);
+        self.prev_fused = None;
+        self.frozen_streak = 0;
+        self.last_io = IoState::Outdoor;
+    }
+
+    /// The schemes currently excluded from fusion by the quarantine
+    /// machine.
+    pub fn quarantined(&self) -> Vec<SchemeId> {
+        self.quarantine.excluded()
+    }
+
+    /// The degraded output emitted when a frame fails validation outright
+    /// (non-finite timestamp): no scheme runs, no state advances.
+    fn rejected_output(&self, frame: &SensorFrame) -> UniLocOutput {
+        let reports = self
+            .schemes
+            .iter()
+            .map(|s| SchemeReport {
+                id: s.id(),
+                estimate: None,
+                prediction: None,
+                confidence: 0.0,
+                weight: 0.0,
+            })
+            .collect();
+        UniLocOutput {
+            t: frame.t,
+            best_selection: None,
+            selected: None,
+            bayesian_average: None,
+            mixture_average: None,
+            io: self.last_io,
+            tau: None,
+            gps_enabled: false,
+            reports,
+            ladder: DegradationLadder::Lost,
+            quarantined: self.quarantine.excluded(),
+        }
     }
 
     /// Processes one epoch.
@@ -178,8 +266,73 @@ impl UniLocEngine {
     /// writes back, so output is byte-identical at any trace level.
     pub fn update(&mut self, frame: &SensorFrame) -> UniLocOutput {
         let obs = uniloc_obs::global();
+        let metrics = uniloc_obs::global_metrics();
         let _update_span = obs.span("engine.update").field("t", frame.t);
+
+        // Input-validation gate: a malformed frame must never abort the
+        // walk. A non-finite clock rejects the whole frame; everything
+        // else is scrubbed per channel and the epoch proceeds on what
+        // survived. Clean frames pass through borrowed and untouched.
+        let verdict = self.gate.admit(frame.t);
+        if verdict == GateVerdict::Rejected {
+            metrics.counter("faults.validation.rejected_frame").inc();
+            obs.event(
+                uniloc_obs::TraceLevel::Warn,
+                "engine.frame_rejected",
+                vec![("t".to_owned(), frame.t.into())],
+            );
+            return self.rejected_output(frame);
+        }
+        let scrubbed = guard::scrub_frame(frame);
+        if let Some((_, rep)) = &scrubbed {
+            for (name, n) in [
+                ("faults.validation.dropped_reading.wifi", rep.wifi_readings),
+                ("faults.validation.dropped_reading.cell", rep.cell_readings),
+                ("faults.validation.dropped_gps", rep.gps_fixes),
+                ("faults.validation.dropped_step", rep.steps),
+                ("faults.validation.scrubbed_env", rep.env_channels),
+            ] {
+                if n > 0 {
+                    metrics.counter(name).add(u64::from(n));
+                }
+            }
+        }
+        let frame: &SensorFrame = match &scrubbed {
+            Some((clean, _)) => clean,
+            None => frame,
+        };
+        // Replayed frames (duplicate timestamp or a clock that ran
+        // backwards) keep their radio scans — fingerprinting is stateless
+        // — but lose their steps: integrating the same steps twice
+        // teleports the PDR cloud.
+        let replay_frame;
+        let frame = match verdict {
+            GateVerdict::Duplicate | GateVerdict::TimeRegression => {
+                metrics
+                    .counter(match verdict {
+                        GateVerdict::Duplicate => "faults.validation.duplicate_frame",
+                        _ => "faults.validation.time_regression",
+                    })
+                    .inc();
+                if frame.steps.is_empty() {
+                    frame
+                } else {
+                    let mut f = frame.clone();
+                    f.steps.clear();
+                    replay_frame = f;
+                    &replay_frame
+                }
+            }
+            _ => frame,
+        };
+
+        // Tick quarantine sentences; snapshot the exclusion set that
+        // governs this epoch's fusion.
+        self.quarantine.begin_epoch();
+        let excluded_now = self.quarantine.excluded();
+
         let io = self.iodetector.classify_frame(frame);
+        self.last_io = io;
         self.extractor.begin_epoch(frame);
 
         // GPS duty cycling: predict GPS error without the receiver and
@@ -216,14 +369,31 @@ impl UniLocEngine {
         // whether *UniLoc* powers the receiver and lets GPS participate in
         // the ensemble; the standalone scheme's output is still reported
         // for evaluation.
-        let metrics = uniloc_obs::global_metrics();
         let mut reports: Vec<SchemeReport> = Vec::with_capacity(self.schemes.len());
         let mut posterior_means: Vec<Option<Point>> = Vec::with_capacity(self.schemes.len());
-        for s in &mut self.schemes {
+        let mut nonfinite_strike = vec![false; self.schemes.len()];
+        for (idx, s) in self.schemes.iter_mut().enumerate() {
             let id = s.id();
             let estimate = {
                 let _s = obs.span(&format!("scheme.estimate.{id}"));
                 s.update(frame)
+            };
+            // Output-side validation: a non-finite estimate is treated as
+            // unavailable *and* counts as a quarantine strike — it means
+            // the scheme's internal state is corrupt, not merely blind.
+            let estimate = match estimate {
+                Some(e)
+                    if !e.position.x.is_finite()
+                        || !e.position.y.is_finite()
+                        || e.spread.is_some_and(|s| !s.is_finite()) =>
+                {
+                    nonfinite_strike[idx] = true;
+                    metrics
+                        .counter(&format!("faults.validation.nonfinite_estimate.{id}"))
+                        .inc();
+                    None
+                }
+                other => other,
             };
             metrics
                 .counter(&format!(
@@ -254,8 +424,9 @@ impl UniLocEngine {
             };
             reports.push(SchemeReport { id, estimate, prediction, confidence: 0.0, weight: 0.0 });
         }
-        let participates =
-            |r: &SchemeReport| r.id != SchemeId::Gps || gps_enabled;
+        let participates = |r: &SchemeReport| {
+            (r.id != SchemeId::Gps || gps_enabled) && !excluded_now.contains(&r.id)
+        };
 
         // Adaptive tau over schemes that are available, predictable and
         // participating.
@@ -271,9 +442,11 @@ impl UniLocEngine {
         if let Some(tau) = tau {
             let mut total = 0.0;
             for r in &mut reports {
-                if r.estimate.is_some() && r.prediction.is_some() && participates(r) {
-                    r.confidence = confidence(r.prediction.expect("checked"), tau);
-                    total += r.confidence;
+                if r.estimate.is_some() && participates(r) {
+                    if let Some(pred) = r.prediction {
+                        r.confidence = confidence(pred, tau);
+                        total += r.confidence;
+                    }
                 }
             }
             if total > 0.0 {
@@ -286,20 +459,29 @@ impl UniLocEngine {
         drop(confidence_span);
         let fuse_span = obs.span("engine.fuse");
 
-        // UniLoc1: most-confident scheme.
+        // UniLoc1: most-confident scheme. `total_cmp` keeps a stray NaN
+        // confidence (already gated upstream) from panicking mid-walk.
         let best = reports
             .iter()
             .filter(|r| r.estimate.is_some() && r.confidence > 0.0)
-            .max_by(|a, b| {
-                a.confidence.partial_cmp(&b.confidence).expect("finite confidence")
-            });
-        let (best_selection, selected) = match best {
-            Some(r) => (r.estimate.map(|e| e.position), Some(r.id)),
+            .max_by(|a, b| a.confidence.total_cmp(&b.confidence));
+        // `carrier` is the scheme that actually produced the headline
+        // position (for the degradation ladder when nothing fused).
+        let (best_selection, selected, carrier) = match best {
+            Some(r) => (r.estimate.map(|e| e.position), Some(r.id), Some(r.id)),
             None => {
                 // No model-backed scheme: fall back to any available
-                // estimate so UniLoc still reports a position.
-                let fallback = reports.iter().find_map(|r| r.estimate);
-                (fallback.map(|e| e.position), None)
+                // estimate so UniLoc still reports a position, preferring
+                // schemes not under quarantine.
+                let fallback = reports
+                    .iter()
+                    .find(|r| r.estimate.is_some() && !excluded_now.contains(&r.id))
+                    .or_else(|| reports.iter().find(|r| r.estimate.is_some()));
+                (
+                    fallback.and_then(|r| r.estimate).map(|e| e.position),
+                    None,
+                    fallback.map(|r| r.id),
+                )
             }
         };
 
@@ -379,6 +561,155 @@ impl UniLocEngine {
             self.extractor.note_estimate(p);
         }
 
+        // Trip evaluation: teleports, persistent divergence from the
+        // fused estimate, and the non-finite outputs flagged above. Each
+        // verdict feeds the quarantine machine; a trip detected now takes
+        // effect at the NEXT epoch's fusion, so this stage reads outputs
+        // but never rewrites them.
+        let fused = bayesian_average.or(best_selection);
+        let fused_finite =
+            fused.filter(|p| p.x.is_finite() && p.y.is_finite());
+        for (i, r) in reports.iter().enumerate() {
+            let mut strike = nonfinite_strike[i];
+            if let Some(e) = r.estimate {
+                if let Some((pt, pp)) = self.prev_scheme[i] {
+                    let dt = frame.t - pt;
+                    if dt > 1e-3 {
+                        let speed = e.position.distance(pp) / dt;
+                        if speed > trip::teleport_speed_limit_m_s(r.id) {
+                            self.teleport_streak[i] += 1;
+                        } else {
+                            self.teleport_streak[i] = 0;
+                        }
+                        if self.teleport_streak[i] >= trip::TELEPORT_CONSECUTIVE {
+                            strike = true;
+                            metrics
+                                .counter(&format!("quarantine.signal.teleport.{}", r.id))
+                                .inc();
+                        }
+                    }
+                }
+                if let Some(f) = fused_finite {
+                    let limit = trip::DIVERGE_FLOOR_M
+                        .max(trip::DIVERGE_MULT * r.prediction.map_or(0.0, |p| p.mean));
+                    if e.position.distance(f) > limit {
+                        self.diverge_streak[i] += 1;
+                    } else {
+                        self.diverge_streak[i] = 0;
+                    }
+                    if self.diverge_streak[i] >= trip::DIVERGE_CONSECUTIVE {
+                        strike = true;
+                        metrics
+                            .counter(&format!("quarantine.signal.divergence.{}", r.id))
+                            .inc();
+                    }
+                }
+                self.prev_scheme[i] = Some((frame.t, e.position));
+            }
+            let scheme_verdict = if strike {
+                SchemeVerdict::Strike
+            } else if r.estimate.is_some() {
+                SchemeVerdict::Sane
+            } else {
+                SchemeVerdict::Absent
+            };
+            match self.quarantine.observe(r.id, scheme_verdict) {
+                Some(QuarantineTransition::Tripped(id, strikes)) => {
+                    metrics.counter(&format!("quarantine.tripped.{id}")).inc();
+                    obs.event(
+                        uniloc_obs::TraceLevel::Warn,
+                        "quarantine.tripped",
+                        vec![
+                            ("scheme".to_owned(), id.to_string().into()),
+                            ("strikes".to_owned(), i64::from(strikes).into()),
+                            ("t".to_owned(), frame.t.into()),
+                        ],
+                    );
+                }
+                Some(QuarantineTransition::Readmitted(id)) => {
+                    metrics.counter(&format!("quarantine.readmitted.{id}")).inc();
+                    obs.event(
+                        uniloc_obs::TraceLevel::Info,
+                        "quarantine.readmitted",
+                        vec![
+                            ("scheme".to_owned(), id.to_string().into()),
+                            ("t".to_owned(), frame.t.into()),
+                        ],
+                    );
+                }
+                None => {}
+            }
+        }
+
+        // Watchdog: a fused estimate that freezes while steps keep
+        // arriving, or teleports across the map, means the ensemble
+        // output can no longer be trusted even though every per-scheme
+        // check passed.
+        let flight = uniloc_obs::global_flight();
+        let mut frozen = false;
+        if let Some(f) = fused_finite {
+            if let Some((pt, pf)) = self.prev_fused {
+                let moved = f.distance(pf);
+                if !frame.steps.is_empty() && moved < trip::FROZEN_EPS_M {
+                    self.frozen_streak += 1;
+                } else {
+                    self.frozen_streak = 0;
+                }
+                if self.frozen_streak >= trip::FROZEN_EPOCHS {
+                    frozen = true;
+                    metrics.counter("engine.watchdog.frozen").inc();
+                    if self.frozen_streak == trip::FROZEN_EPOCHS {
+                        flight.trigger(
+                            "watchdog_frozen",
+                            vec![
+                                ("t".to_owned(), frame.t.into()),
+                                ("epochs".to_owned(), i64::from(self.frozen_streak).into()),
+                            ],
+                        );
+                    }
+                }
+                let dt = frame.t - pt;
+                if dt > 1e-3 && moved / dt > trip::FUSED_TELEPORT_SPEED_M_S {
+                    metrics.counter("engine.watchdog.teleport").inc();
+                    flight.trigger(
+                        "watchdog_teleport",
+                        vec![
+                            ("t".to_owned(), frame.t.into()),
+                            ("speed_m_s".to_owned(), (moved / dt).into()),
+                        ],
+                    );
+                }
+            }
+            self.prev_fused = Some((frame.t, f));
+        } else {
+            self.frozen_streak = 0;
+        }
+
+        // Degradation ladder: a pure function of this epoch's outputs and
+        // the exclusion set — reported, never fed back.
+        let contributors: Vec<SchemeId> = reports
+            .iter()
+            .filter(|r| r.weight > 0.0 && r.estimate.is_some())
+            .map(|r| r.id)
+            .collect();
+        let total = reports.len() as u32;
+        let ladder = if fused_finite.is_none() || frozen {
+            DegradationLadder::Lost
+        } else if contributors.is_empty() {
+            match carrier {
+                Some(SchemeId::Motion) => DegradationLadder::DeadReckoningOnly,
+                Some(_) => DegradationLadder::Degraded(total.saturating_sub(1)),
+                None => DegradationLadder::Lost,
+            }
+        } else if contributors.iter().all(|&id| id == SchemeId::Motion) {
+            DegradationLadder::DeadReckoningOnly
+        } else if contributors.len() as u32 == total {
+            DegradationLadder::Nominal
+        } else {
+            DegradationLadder::Degraded(total - contributors.len() as u32)
+        };
+        metrics.counter(&format!("engine.ladder.{}", ladder.name())).inc();
+
         UniLocOutput {
             t: frame.t,
             best_selection,
@@ -389,6 +720,8 @@ impl UniLocEngine {
             tau,
             gps_enabled,
             reports,
+            ladder,
+            quarantined: excluded_now,
         }
     }
 }

@@ -96,9 +96,15 @@ impl ErrorPrediction {
     /// the calibration monitor bins — and, evaluated at the adaptive
     /// threshold `tau`, exactly Eq. 2's confidence.
     pub fn pit(&self, x: f64) -> f64 {
-        let sigma = self.sigma.max(1e-6);
+        // A garbage prediction (non-finite mean) yields zero probability
+        // mass below any threshold — the caller sees zero confidence and
+        // excludes the scheme, instead of a panic mid-walk.
+        if !self.mean.is_finite() || !x.is_finite() {
+            return 0.0;
+        }
+        let sigma = if self.sigma.is_finite() { self.sigma.max(1e-6) } else { 1e-6 };
         Normal::new(self.mean, sigma)
-            .expect("sigma clamped positive")
+            .expect("parameters validated above")
             .cdf(x)
     }
 
@@ -110,9 +116,14 @@ impl ErrorPrediction {
     ///
     /// Panics when `q` is outside `(0, 1)`.
     pub fn quantile(&self, q: f64) -> f64 {
-        let sigma = self.sigma.max(1e-6);
+        // A garbage prediction claims an unbounded error: every coverage
+        // check against it fails open rather than panicking.
+        if !self.mean.is_finite() {
+            return f64::INFINITY;
+        }
+        let sigma = if self.sigma.is_finite() { self.sigma.max(1e-6) } else { 1e-6 };
         Normal::new(self.mean, sigma)
-            .expect("sigma clamped positive")
+            .expect("parameters validated above")
             .quantile(q)
     }
 }
@@ -180,7 +191,17 @@ impl ErrorModelSet {
         if features.len() != m.coefficients.len() {
             return None;
         }
-        Some(ErrorPrediction { mean: m.predict(features), sigma: m.sigma })
+        // A non-finite feature (corrupt sensor value that slipped through
+        // validation) would otherwise propagate NaN into confidences and
+        // BMA weights; no prediction is strictly safer than a poisoned one.
+        if features.iter().any(|f| !f.is_finite()) {
+            return None;
+        }
+        let mean = m.predict(features);
+        if !mean.is_finite() {
+            return None;
+        }
+        Some(ErrorPrediction { mean, sigma: m.sigma })
     }
 }
 

@@ -57,13 +57,17 @@ pub mod energy;
 pub mod engine;
 pub mod error_model;
 pub mod features;
+pub mod guard;
 pub mod pipeline;
+pub mod quarantine;
 pub mod response;
 
 pub use aloc::ALocSelector;
 pub use confidence::{adaptive_tau, confidence};
 pub use energy::{EnergyReport, PowerProfile};
 pub use engine::{FusionMode, SchemeReport, UniLocEngine, UniLocOutput};
+pub use guard::{scrub_frame, FrameGate, GateVerdict, ScrubReport};
+pub use quarantine::{DegradationLadder, QuarantineMachine, SchemeVerdict};
 pub use error_model::{ErrorModelSet, ErrorPrediction, LinearErrorModel, TrainingSample};
 pub use features::{CustomFeatureFn, FeatureExtractor, PredictorKind, SharedContext};
 pub use pipeline::{EpochRecord, PipelineConfig};

@@ -13,6 +13,7 @@
 use crate::engine::UniLocEngine;
 use crate::error_model::{ErrorModelSet, ErrorPrediction, TrainingSample};
 use crate::features::{FeatureExtractor, PredictorKind, SharedContext};
+use crate::quarantine::DegradationLadder;
 use uniloc_env::{GaitProfile, Scenario, Walker};
 use uniloc_geom::Point;
 use uniloc_iodetect::IoState;
@@ -59,6 +60,96 @@ impl Default for PipelineConfig {
     }
 }
 
+/// Why a [`PipelineConfig`] cannot be used. Raised by
+/// [`PipelineConfig::validate`] at the harness entry points, so a zero
+/// particle count or a negative epoch interval fails *here*, with the
+/// field named, instead of deep inside the particle filter or the survey
+/// grid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A rate/size/spacing field that must be strictly positive and
+    /// finite was not; `(field, value)`.
+    NonPositive(&'static str, f64),
+    /// A noise/sigma field that must be finite and non-negative was not;
+    /// `(field, value)`.
+    BadSigma(&'static str, f64),
+    /// A fraction field that must lie in `(0, 1]` did not; `(field,
+    /// value)`.
+    BadFraction(&'static str, f64),
+    /// The particle count is zero.
+    NoParticles,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NonPositive(field, v) => {
+                write!(f, "`{field}` must be positive and finite, got {v}")
+            }
+            ConfigError::BadSigma(field, v) => {
+                write!(f, "`{field}` must be finite and >= 0, got {v}")
+            }
+            ConfigError::BadFraction(field, v) => {
+                write!(f, "`{field}` must lie in (0, 1], got {v}")
+            }
+            ConfigError::NoParticles => f.write_str("`pdr.num_particles` must be > 0"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl PipelineConfig {
+    /// Checks every numeric field for physical sense. Harness entry
+    /// points ([`build_context`], [`collect_training`], [`run_walk`])
+    /// call this and panic with the typed error, so a bad config fails
+    /// fast and near its cause.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let positive = |field, v: f64| {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(ConfigError::NonPositive(field, v))
+            }
+        };
+        let sigma = |field, v: f64| {
+            if v.is_finite() && v >= 0.0 {
+                Ok(())
+            } else {
+                Err(ConfigError::BadSigma(field, v))
+            }
+        };
+        positive("epoch_interval", self.epoch_interval)?;
+        positive("indoor_spacing", self.indoor_spacing)?;
+        positive("outdoor_spacing", self.outdoor_spacing)?;
+        if self.pdr.num_particles == 0 {
+            return Err(ConfigError::NoParticles);
+        }
+        sigma("pdr.step_length_noise", self.pdr.step_length_noise)?;
+        sigma("pdr.heading_noise", self.pdr.heading_noise)?;
+        sigma("pdr.init_spread", self.pdr.init_spread)?;
+        positive("pdr.landmark_sigma", self.pdr.landmark_sigma)?;
+        if !(self.pdr.resample_frac.is_finite()
+            && self.pdr.resample_frac > 0.0
+            && self.pdr.resample_frac <= 1.0)
+        {
+            return Err(ConfigError::BadFraction(
+                "pdr.resample_frac",
+                self.pdr.resample_frac,
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Panics with the named field when `cfg` is unusable — the shared
+/// guard behind every harness entry point.
+fn assert_valid(cfg: &PipelineConfig) {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid PipelineConfig: {e}");
+    }
+}
+
 /// Everything recorded for one localization epoch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EpochRecord {
@@ -97,6 +188,11 @@ pub struct EpochRecord {
     pub gps_enabled: bool,
     /// The adaptive confidence threshold used this epoch.
     pub tau: Option<f64>,
+    /// The engine's degradation-ladder state this epoch.
+    pub ladder: DegradationLadder,
+    /// Schemes excluded from this epoch's fusion by the quarantine
+    /// machine.
+    pub quarantined: Vec<SchemeId>,
 }
 
 uniloc_stats::impl_json_struct!(EpochRecord {
@@ -117,11 +213,14 @@ uniloc_stats::impl_json_struct!(EpochRecord {
     weights,
     gps_enabled,
     tau,
+    ladder,
+    quarantined,
 });
 
 /// Surveys the venue's fingerprint databases (always with the reference
 /// device, as in the paper) and snapshots the floor plan.
 pub fn build_context(scenario: &Scenario, cfg: &PipelineConfig, seed: u64) -> SharedContext {
+    assert_valid(cfg);
     let mut hub = SensorHub::new(&scenario.world, DeviceProfile::nexus_5x(), seed);
     let points = scenario.survey_points(cfg.indoor_spacing, cfg.outdoor_spacing);
     SharedContext {
@@ -177,6 +276,7 @@ pub fn collect_training(
     let _span = uniloc_obs::global()
         .span("pipeline.collect_training")
         .field("scenario", scenario.name.as_str());
+    assert_valid(cfg);
     let base_ctx = build_context(scenario, cfg, seed);
     let mut samples = Vec::new();
     for (pass, spacing) in [None, Some(5.0), Some(10.0), Some(15.0)].into_iter().enumerate() {
@@ -237,6 +337,25 @@ fn collect_training_pass(
     }
 }
 
+/// Samples the sensor-frame stream of one walk through a scenario — the
+/// exact frames [`run_walk`] evaluates on. Exposed separately so a fault
+/// injector (`uniloc-faults`) can corrupt the stream between sampling and
+/// evaluation; uses the same RNG streams (`seed + 3` for the walker,
+/// `seed + 4` for the sensor hub) as the fused path, so
+/// `run_walk_on_frames(.., &walk_frames(..))` is byte-identical to
+/// [`run_walk`].
+pub fn walk_frames(
+    scenario: &Scenario,
+    cfg: &PipelineConfig,
+    seed: u64,
+) -> Vec<uniloc_sensors::SensorFrame> {
+    assert_valid(cfg);
+    let mut walker = Walker::new(cfg.gait.clone(), Rng::seed_from_u64(seed + 3));
+    let walk = walker.walk(&scenario.route);
+    let mut hub = SensorHub::new(&scenario.world, cfg.device, seed + 4);
+    hub.sample_walk(&walk, cfg.epoch_interval)
+}
+
 /// Walks a scenario with trained models and records everything Section V
 /// reports.
 pub fn run_walk(
@@ -245,6 +364,22 @@ pub fn run_walk(
     cfg: &PipelineConfig,
     seed: u64,
 ) -> Vec<EpochRecord> {
+    let frames = walk_frames(scenario, cfg, seed);
+    run_walk_on_frames(scenario, models, cfg, seed, &frames)
+}
+
+/// Evaluates a pre-sampled (possibly fault-injected) frame stream with
+/// trained models. `seed` must match the one used elsewhere in the run:
+/// the survey uses `seed`, scheme construction `seed + 2` — the same
+/// stream discipline as [`run_walk`].
+pub fn run_walk_on_frames(
+    scenario: &Scenario,
+    models: &ErrorModelSet,
+    cfg: &PipelineConfig,
+    seed: u64,
+    frames: &[uniloc_sensors::SensorFrame],
+) -> Vec<EpochRecord> {
+    assert_valid(cfg);
     let obs = uniloc_obs::global();
     let metrics = uniloc_obs::global_metrics();
     let calib = uniloc_obs::global_calibration();
@@ -261,14 +396,9 @@ pub fn run_walk(
     let mut engine =
         UniLocEngine::with_predictor(schemes, models.clone(), ctx, cfg.predictor);
 
-    let mut walker = Walker::new(cfg.gait.clone(), Rng::seed_from_u64(seed + 3));
-    let walk = walker.walk(&scenario.route);
-    let mut hub = SensorHub::new(&scenario.world, cfg.device, seed + 4);
-    let frames = hub.sample_walk(&walk, cfg.epoch_interval);
-
     let epoch_counter = metrics.counter("pipeline.epochs");
     let mut records = Vec::with_capacity(frames.len());
-    for frame in &frames {
+    for frame in frames {
         // Under a VirtualClock the sidecar's timestamps follow simulation
         // time; under the default MonotonicClock this is a no-op.
         obs.sync_virtual_clock(frame.t);
@@ -361,6 +491,8 @@ pub fn run_walk(
             weights: out.reports.iter().map(|r| (r.id, r.weight)).collect(),
             gps_enabled: out.gps_enabled,
             tau: out.tau,
+            ladder: out.ladder,
+            quarantined: out.quarantined.clone(),
         });
     }
     records

@@ -113,7 +113,10 @@ impl<S: RssiLike> FingerprintDb<S> {
                     .map(|d| FingerprintMatch { position: *p, distance: d })
             })
             .collect();
-        matches.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite distances"));
+        // `total_cmp` instead of `partial_cmp(..).expect(..)`: a NaN
+        // distance (corrupt RSSI that slipped past upstream validation)
+        // must sort deterministically, not panic mid-walk.
+        matches.sort_by(|a, b| a.distance.total_cmp(&b.distance));
         matches.truncate(k);
         matches
     }
@@ -140,11 +143,7 @@ impl<S: RssiLike> FingerprintDb<S> {
         // `p` against the whole neighborhood gives the same estimate (the
         // local grid is homogeneous) at O(K*n).
         const PROBES: usize = 40;
-        nearby.sort_by(|a, b| {
-            a.distance_sq(p)
-                .partial_cmp(&b.distance_sq(p))
-                .expect("finite distances")
-        });
+        nearby.sort_by(|a, b| a.distance_sq(p).total_cmp(&b.distance_sq(p)));
         let probes = nearby.len().min(PROBES);
         let mut total = 0.0;
         for i in 0..probes {

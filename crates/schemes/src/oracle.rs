@@ -25,7 +25,9 @@ impl Oracle {
             .filter_map(|(id, est)| {
                 est.map(|e| (*id, e, e.position.distance(truth)))
             })
-            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite errors"))
+            // `total_cmp` so a NaN error (poisoned estimate) ranks last
+            // deterministically instead of panicking the walk.
+            .min_by(|a, b| a.2.total_cmp(&b.2))
     }
 }
 

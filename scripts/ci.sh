@@ -21,6 +21,15 @@ fail=0
 echo "==> auditing workspace manifests for external dependencies"
 for manifest in Cargo.toml crates/*/Cargo.toml; do
     bad=$(awk '
+        # Table-header form: [dependencies.foo] / [dev-dependencies.foo]
+        /^\[(workspace\.)?(dev-|build-)?dependencies\./ {
+            dep = $0
+            sub(/^\[(workspace\.)?(dev-|build-)?dependencies\./, "", dep)
+            sub(/\].*/, "", dep)
+            if (dep !~ /^uniloc-/) print dep
+            in_deps = 0
+            next
+        }
         /^\[/ {
             in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies\]/)
             next
@@ -88,7 +97,27 @@ if ! grep -q "scheme_unavailable" "$smoke/flight.txt"; then
 fi
 echo "    ok: calibration cells and flight postmortems inspect cleanly"
 
-# --- 4. bench-regression gate --------------------------------------------
+# --- 4. chaos smoke -------------------------------------------------------
+# Sweep the small fault-plan set over one scenario, strict: a terminal
+# `lost` ladder state, any non-finite fused estimate, or a quarantine that
+# never lifts after its fault window fails CI. Reuses the models trained
+# for the metrics smoke; stays fully offline.
+echo "==> chaos smoke (uniloc chaos --strict)"
+target/release/uniloc chaos --models "$smoke/models.json" --scenarios office \
+    --plans smoke --seed 11 --out "$smoke/chaos" --strict --quiet
+if ! ls "$smoke/chaos"/CHAOS_*.json >/dev/null 2>&1; then
+    echo "ERROR: chaos sweep wrote no CHAOS_*.json report" >&2
+    exit 1
+fi
+for needle in '"worst_ladder"' '"nonfinite_fused": 0' '"recovered": true'; do
+    if ! grep -qF "$needle" "$smoke/chaos"/CHAOS_*.json; then
+        echo "ERROR: chaos report is missing \`$needle\`" >&2
+        exit 1
+    fi
+done
+echo "    ok: fault sweep stayed finite, degraded gracefully and recovered"
+
+# --- 5. bench-regression gate --------------------------------------------
 # Strict self-diff first: re-parses every committed results/BENCH_*.json
 # with the in-repo JSON reader (malformed or duplicate-key files are hard
 # errors) and must report no regression against itself.

@@ -12,6 +12,7 @@
 //! | [`env`] | `uniloc-env` | simulated venues, radio propagation, walker trajectories |
 //! | [`sensors`] | `uniloc-sensors` | device profiles, scans, GPS fixes, IMU pipeline |
 //! | [`filters`] | `uniloc-filters` | particle filter, Kalman filter, 2nd-order HMM |
+//! | [`faults`] | `uniloc-faults` | deterministic fault injection: scripted sensor-fault schedules |
 //! | [`iodetect`] | `uniloc-iodetect` | indoor/outdoor detection |
 //! | [`obs`] | `uniloc-obs` | structured tracing, metrics registry, clocks |
 //! | [`geom`] | `uniloc-geom` | planar geometry, floor plans, geo frames |
@@ -27,6 +28,7 @@
 pub use uniloc_core as core;
 pub use uniloc_rng as rng;
 pub use uniloc_env as env;
+pub use uniloc_faults as faults;
 pub use uniloc_filters as filters;
 pub use uniloc_geom as geom;
 pub use uniloc_iodetect as iodetect;

@@ -278,3 +278,191 @@ fn ecdf_is_a_cdf() {
         },
     );
 }
+
+// ---------------------------------------------------------------------------
+// Fault-injection subsystem invariants (uniloc-faults + the engine guards).
+// ---------------------------------------------------------------------------
+
+/// A synthetic but plausible sensor frame for fault-machinery tests —
+/// cheap enough to build hundreds of walks per property case.
+fn synthetic_frames(rng: &mut uniloc::rng::Rng, n: usize) -> Vec<uniloc::sensors::SensorFrame> {
+    use uniloc::env::ApId;
+    use uniloc::sensors::{CellScan, GpsFix, SensorFrame, StepMeasurement, WifiScan};
+    (0..n)
+        .map(|i| {
+            let t = i as f64 * 0.5;
+            SensorFrame {
+                t,
+                true_position: Point::new(i as f64, rng.gen_range(-5.0..5.0)),
+                wifi: Some(WifiScan {
+                    readings: (0..4u32)
+                        .map(|a| (ApId(a), rng.gen_range(-90.0..-40.0)))
+                        .collect(),
+                }),
+                cell: Some(CellScan {
+                    readings: (0..2u32)
+                        .map(|c| (uniloc::env::TowerId(c), rng.gen_range(-110.0..-60.0)))
+                        .collect(),
+                }),
+                gps: Some(GpsFix {
+                    coordinate: uniloc::geom::GeoCoord {
+                        lat: 1.3 + i as f64 * 1e-6,
+                        lon: 103.7,
+                    },
+                    hdop: rng.gen_range(0.8..3.0),
+                    satellites: 9,
+                }),
+                steps: vec![StepMeasurement {
+                    t: t - 0.1,
+                    duration: 0.45,
+                    length_est: rng.gen_range(0.5..0.9),
+                    heading_est: rng.gen_range(-3.1..3.1),
+                }],
+                landmark: None,
+                light_lux: rng.gen_range(0.0..500.0),
+                magnetic_variance: rng.gen_range(0.0..2.0),
+            }
+        })
+        .collect()
+}
+
+/// Same `(seed, plan)` ⇒ byte-identical fault schedule and frame stream;
+/// the `none` plan is an exact pass-through.
+#[test]
+fn fault_injection_is_deterministic() {
+    use uniloc::faults::{FaultClause, FaultInjector, FaultKind, FaultPlan};
+    checker("fault_injection_is_deterministic").cases(48).run(
+        |rng, scale| {
+            let kinds = [
+                FaultKind::RadioBlackout { wifi: true, cell: true, gps: true },
+                FaultKind::ApChurn { fraction: 0.5 + 0.4 * scale },
+                FaultKind::CellNlosBias { bias_db: 5.0 + 30.0 * scale },
+                FaultKind::GpsMultipathJump { magnitude_m: 50.0 + 900.0 * scale, prob: 0.7 },
+                FaultKind::NanCorruption { prob: 0.5 },
+                FaultKind::DuplicateFrame { prob: 0.4 },
+                FaultKind::TimeRegression { offset_s: 2.0, prob: 0.3 },
+                FaultKind::ClockJitter { sigma_s: 0.02 },
+            ];
+            let n_clauses = rng.gen_range(1..4usize);
+            let clauses: Vec<FaultClause> = (0..n_clauses)
+                .map(|_| {
+                    let a = rng.gen_range(0.0..0.6);
+                    let b = a + rng.gen_range(0.05..0.39);
+                    let kind = kinds[rng.gen_range(0..kinds.len())].clone();
+                    FaultClause::over(a, b, kind)
+                })
+                .collect();
+            (rng.gen_range(0..u64::MAX), clauses, rng.gen_range(10..60usize))
+        },
+        |(seed, clauses, n)| {
+            let plan = FaultPlan::new("prop", clauses.clone());
+            let mut frame_rng = uniloc::rng::Rng::seed_from_u64(*seed ^ 0xf00d);
+            let frames = synthetic_frames(&mut frame_rng, *n);
+
+            let mut a = FaultInjector::new(plan.clone(), *seed);
+            let mut b = FaultInjector::new(plan, *seed);
+            let fa = a.inject_walk(&frames);
+            let fb = b.inject_walk(&frames);
+            require_eq!(a.schedule_json(), b.schedule_json());
+            // NaN != NaN, so poisoned frames are compared via Debug.
+            require_eq!(format!("{fa:?}"), format!("{fb:?}"));
+
+            let mut none = uniloc::faults::FaultInjector::new(FaultPlan::none(), *seed);
+            let passthrough = none.inject_walk(&frames);
+            require_eq!(passthrough.len(), frames.len());
+            require!(passthrough == frames, "none plan must be an exact pass-through");
+            Ok(())
+        },
+    );
+}
+
+/// Quarantine hysteresis never oscillates faster than the backoff floor:
+/// between a trip and the matching re-admission at least
+/// `backoff + READMIT_SANE_EPOCHS - 1` epochs elapse, and consecutive
+/// sentences never shrink.
+#[test]
+fn quarantine_backoff_is_a_floor() {
+    use uniloc::core::quarantine::{
+        QuarantineMachine, QuarantineTransition, SchemeVerdict, BACKOFF_BASE_EPOCHS,
+        BACKOFF_CAP_EPOCHS, READMIT_SANE_EPOCHS,
+    };
+    checker("quarantine_backoff_is_a_floor").run(
+        |rng, _scale| {
+            // A random verdict stream: mostly sane with strike bursts.
+            let n = rng.gen_range(50..400usize);
+            (0..n)
+                .map(|_| rng.gen_bool(0.25))
+                .collect::<Vec<bool>>()
+        },
+        |strikes| {
+            let id = SchemeId::Wifi;
+            let mut q = QuarantineMachine::new(&[id]);
+            let mut tripped_at: Option<(usize, u32)> = None;
+            let mut last_sentence = 0u32;
+            for (epoch, &strike) in strikes.iter().enumerate() {
+                q.begin_epoch();
+                let verdict = if strike { SchemeVerdict::Strike } else { SchemeVerdict::Sane };
+                match q.observe(id, verdict) {
+                    Some(QuarantineTransition::Tripped(_, strike_count)) => {
+                        let sentence = (BACKOFF_BASE_EPOCHS
+                            .saturating_mul(2u32.saturating_pow(strike_count - 1)))
+                        .min(BACKOFF_CAP_EPOCHS);
+                        require!(
+                            sentence >= last_sentence.min(BACKOFF_CAP_EPOCHS),
+                            "sentences must not shrink"
+                        );
+                        last_sentence = sentence;
+                        tripped_at = Some((epoch, sentence));
+                    }
+                    Some(QuarantineTransition::Readmitted(_)) => {
+                        let (at, sentence) = tripped_at.take().expect("readmit without trip");
+                        let elapsed = (epoch - at) as u32;
+                        require!(
+                            elapsed >= sentence + READMIT_SANE_EPOCHS - 1,
+                            "re-admitted after {elapsed} epochs, floor is {}",
+                            sentence + READMIT_SANE_EPOCHS - 1
+                        );
+                        last_sentence = 0;
+                    }
+                    None => {}
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The validation gate is idempotent: scrubbing a scrubbed frame removes
+/// nothing, and a clean frame passes through untouched.
+#[test]
+fn scrub_frame_is_idempotent() {
+    use uniloc::core::scrub_frame;
+    use uniloc::faults::{FaultClause, FaultInjector, FaultKind, FaultPlan};
+    checker("scrub_frame_is_idempotent").cases(64).run(
+        |rng, _scale| (rng.gen_range(0..u64::MAX), rng.gen_range(5..40usize)),
+        |(seed, n)| {
+            let mut frame_rng = uniloc::rng::Rng::seed_from_u64(*seed);
+            let frames = synthetic_frames(&mut frame_rng, *n);
+            // Clean frames pass untouched.
+            for f in &frames {
+                require!(scrub_frame(f).is_none(), "clean frame must not scrub");
+            }
+            // NaN-poisoned frames scrub to clean in one pass.
+            let plan = FaultPlan::new(
+                "poison",
+                vec![FaultClause::over(0.0, 1.0, FaultKind::NanCorruption { prob: 0.9 })],
+            );
+            let mut inj = FaultInjector::new(plan, *seed ^ 0xbeef);
+            for f in inj.inject_walk(&frames) {
+                if let Some((clean, report)) = scrub_frame(&f) {
+                    require!(report.any(), "a scrub must report what it removed");
+                    require!(
+                        scrub_frame(&clean).is_none(),
+                        "scrubbing a scrubbed frame must be a no-op"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}
