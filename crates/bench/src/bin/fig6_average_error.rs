@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release -p uniloc-bench --bin fig6_average_error`
 
 use uniloc_bench::{fmt_opt, mean_defined, print_table, system_errors, trained_models, SYSTEM_LABELS};
-use uniloc_core::pipeline::{self, PipelineConfig};
+use uniloc_core::pipeline::PipelineConfig;
 use uniloc_env::campus;
 
 fn main() {
@@ -17,10 +17,12 @@ fn main() {
     let models = trained_models(1);
     let scenario = campus::daily_path(3);
 
-    // Average over several walks (different walkers/noise) for stability.
+    // Average over several walks (different walkers/noise) for stability;
+    // the walks fan out on UNILOC_JOBS workers in seed order.
+    let walks: Vec<_> =
+        (0..5u64).map(|run| (scenario.clone(), cfg.clone(), 12 + run * 31)).collect();
     let mut all_means: Vec<Vec<f64>> = vec![Vec::new(); SYSTEM_LABELS.len()];
-    for run in 0..5u64 {
-        let records = pipeline::run_walk(&scenario, &models, &cfg, 12 + run * 31);
+    for records in uniloc_bench::run_walks_parallel(&walks, &models) {
         for (i, label) in SYSTEM_LABELS.iter().enumerate() {
             if let Some(m) = mean_defined(&system_errors(&records, label)) {
                 all_means[i].push(m);

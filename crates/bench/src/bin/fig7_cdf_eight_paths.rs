@@ -12,7 +12,7 @@
 use uniloc_bench::{
     cdf_summary, pooled_errors, print_cdf_series, print_table, trained_models, SYSTEM_LABELS,
 };
-use uniloc_core::pipeline::{self, PipelineConfig};
+use uniloc_core::pipeline::PipelineConfig;
 use uniloc_env::{campus, GaitProfile};
 
 fn main() {
@@ -21,14 +21,18 @@ fn main() {
 
     println!("Fig. 7 — error CDF over the eight daily paths (3 walkers each)");
     let personas = GaitProfile::personas();
-    let mut runs = Vec::new();
-    for (i, scenario) in campus::all_paths(3).into_iter().enumerate() {
+    let mut walks = Vec::new();
+    let paths = campus::all_paths(3);
+    for (i, scenario) in paths.iter().enumerate() {
         for (j, gait) in personas.iter().step_by(2).enumerate() {
             let cfg = PipelineConfig { gait: gait.clone(), ..PipelineConfig::default() };
-            let records =
-                pipeline::run_walk(&scenario, &models, &cfg, 300 + i as u64 * 17 + j as u64 * 7);
-            runs.push(records);
+            walks.push((scenario.clone(), cfg, 300 + i as u64 * 17 + j as u64 * 7));
         }
+    }
+    // The walks fan out on UNILOC_JOBS workers; records come back in the
+    // same (path, persona) order the sequential loop produced.
+    let runs = uniloc_bench::run_walks_parallel(&walks, &models);
+    for scenario in &paths {
         println!("  walked {} ({:.0} m) with 3 personas", scenario.name, scenario.route.length());
     }
 

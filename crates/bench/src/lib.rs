@@ -6,6 +6,7 @@
 //! they share: the one-time error-model training, walk aggregation and
 //! plain-text table/series printing.
 
+pub mod chaos;
 pub mod microbench;
 pub mod regression;
 
@@ -67,7 +68,7 @@ pub fn write_latency_breakdown(name: &str) -> std::io::Result<Option<String>> {
     ]);
     let dir = if std::path::Path::new("results").is_dir() { "results" } else { "." };
     let path = format!("{dir}/BENCH_{name}.json");
-    std::fs::write(&path, doc.to_string_pretty())?;
+    std::fs::write(&path, doc.canonical().to_string_pretty())?;
     Ok(Some(path))
 }
 
@@ -79,6 +80,39 @@ pub fn finish(name: &str) {
         Ok(None) => {}
         Err(e) => uniloc_obs::warn!("latency breakdown for {name} not written: {e}"),
     }
+}
+
+/// Worker count for the regenerators: `UNILOC_JOBS` when set (≥ 1), else
+/// the machine's available cores. Results are byte-identical at any value.
+pub fn jobs_from_env() -> usize {
+    std::env::var("UNILOC_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+        })
+}
+
+/// Runs one [`pipeline::run_walk`] per `(scenario, cfg, seed)` triple on
+/// up to [`jobs_from_env`] workers, returning records in input order.
+/// Each walk executes under an isolated observability session; the merged
+/// span-timing metrics are re-absorbed into the process registry
+/// afterward, so [`write_latency_breakdown`] sees the same histograms as
+/// a sequential run.
+pub fn run_walks_parallel(
+    walks: &[(Scenario, PipelineConfig, u64)],
+    models: &ErrorModelSet,
+) -> Vec<Vec<EpochRecord>> {
+    let jobs = jobs_from_env();
+    let (records, obs) =
+        uniloc_core::parallel::run_observed(walks, jobs, |_, (scenario, cfg, seed)| {
+            pipeline::run_walk(scenario, models, cfg, *seed)
+        });
+    if let Err(e) = uniloc_obs::process_metrics().absorb(&obs.metrics) {
+        uniloc_obs::warn!("bench metrics re-absorb failed: {e}");
+    }
+    records
 }
 
 /// The labels used across printed tables, in the paper's order.

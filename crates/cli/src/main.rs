@@ -16,6 +16,8 @@
 //!                   [--threshold X] [--warn-only]
 //!                                               diff BENCH_*.json latency breakdowns
 //!                                               against the committed baselines
+//! uniloc chaos [--plans smoke|full] [--jobs N]  scenario x fault-plan resilience sweep
+//!                                               (parallel, deterministic at any --jobs)
 //! uniloc scenarios                              list available venues
 //! ```
 //!
@@ -32,9 +34,10 @@ use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use uniloc_bench::chaos::scenario_by_name;
 use uniloc_core::error_model::{train, ErrorModelSet};
 use uniloc_core::pipeline::{self, PipelineConfig};
-use uniloc_env::{campus, venues, Scenario};
+use uniloc_env::venues;
 use uniloc_iodetect::IoState;
 use uniloc_obs::{
     JsonlExporter, MultiSubscriber, StderrSubscriber, Subscriber, TraceLevel, VirtualClock,
@@ -71,7 +74,7 @@ fn main() -> ExitCode {
         "inspect-calibration" => cmd_inspect_calibration(&flags),
         "inspect-flight" => cmd_inspect_flight(&flags),
         "bench-diff" => cmd_bench_diff(&flags),
-        "chaos" => cmd_chaos(&flags),
+        "chaos" => cmd_chaos(&flags, exporter.as_deref()),
         "scenarios" => cmd_scenarios(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -99,9 +102,11 @@ const USAGE: &str = "usage:
   uniloc inspect-flight --file FILE [--full]
   uniloc bench-diff [--baseline DIR] [--candidate DIR] [--threshold X] [--warn-only]
   uniloc chaos [--models FILE] [--scenarios a,b] [--plans smoke|full|p1,p2] [--seed N]
-               [--out DIR] [--strict]
+               [--out DIR] [--strict] [--jobs N]
   uniloc scenarios
-global flags: --quiet (suppress progress output)";
+global flags: --quiet (suppress progress output)
+  --jobs N: worker threads for sweep commands (default: available cores);
+            artifacts are byte-identical at any value, --jobs 1 runs inline";
 
 /// Configures the global `uniloc-obs` dispatcher from the flags: a stderr
 /// progress printer (unless `--quiet`), a JSONL exporter when `--metrics
@@ -133,7 +138,7 @@ fn init_obs(flags: &BTreeMap<String, String>) -> Result<Option<Arc<JsonlExporter
     // holds the recent window; postmortems land in the metrics sidecar.
     let flight = uniloc_obs::global_flight();
     flight.set_sink(exporter.clone());
-    subs.push(Arc::clone(flight) as Arc<dyn Subscriber>);
+    subs.push(Arc::clone(&flight) as Arc<dyn Subscriber>);
     let d = uniloc_obs::global();
     d.set_level(level);
     d.set_subscriber(match subs.len() {
@@ -173,6 +178,19 @@ fn seed_flag(flags: &BTreeMap<String, String>) -> Result<u64, String> {
     }
 }
 
+/// `--jobs N` (default: the machine's available cores). Sweep artifacts
+/// are byte-identical at any value; `--jobs 1` runs inline with no worker
+/// threads.
+fn jobs_flag(flags: &BTreeMap<String, String>) -> Result<usize, String> {
+    match flags.get("jobs") {
+        Some(s) => match s.parse() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("--jobs must be a positive integer, got `{s}`")),
+        },
+        None => Ok(std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)),
+    }
+}
+
 fn cmd_train(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let seed = seed_flag(flags)?;
     let out = flags.get("out").map(String::as_str).unwrap_or("uniloc-models.json");
@@ -196,20 +214,6 @@ fn load_models(flags: &BTreeMap<String, String>) -> Result<ErrorModelSet, String
     let path = flags.get("models").ok_or("--models FILE is required")?;
     let json = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     uniloc_stats::json::from_str(&json).map_err(|e| format!("parse {path}: {e}"))
-}
-
-fn scenario_by_name(name: &str, seed: u64) -> Result<Scenario, String> {
-    match name {
-        "path1" | "daily" => Ok(campus::daily_path(seed)),
-        "path2" | "path3" | "path4" | "path5" | "path6" | "path7" | "path8" => {
-            let idx: usize = name[4..].parse().expect("digit-suffixed name");
-            Ok(campus::all_paths(seed).swap_remove(idx - 1))
-        }
-        "mall" => Ok(venues::shopping_mall(seed, 1).swap_remove(0)),
-        "open-space" => Ok(venues::urban_open_space(seed, 1).swap_remove(0)),
-        "office" => Ok(venues::office("cli-office", seed, 50.0, 18.0)),
-        other => Err(format!("unknown scenario `{other}` (try `uniloc scenarios`)")),
-    }
 }
 
 fn cmd_run(flags: &BTreeMap<String, String>, exporter: Option<&JsonlExporter>) -> Result<(), String> {
@@ -486,99 +490,23 @@ fn cmd_bench_diff(flags: &BTreeMap<String, String>) -> Result<(), String> {
     }
 }
 
-/// One chaos run's resilience summary (one scenario × one fault plan).
-struct ChaosOutcome {
-    plan: String,
-    epochs: usize,
-    injected_events: usize,
-    clean_mean: Option<f64>,
-    faulted_mean: Option<f64>,
-    mean_shift: Option<f64>,
-    p50_shift: Option<f64>,
-    p90_shift: Option<f64>,
-    worst_ladder: String,
-    final_ladder: String,
-    lost_terminal: bool,
-    nonfinite_fused: usize,
-    quarantined_epochs: usize,
-    schemes_quarantined: Vec<String>,
-    epochs_to_recover: Option<usize>,
-    recovered: bool,
-}
-
-impl ChaosOutcome {
-    fn to_json(&self) -> Json {
-        let opt = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
-        Json::Obj(vec![
-            ("plan".into(), Json::Str(self.plan.clone())),
-            ("epochs".into(), Json::Int(self.epochs as i64)),
-            ("injected_events".into(), Json::Int(self.injected_events as i64)),
-            ("clean_mean_m".into(), opt(self.clean_mean)),
-            ("faulted_mean_m".into(), opt(self.faulted_mean)),
-            ("mean_shift_m".into(), opt(self.mean_shift)),
-            ("p50_shift_m".into(), opt(self.p50_shift)),
-            ("p90_shift_m".into(), opt(self.p90_shift)),
-            ("worst_ladder".into(), Json::Str(self.worst_ladder.clone())),
-            ("final_ladder".into(), Json::Str(self.final_ladder.clone())),
-            ("lost_terminal".into(), Json::Bool(self.lost_terminal)),
-            ("nonfinite_fused".into(), Json::Int(self.nonfinite_fused as i64)),
-            ("quarantined_epochs".into(), Json::Int(self.quarantined_epochs as i64)),
-            (
-                "schemes_quarantined".into(),
-                Json::Arr(self.schemes_quarantined.iter().cloned().map(Json::Str).collect()),
-            ),
-            (
-                "epochs_to_recover".into(),
-                self.epochs_to_recover.map_or(Json::Null, |e| Json::Int(e as i64)),
-            ),
-            ("recovered".into(), Json::Bool(self.recovered)),
-        ])
-    }
-}
-
-/// The fused error of one epoch: UniLoc2 when available, UniLoc1 otherwise
-/// (mirroring the engine's own degradation order).
-fn fused_error(r: &uniloc_core::EpochRecord) -> Option<f64> {
-    r.uniloc2_error.or(r.uniloc1_error)
-}
-
-/// `q`-quantile of a sorted slice (nearest-rank); `None` when empty.
-fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
-    if sorted.is_empty() {
-        return None;
-    }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    Some(sorted[idx.min(sorted.len() - 1)])
-}
-
-fn error_stats(records: &[uniloc_core::EpochRecord]) -> (Option<f64>, Option<f64>, Option<f64>) {
-    let mut errs: Vec<f64> = records.iter().filter_map(fused_error).filter(|e| e.is_finite()).collect();
-    errs.sort_by(|a, b| a.total_cmp(b));
-    let mean = if errs.is_empty() {
-        None
-    } else {
-        Some(errs.iter().sum::<f64>() / errs.len() as f64)
-    };
-    (mean, percentile(&errs, 0.5), percentile(&errs, 0.9))
-}
-
 /// `uniloc chaos`: sweeps a scenario × fault-plan matrix deterministically
-/// and writes one resilience report per scenario to `--out DIR` (default
-/// `results/`) as `CHAOS_<scenario>.json`. Each cell injects one library
-/// fault plan into the exact frame stream the clean walk consumes
-/// ([`pipeline::walk_frames`] + [`uniloc_faults::FaultInjector`]), replays
-/// it through [`pipeline::run_walk_on_frames`], and reports the error-CDF
-/// shift against the clean run, the worst/final degradation-ladder state,
-/// non-finite fused estimates (must always be zero), which schemes were
-/// quarantined and how many epochs past the last fault window the engine
-/// needed to re-admit them. `--strict` turns the resilience contract into
-/// an exit code: a terminal `lost` ladder state, any non-finite fused
-/// estimate, or a quarantine that never lifts fails the command — the CI
-/// smoke gate runs exactly this against the `smoke` plan set.
-fn cmd_chaos(flags: &BTreeMap<String, String>) -> Result<(), String> {
-    use uniloc_faults::{FaultInjector, FaultPlan};
+/// on up to `--jobs N` worker threads (default: the machine's available
+/// cores) and writes one resilience report per scenario to `--out DIR`
+/// (default `results/`) as `CHAOS_<scenario>.json`. The sweep itself lives
+/// in [`uniloc_bench::chaos`]; results merge in canonical cell order, so
+/// the artifacts are byte-identical at any `--jobs` value and `--jobs 1`
+/// runs the historical single-threaded path. `--strict` turns the
+/// resilience contract into an exit code: a terminal `lost` ladder state,
+/// any non-finite fused estimate, or a quarantine that never lifts fails
+/// the command — the CI smoke gate runs exactly this against the `smoke`
+/// plan set at both `--jobs 1` and `--jobs 4` and diffs the artifacts.
+fn cmd_chaos(flags: &BTreeMap<String, String>, exporter: Option<&JsonlExporter>) -> Result<(), String> {
+    use uniloc_bench::chaos::{run_sweep, ChaosConfig};
+    use uniloc_faults::FaultPlan;
 
     let seed = seed_flag(flags)?;
+    let jobs = jobs_flag(flags)?;
     let out_dir = flags.get("out").map(String::as_str).unwrap_or("results");
     let strict = flags.contains_key("strict");
     let cfg = PipelineConfig::default();
@@ -612,141 +540,45 @@ fn cmd_chaos(flags: &BTreeMap<String, String>) -> Result<(), String> {
     };
 
     std::fs::create_dir_all(out_dir).map_err(|e| format!("create {out_dir}: {e}"))?;
-    let mut violations: Vec<String> = Vec::new();
+    let sweep = run_sweep(&models, &cfg, &ChaosConfig { seed, scenario_names, plans, jobs })?;
 
-    for name in &scenario_names {
-        let scenario = scenario_by_name(name, seed)?;
-        let frames = pipeline::walk_frames(&scenario, &cfg, seed + 100);
-        uniloc_obs::info!(
-            "chaos: {} — {} epochs, {} plan(s)",
-            scenario.name,
-            frames.len(),
-            plans.len()
-        );
-        let clean = pipeline::run_walk_on_frames(&scenario, &models, &cfg, seed + 100, &frames);
-        let (clean_mean, clean_p50, clean_p90) = error_stats(&clean);
-
-        let mut outcomes = Vec::new();
-        for plan in &plans {
-            // Each (scenario, plan) cell draws from its own fault stream,
-            // derived from the sweep seed and the plan's index-free name —
-            // re-running the sweep bit-reproduces every cell.
-            let chaos_seed = seed
-                ^ plan.name.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
-            let mut injector = FaultInjector::new(plan.clone(), chaos_seed)
-                .with_geo_frame(*scenario.world.geo_frame());
-            let faulted_frames = injector.inject_walk(&frames);
-            let records =
-                pipeline::run_walk_on_frames(&scenario, &models, &cfg, seed + 100, &faulted_frames);
-
-            let (faulted_mean, faulted_p50, faulted_p90) = error_stats(&records);
-            let nonfinite_fused =
-                records.iter().filter_map(fused_error).filter(|e| !e.is_finite()).count();
-            let worst = records.iter().map(|r| r.ladder).max().unwrap_or_default();
-            let final_ladder = records.last().map(|r| r.ladder).unwrap_or_default();
-            let quarantined_epochs =
-                records.iter().filter(|r| !r.quarantined.is_empty()).count();
-            let mut schemes_quarantined: Vec<String> = Vec::new();
-            for r in &records {
-                for id in &r.quarantined {
-                    let s = id.to_string();
-                    if !schemes_quarantined.contains(&s) {
-                        schemes_quarantined.push(s);
-                    }
-                }
-            }
-            // Recovery: epochs past the last fault window until the
-            // quarantine set empties and stays empty through the end.
-            let window_end =
-                ((plan.last_window_end() * records.len() as f64).ceil() as usize).min(records.len());
-            let clear_from = records
-                .iter()
-                .rposition(|r| !r.quarantined.is_empty())
-                .map_or(window_end, |i| i + 1);
-            let recovered = clear_from <= records.len().saturating_sub(1) || quarantined_epochs == 0;
-            let epochs_to_recover = if quarantined_epochs == 0 {
-                Some(0)
-            } else if recovered {
-                Some(clear_from.saturating_sub(window_end))
-            } else {
-                None
-            };
-
-            let sub = |a: Option<f64>, b: Option<f64>| match (a, b) {
-                (Some(a), Some(b)) => Some(a - b),
-                _ => None,
-            };
-            let outcome = ChaosOutcome {
-                plan: plan.name.clone(),
-                epochs: records.len(),
-                injected_events: injector.events().len(),
-                clean_mean,
-                faulted_mean,
-                mean_shift: sub(faulted_mean, clean_mean),
-                p50_shift: sub(faulted_p50, clean_p50),
-                p90_shift: sub(faulted_p90, clean_p90),
-                worst_ladder: worst.to_string(),
-                final_ladder: final_ladder.to_string(),
-                lost_terminal: final_ladder == uniloc_core::DegradationLadder::Lost,
-                nonfinite_fused,
-                quarantined_epochs,
-                schemes_quarantined,
-                epochs_to_recover,
-                recovered,
-            };
-            uniloc_obs::info!(
-                "  {:<16} events={:<4} shift mean {:+.1} m p90 {:+.1} m worst={} recover={}",
-                outcome.plan,
-                outcome.injected_events,
-                outcome.mean_shift.unwrap_or(f64::NAN),
-                outcome.p90_shift.unwrap_or(f64::NAN),
-                outcome.worst_ladder,
-                outcome
-                    .epochs_to_recover
-                    .map_or_else(|| "never".to_owned(), |e| format!("{e} epochs")),
-            );
-            if outcome.lost_terminal {
-                violations.push(format!("{}/{}: terminal ladder state is lost", name, plan.name));
-            }
-            if outcome.nonfinite_fused > 0 {
-                violations.push(format!(
-                    "{}/{}: {} non-finite fused estimate(s)",
-                    name, plan.name, outcome.nonfinite_fused
-                ));
-            }
-            if !outcome.recovered {
-                violations.push(format!(
-                    "{}/{}: quarantine never lifted after the fault window",
-                    name, plan.name
-                ));
-            }
-            outcomes.push(outcome);
-        }
-
-        let report = Json::Obj(vec![
-            ("scenario".into(), Json::Str(scenario.name.clone())),
-            ("seed".into(), Json::Int(seed as i64)),
-            ("epochs".into(), Json::Int(clean.len() as i64)),
-            ("clean_mean_m".into(), clean_mean.map_or(Json::Null, Json::Num)),
-            ("runs".into(), Json::Arr(outcomes.iter().map(ChaosOutcome::to_json).collect())),
-        ]);
-        let path = format!("{out_dir}/CHAOS_{}.json", scenario.name.replace(['/', ' '], "_"));
-        std::fs::write(&path, report.to_string_pretty())
+    for report in &sweep.reports {
+        let path = format!("{out_dir}/{}", report.file_name());
+        std::fs::write(&path, report.report.to_string_pretty())
             .map_err(|e| format!("write {path}: {e}"))?;
         uniloc_obs::info!("wrote {path}");
     }
 
-    if violations.is_empty() {
+    // The workers ran under isolated observability sessions; their merged
+    // sidecar (job-ordered, jobs-count-invariant) lands in the --metrics
+    // file after the trace events that streamed from the main thread.
+    if let Some(e) = exporter {
+        for line in sweep.obs.metrics.jsonl_lines() {
+            e.write_line(&line);
+        }
+        for line in sweep.obs.calibration.jsonl_lines() {
+            e.write_line(&line);
+        }
+        for line in &sweep.obs.flight_lines {
+            e.write_line(line);
+        }
+        e.flush();
+    }
+
+    if sweep.violations.is_empty() {
         uniloc_obs::info!("chaos sweep clean: every run stayed finite and recovered");
         Ok(())
     } else {
-        for v in &violations {
+        for v in &sweep.violations {
             eprintln!("chaos violation: {v}");
         }
         if strict {
-            Err(format!("{} resilience violation(s)", violations.len()))
+            Err(format!("{} resilience violation(s)", sweep.violations.len()))
         } else {
-            uniloc_obs::info!("{} violation(s) — rerun with --strict to fail on them", violations.len());
+            uniloc_obs::info!(
+                "{} violation(s) — rerun with --strict to fail on them",
+                sweep.violations.len()
+            );
             Ok(())
         }
     }

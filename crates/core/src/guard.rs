@@ -260,6 +260,77 @@ mod tests {
     }
 
     #[test]
+    fn exactly_at_range_boundaries_pass_the_scrub() {
+        // The bounds are inclusive: a value exactly on either edge is a
+        // legal (if extreme) reading, not a decode error.
+        let mut frame = clean_frame();
+        frame.wifi.as_mut().unwrap().readings =
+            vec![(ApId(1), bounds::RSSI_MIN_DBM), (ApId(2), bounds::RSSI_MAX_DBM)];
+        frame.gps.as_mut().unwrap().hdop = bounds::HDOP_MAX;
+        frame.steps = vec![StepMeasurement {
+            t: 0.9,
+            duration: bounds::STEP_DURATION_MAX_S,
+            length_est: bounds::STEP_LENGTH_MAX_M,
+            heading_est: 0.0,
+        }];
+        assert!(scrub_frame(&frame).is_none(), "boundary values must pass");
+
+        let mut frame = clean_frame();
+        frame.gps.as_mut().unwrap().hdop = 0.0;
+        frame.steps = vec![StepMeasurement { t: 0.9, duration: 0.0, length_est: 0.0, heading_est: 0.0 }];
+        assert!(scrub_frame(&frame).is_none(), "zero duration/length/hdop must pass");
+    }
+
+    #[test]
+    fn just_outside_boundaries_are_dropped() {
+        let mut frame = clean_frame();
+        frame.wifi.as_mut().unwrap().readings.push((ApId(3), -130.0000001));
+        frame.gps.as_mut().unwrap().hdop = 100.0000001;
+        frame.steps.push(StepMeasurement {
+            t: 0.95,
+            duration: 30.0000001,
+            length_est: 0.7,
+            heading_est: 0.0,
+        });
+        frame.steps.push(StepMeasurement {
+            t: 0.96,
+            duration: 0.5,
+            length_est: -0.0000001,
+            heading_est: 0.0,
+        });
+        let (_, report) = scrub_frame(&frame).expect("out-of-range values must scrub");
+        assert_eq!(report.wifi_readings, 1);
+        assert_eq!(report.gps_fixes, 1);
+        assert_eq!(report.steps, 2);
+    }
+
+    #[test]
+    fn negative_zero_and_subnormals_are_legal_env_readings() {
+        // -0.0 compares equal to 0.0, and subnormals are tiny positive
+        // values: neither is "negative" in the physical sense, so the env
+        // channels must pass untouched (and the scrub stays idempotent on
+        // frames that contain them).
+        let mut frame = clean_frame();
+        frame.light_lux = -0.0;
+        frame.magnetic_variance = f64::MIN_POSITIVE / 2.0; // subnormal
+        assert!(scrub_frame(&frame).is_none());
+
+        let mut frame = clean_frame();
+        frame.steps[0].length_est = -0.0;
+        frame.steps[0].duration = f64::MIN_POSITIVE / 2.0;
+        assert!(scrub_frame(&frame).is_none());
+
+        // But an actually negative reading is neutralized.
+        let mut frame = clean_frame();
+        frame.light_lux = -1e-300;
+        frame.magnetic_variance = -0.5;
+        let (scrubbed, report) = scrub_frame(&frame).unwrap();
+        assert_eq!(report.env_channels, 2);
+        assert_eq!(scrubbed.light_lux, 0.0);
+        assert_eq!(scrubbed.magnetic_variance, 0.0);
+    }
+
+    #[test]
     fn gate_classifies_the_stream() {
         let mut gate = FrameGate::new();
         assert_eq!(gate.admit(1.0), GateVerdict::Fresh);

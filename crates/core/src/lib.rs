@@ -58,6 +58,7 @@ pub mod engine;
 pub mod error_model;
 pub mod features;
 pub mod guard;
+pub mod parallel;
 pub mod pipeline;
 pub mod quarantine;
 pub mod response;

@@ -412,6 +412,49 @@ mod tests {
     }
 
     #[test]
+    fn readmission_fires_at_exactly_the_sane_threshold() {
+        let mut m = machine();
+        m.observe(ID, SchemeVerdict::Strike);
+        for _ in 0..BACKOFF_BASE_EPOCHS {
+            m.begin_epoch();
+        }
+        // READMIT_SANE_EPOCHS - 1 sane epochs keep the scheme excluded;
+        // the next one — exactly at the threshold — readmits.
+        for i in 0..READMIT_SANE_EPOCHS - 1 {
+            assert_eq!(m.observe(ID, SchemeVerdict::Sane), None, "epoch {i}");
+            assert!(m.is_excluded(ID), "still on probation after {} sane", i + 1);
+        }
+        assert_eq!(
+            m.observe(ID, SchemeVerdict::Sane),
+            Some(QuarantineTransition::Readmitted(ID))
+        );
+    }
+
+    #[test]
+    fn strikes_reset_after_readmission() {
+        let mut m = machine();
+        m.observe(ID, SchemeVerdict::Strike);
+        serve_sentence(&mut m);
+        assert!(!m.is_excluded(ID));
+        // A fresh offense after full readmission starts over at strike 1
+        // with the base sentence, not the escalated one.
+        assert_eq!(
+            m.observe(ID, SchemeVerdict::Strike),
+            Some(QuarantineTransition::Tripped(ID, 1))
+        );
+        let served = serve_sentence(&mut m);
+        assert_eq!(served, BACKOFF_BASE_EPOCHS + READMIT_SANE_EPOCHS - 1);
+    }
+
+    #[test]
+    fn sane_and_absent_while_active_are_noops() {
+        let mut m = machine();
+        assert_eq!(m.observe(ID, SchemeVerdict::Sane), None);
+        assert_eq!(m.observe(ID, SchemeVerdict::Absent), None);
+        assert!(!m.is_excluded(ID));
+    }
+
+    #[test]
     fn strikes_on_active_unknown_scheme_are_ignored() {
         let mut m = machine();
         assert_eq!(m.observe(SchemeId::Custom(9), SchemeVerdict::Strike), None);

@@ -32,7 +32,7 @@
 //! `uniloc_stats::json`.
 
 use std::collections::BTreeMap;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::metrics::global_metrics;
 use crate::trace::{FieldValue, TraceLevel};
@@ -217,6 +217,78 @@ impl CalibrationSnapshot {
         self.cells.push(uniloc_stats::json::FromJson::from_json(line)?);
         Ok(true)
     }
+
+    /// Merges two snapshots deterministically, `self` being the earlier
+    /// operand in canonical job order. Cells are matched by
+    /// `(scheme, io)`: counts (`n`, `dropped`, `pit_counts`,
+    /// `drift_alarms`) add, coverage and means combine weighted by each
+    /// side's `n`, and the trailing CUSUM state comes from `later` when it
+    /// observed the cell (the CUSUM is a running statistic, so the later
+    /// job's is the "current" one). Cells present on one side pass
+    /// through; the result stays sorted. Errors when matched cells
+    /// disagree on bin count or quantiles.
+    pub fn merge(&self, later: &CalibrationSnapshot) -> Result<CalibrationSnapshot, String> {
+        let mut cells: BTreeMap<(String, String), CalibrationCell> = self
+            .cells
+            .iter()
+            .map(|c| ((c.scheme.clone(), c.io.clone()), c.clone()))
+            .collect();
+        for b in &later.cells {
+            let key = (b.scheme.clone(), b.io.clone());
+            let Some(a) = cells.get(&key) else {
+                cells.insert(key, b.clone());
+                continue;
+            };
+            if a.pit_counts.len() != b.pit_counts.len() {
+                return Err(format!(
+                    "calibration cell {}/{}: PIT bin counts differ",
+                    b.scheme, b.io
+                ));
+            }
+            if a.quantiles != b.quantiles {
+                return Err(format!(
+                    "calibration cell {}/{}: coverage quantiles differ",
+                    b.scheme, b.io
+                ));
+            }
+            let n = a.n + b.n;
+            let weighted = |x: f64, y: f64| {
+                if n == 0 {
+                    0.0
+                } else {
+                    (x * a.n as f64 + y * b.n as f64) / n as f64
+                }
+            };
+            let merged = CalibrationCell {
+                scheme: a.scheme.clone(),
+                io: a.io.clone(),
+                n,
+                dropped: a.dropped + b.dropped,
+                pit_counts: a
+                    .pit_counts
+                    .iter()
+                    .zip(&b.pit_counts)
+                    .map(|(x, y)| x + y)
+                    .collect(),
+                quantiles: a.quantiles.clone(),
+                coverage: a
+                    .coverage
+                    .iter()
+                    .zip(&b.coverage)
+                    .map(|(x, y)| weighted(*x, *y))
+                    .collect(),
+                mean_predicted: weighted(a.mean_predicted, b.mean_predicted),
+                mean_sigma: weighted(a.mean_sigma, b.mean_sigma),
+                mean_realized: weighted(a.mean_realized, b.mean_realized),
+                mean_residual: weighted(a.mean_residual, b.mean_residual),
+                cusum_pos: if b.n > 0 { b.cusum_pos } else { a.cusum_pos },
+                cusum_neg: if b.n > 0 { b.cusum_neg } else { a.cusum_neg },
+                drift_alarms: a.drift_alarms + b.drift_alarms,
+            };
+            cells.insert(key, merged);
+        }
+        Ok(CalibrationSnapshot { cells: cells.into_values().collect() })
+    }
 }
 
 /// The online calibration monitor: rolling reliability, coverage and drift
@@ -392,10 +464,20 @@ impl CalibrationMonitor {
     }
 }
 
-/// The process-wide calibration monitor the evaluation harness feeds.
-pub fn global_calibration() -> &'static CalibrationMonitor {
-    static GLOBAL: OnceLock<CalibrationMonitor> = OnceLock::new();
-    GLOBAL.get_or_init(CalibrationMonitor::default)
+/// The calibration monitor the evaluation harness feeds: the current
+/// thread's [`ObsSession`](crate::session::ObsSession)'s monitor when one
+/// is installed, otherwise the process-wide monitor.
+pub fn global_calibration() -> Arc<CalibrationMonitor> {
+    if let Some(session) = crate::session::current() {
+        return Arc::clone(&session.calibration);
+    }
+    process_calibration()
+}
+
+/// The process-wide calibration monitor, bypassing any installed session.
+pub fn process_calibration() -> Arc<CalibrationMonitor> {
+    static GLOBAL: OnceLock<Arc<CalibrationMonitor>> = OnceLock::new();
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(CalibrationMonitor::default())))
 }
 
 #[cfg(test)]
@@ -532,6 +614,56 @@ mod tests {
         assert_eq!(back, snap);
         let other = Json::parse(r#"{"kind":"counter","name":"x","value":1}"#).unwrap();
         assert!(!back.absorb_jsonl(&other).unwrap());
+    }
+
+    #[test]
+    fn snapshot_merge_is_count_weighted() {
+        let a = CalibrationMonitor::default();
+        feed_calibrated(&a, 30);
+        a.observe("gps", "outdoor", 1.0, 0.5, 1.2);
+        let b = CalibrationMonitor::default();
+        feed_calibrated(&b, 10);
+        b.observe("cellular", "indoor", 8.0, 2.0, 7.5);
+
+        let merged = a.snapshot().merge(&b.snapshot()).unwrap();
+        assert_eq!(merged.cells.len(), 3, "union of cells");
+        let keys: Vec<(String, String)> =
+            merged.cells.iter().map(|c| (c.scheme.clone(), c.io.clone())).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "merged cells stay sorted");
+
+        let wifi = merged
+            .cells
+            .iter()
+            .find(|c| c.scheme == "wifi")
+            .expect("matched cell survives");
+        assert_eq!(wifi.n, 40);
+        assert_eq!(wifi.pit_counts.iter().sum::<u64>(), 40);
+        // The equivalent sequential feed produces the same counts/means.
+        let seq = CalibrationMonitor::default();
+        feed_calibrated(&seq, 30);
+        feed_calibrated(&seq, 10);
+        let seq_wifi = &seq
+            .snapshot()
+            .cells
+            .iter()
+            .find(|c| c.scheme == "wifi")
+            .unwrap()
+            .clone();
+        assert_eq!(wifi.pit_counts, seq_wifi.pit_counts);
+        assert!((wifi.mean_realized - seq_wifi.mean_realized).abs() < 1e-9);
+        // Trailing CUSUM comes from the later operand.
+        let b_wifi = b.snapshot().cells.iter().find(|c| c.scheme == "wifi").unwrap().clone();
+        assert_eq!(wifi.cusum_pos, b_wifi.cusum_pos);
+
+        // Structural mismatches are errors.
+        let odd = CalibrationMonitor::new(CalibrationConfig {
+            pit_bins: 3,
+            ..CalibrationConfig::default()
+        });
+        odd.observe("wifi", "indoor", 3.0, 1.5, 3.0);
+        assert!(a.snapshot().merge(&odd.snapshot()).is_err());
     }
 
     #[test]

@@ -197,11 +197,22 @@ impl Subscriber for FlightRecorder {
     }
 }
 
-/// The process-wide flight recorder; install it in the dispatcher's
-/// subscriber chain and wire its sink to the metrics exporter.
-pub fn global_flight() -> &'static Arc<FlightRecorder> {
+/// The flight recorder anomaly triggers should reach: the current
+/// thread's [`ObsSession`](crate::session::ObsSession)'s recorder when one
+/// is installed, otherwise the process-wide recorder (install that one in
+/// the dispatcher's subscriber chain and wire its sink to the metrics
+/// exporter).
+pub fn global_flight() -> Arc<FlightRecorder> {
+    if let Some(session) = crate::session::current() {
+        return Arc::clone(&session.flight);
+    }
+    process_flight()
+}
+
+/// The process-wide flight recorder, bypassing any installed session.
+pub fn process_flight() -> Arc<FlightRecorder> {
     static GLOBAL: OnceLock<Arc<FlightRecorder>> = OnceLock::new();
-    GLOBAL.get_or_init(|| Arc::new(FlightRecorder::new(DEFAULT_RING_CAPACITY)))
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(FlightRecorder::new(DEFAULT_RING_CAPACITY))))
 }
 
 #[cfg(test)]

@@ -26,6 +26,10 @@
 //!   activity dumped as a byte-stable JSON postmortem on drift alarms,
 //!   scheme-unavailability streaks or non-finite estimates (see
 //!   [`flight::global_flight`]).
+//! * [`session`] — per-thread observability sessions for parallel sweeps:
+//!   installing an [`ObsSession`] redirects every `global_*` accessor on
+//!   the current thread to private state that can be captured and merged
+//!   deterministically in job order afterward.
 //!
 //! # Determinism contract
 //!
@@ -66,18 +70,20 @@ pub mod calib;
 pub mod clock;
 pub mod flight;
 pub mod metrics;
+pub mod session;
 pub mod trace;
 
 pub use calib::{
-    global_calibration, CalibrationCell, CalibrationConfig, CalibrationMonitor,
-    CalibrationSnapshot, DriftAlarm,
+    global_calibration, process_calibration, CalibrationCell, CalibrationConfig,
+    CalibrationMonitor, CalibrationSnapshot, DriftAlarm,
 };
 pub use clock::{Clock, MonotonicClock, VirtualClock};
-pub use flight::{global_flight, FlightRecorder};
+pub use flight::{global_flight, process_flight, FlightRecorder};
 pub use metrics::{
-    global_metrics, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
-    MetricsSnapshot, DURATION_BUCKETS_NS, RESIDUAL_BUCKETS_M,
+    global_metrics, process_metrics, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricsRegistry, MetricsSnapshot, DURATION_BUCKETS_NS, RESIDUAL_BUCKETS_M,
 };
+pub use session::{ObsSession, SessionCapture, SessionGuard};
 pub use trace::{
     global, Dispatcher, FieldValue, JsonlExporter, MultiSubscriber, RingCollector, SpanGuard,
     StderrSubscriber, Subscriber, TraceEvent, TraceLevel,

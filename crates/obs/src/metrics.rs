@@ -323,6 +323,45 @@ impl MetricsSnapshot {
         lines
     }
 
+    /// Merges two snapshots deterministically, `self` being the earlier
+    /// operand in canonical job order: counters add, gauges are
+    /// last-writer-wins (`later` overrides where both set a gauge),
+    /// histograms bucket-merge. Names are unioned and the result stays
+    /// sorted. Errors when two histograms of the same name disagree on
+    /// bucket bounds.
+    pub fn merge(&self, later: &MetricsSnapshot) -> Result<MetricsSnapshot, String> {
+        let mut counters: std::collections::BTreeMap<String, u64> =
+            self.counters.iter().cloned().collect();
+        for (name, v) in &later.counters {
+            *counters.entry(name.clone()).or_insert(0) += v;
+        }
+        let mut gauges: std::collections::BTreeMap<String, f64> =
+            self.gauges.iter().cloned().collect();
+        for (name, v) in &later.gauges {
+            gauges.insert(name.clone(), *v);
+        }
+        let mut histograms: std::collections::BTreeMap<String, HistogramSnapshot> =
+            self.histograms.iter().cloned().collect();
+        for (name, h) in &later.histograms {
+            match histograms.get(name) {
+                Some(existing) => {
+                    let merged = existing
+                        .merge(h)
+                        .map_err(|e| format!("histogram `{name}`: {e}"))?;
+                    histograms.insert(name.clone(), merged);
+                }
+                None => {
+                    histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+        Ok(MetricsSnapshot {
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            histograms: histograms.into_iter().collect(),
+        })
+    }
+
     /// Folds one parsed metric JSONL line back into the snapshot; lines of
     /// other kinds (spans, log events) are ignored. Returns whether the
     /// line was a metric.
@@ -442,6 +481,33 @@ impl MetricsRegistry {
         }
     }
 
+    /// Folds a snapshot into this live registry: counters add, gauges set
+    /// to the snapshot's value, histograms bucket-add (created with the
+    /// snapshot's bounds on first sight). This is how a parallel bench run
+    /// re-absorbs its workers' span timings so `BENCH_*.json` breakdowns
+    /// stay populated. Errors on bucket-bound mismatch with an existing
+    /// histogram.
+    pub fn absorb(&self, snap: &MetricsSnapshot) -> Result<(), String> {
+        for (name, v) in &snap.counters {
+            self.counter(name).add(*v);
+        }
+        for (name, v) in &snap.gauges {
+            self.gauge(name).set(*v);
+        }
+        for (name, h) in &snap.histograms {
+            let live = self.histogram(name, &h.bounds);
+            if live.bounds != h.bounds {
+                return Err(format!("histogram `{name}`: bucket bounds differ"));
+            }
+            for (slot, &c) in live.counts.iter().zip(&h.counts) {
+                slot.fetch_add(c, Ordering::Relaxed);
+            }
+            atomic_f64_add(&live.sum_bits, h.sum);
+            live.dropped.fetch_add(h.dropped, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
     /// Drops every registered metric (test isolation; cached handles keep
     /// their atomics but detach from future snapshots).
     pub fn reset(&self) {
@@ -451,10 +517,20 @@ impl MetricsRegistry {
     }
 }
 
-/// The process-wide registry the pipeline instrumentation records into.
-pub fn global_metrics() -> &'static MetricsRegistry {
-    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
-    GLOBAL.get_or_init(MetricsRegistry::new)
+/// The registry the instrumentation writes to: the current thread's
+/// [`ObsSession`](crate::session::ObsSession) when one is installed,
+/// otherwise the process-wide registry.
+pub fn global_metrics() -> Arc<MetricsRegistry> {
+    if let Some(session) = crate::session::current() {
+        return Arc::clone(&session.metrics);
+    }
+    process_metrics()
+}
+
+/// The process-wide registry, bypassing any installed session.
+pub fn process_metrics() -> Arc<MetricsRegistry> {
+    static GLOBAL: OnceLock<Arc<MetricsRegistry>> = OnceLock::new();
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(MetricsRegistry::new())))
 }
 
 #[cfg(test)]
@@ -585,6 +661,59 @@ mod tests {
         // Non-metric lines are skipped, not errors.
         let span = Json::parse(r#"{"kind":"span","name":"x"}"#).unwrap();
         assert!(!back.absorb_jsonl(&span).unwrap());
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_overrides_gauges() {
+        let a = MetricsRegistry::new();
+        a.counter("epochs").add(3);
+        a.counter("only_a").inc();
+        a.gauge("tau").set(0.25);
+        a.gauge("only_a_gauge").set(1.0);
+        a.histogram("lat", &[1.0, 2.0]).record(0.5);
+        let b = MetricsRegistry::new();
+        b.counter("epochs").add(4);
+        b.gauge("tau").set(0.75);
+        b.histogram("lat", &[1.0, 2.0]).record(1.5);
+        b.histogram("only_b", &[1.0]).record(0.5);
+
+        let merged = a.snapshot().merge(&b.snapshot()).unwrap();
+        assert!(merged.counters.contains(&("epochs".to_owned(), 7)));
+        assert!(merged.counters.contains(&("only_a".to_owned(), 1)));
+        assert!(merged.gauges.contains(&("tau".to_owned(), 0.75)), "later writer wins");
+        assert!(merged.gauges.contains(&("only_a_gauge".to_owned(), 1.0)));
+        let lat = &merged.histograms.iter().find(|(n, _)| n == "lat").unwrap().1;
+        assert_eq!(lat.counts, vec![1, 1, 0]);
+        assert!(merged.histograms.iter().any(|(n, _)| n == "only_b"));
+        // Sorted output, and mismatched bounds are an error.
+        let names: Vec<&String> = merged.counters.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        let c = MetricsRegistry::new();
+        c.histogram("lat", &[9.0]).record(0.5);
+        assert!(a.snapshot().merge(&c.snapshot()).is_err());
+    }
+
+    #[test]
+    fn registry_absorbs_snapshot() {
+        let src = MetricsRegistry::new();
+        src.counter("n").add(2);
+        src.gauge("g").set(4.5);
+        src.histogram("h", &[1.0, 2.0]).record(1.5);
+        let dst = MetricsRegistry::new();
+        dst.counter("n").add(1);
+        dst.absorb(&src.snapshot()).unwrap();
+        let snap = dst.snapshot();
+        assert!(snap.counters.contains(&("n".to_owned(), 3)));
+        assert!(snap.gauges.contains(&("g".to_owned(), 4.5)));
+        let h = &snap.histograms.iter().find(|(n, _)| n == "h").unwrap().1;
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum, 1.5);
+        // Bound mismatch is an error.
+        let bad = MetricsRegistry::new();
+        bad.histogram("h", &[7.0]).record(0.5);
+        assert!(dst.absorb(&bad.snapshot()).is_err());
     }
 
     #[test]

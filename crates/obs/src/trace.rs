@@ -399,6 +399,28 @@ impl Dispatcher {
         *self.subscriber.write().expect("subscriber lock") = s;
     }
 
+    /// The subscriber events should reach right now: the current thread's
+    /// [`ObsSession`](crate::session::ObsSession) override when one is
+    /// installed (its `None` means "drop events"), otherwise the
+    /// process-wide subscriber.
+    fn active_subscriber(&self) -> Option<Arc<dyn Subscriber>> {
+        if let Some(session) = crate::session::current() {
+            return session.subscriber.clone();
+        }
+        self.subscriber.read().expect("subscriber lock").clone()
+    }
+
+    /// The clock timestamps should come from: the session clock when the
+    /// current thread's session sets one, otherwise the installed clock.
+    fn active_clock(&self) -> Arc<dyn Clock> {
+        if let Some(session) = crate::session::current() {
+            if let Some(clock) = &session.clock {
+                return Arc::clone(clock);
+            }
+        }
+        Arc::clone(&*self.clock.read().expect("clock lock"))
+    }
+
     /// Sets the verbosity threshold; `None` means off.
     pub fn set_level(&self, level: Option<TraceLevel>) {
         self.level.store(threshold(level), Ordering::Relaxed);
@@ -407,8 +429,7 @@ impl Dispatcher {
     /// Whether events at `level` would currently be dispatched to a
     /// subscriber.
     pub fn enabled(&self, level: TraceLevel) -> bool {
-        (level as u8) < self.level.load(Ordering::Relaxed)
-            && self.subscriber.read().expect("subscriber lock").is_some()
+        (level as u8) < self.level.load(Ordering::Relaxed) && self.active_subscriber().is_some()
     }
 
     /// Enables/disables recording span durations into the global metrics
@@ -424,14 +445,14 @@ impl Dispatcher {
 
     /// Current clock time, ns.
     pub fn now_ns(&self) -> u64 {
-        self.clock.read().expect("clock lock").now_ns()
+        self.active_clock().now_ns()
     }
 
     /// Drives an installed [`VirtualClock`](crate::clock::VirtualClock) to
     /// simulation time `t` seconds; a no-op under a monotonic clock. The
     /// pipeline calls this once per epoch.
     pub fn sync_virtual_clock(&self, t: f64) {
-        let clock = self.clock.read().expect("clock lock");
+        let clock = self.active_clock();
         if let Some(v) = clock.as_virtual() {
             v.set_seconds(t);
         }
@@ -442,8 +463,7 @@ impl Dispatcher {
         if (level as u8) >= self.level.load(Ordering::Relaxed) {
             return;
         }
-        let sub = self.subscriber.read().expect("subscriber lock");
-        if let Some(sub) = sub.as_ref() {
+        if let Some(sub) = self.active_subscriber() {
             sub.event(&TraceEvent {
                 level,
                 name: name.to_owned(),
@@ -484,9 +504,9 @@ impl Dispatcher {
         }
     }
 
-    /// Flushes the installed subscriber.
+    /// Flushes the active subscriber.
     pub fn flush(&self) {
-        if let Some(sub) = self.subscriber.read().expect("subscriber lock").as_ref() {
+        if let Some(sub) = self.active_subscriber() {
             sub.flush();
         }
     }
@@ -527,8 +547,7 @@ impl Drop for SpanGuard<'_> {
                 .record_ns(duration_ns);
         }
         if self.emit {
-            let sub = d.subscriber.read().expect("subscriber lock");
-            if let Some(sub) = sub.as_ref() {
+            if let Some(sub) = d.active_subscriber() {
                 sub.event(&TraceEvent {
                     level: TraceLevel::Span,
                     name: std::mem::take(&mut self.name),

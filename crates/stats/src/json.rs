@@ -170,6 +170,29 @@ impl Json {
         write_value(self, Some(2), 0, &mut out);
         out
     }
+
+    /// Returns the document with every object's keys sorted (recursively,
+    /// stable — duplicate keys keep their insertion order). Arrays keep
+    /// their element order.
+    ///
+    /// This is the canonical form used for committed artifacts
+    /// (`results/CHAOS_*.json`, `results/BENCH_*.json`): serializing a
+    /// canonicalized document is byte-stable under refactors that merely
+    /// reorder struct fields or map insertions, which is what lets CI diff
+    /// artifacts produced by different code paths (e.g. `--jobs 1` vs
+    /// `--jobs 4`).
+    pub fn canonical(&self) -> Json {
+        match self {
+            Json::Arr(items) => Json::Arr(items.iter().map(Json::canonical).collect()),
+            Json::Obj(pairs) => {
+                let mut sorted: Vec<(String, Json)> =
+                    pairs.iter().map(|(k, v)| (k.clone(), v.canonical())).collect();
+                sorted.sort_by(|a, b| a.0.cmp(&b.0));
+                Json::Obj(sorted)
+            }
+            other => other.clone(),
+        }
+    }
 }
 
 impl fmt::Display for Json {
@@ -814,6 +837,19 @@ macro_rules! impl_json_enum {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn canonical_sorts_keys_recursively_and_stably() {
+        let doc = Json::parse(r#"{"b":{"z":1,"a":2},"a":[{"y":1,"x":2}],"b":0}"#).unwrap();
+        let canon = doc.canonical();
+        assert_eq!(
+            canon.to_string(),
+            r#"{"a":[{"x":2,"y":1}],"b":{"a":2,"z":1},"b":0}"#,
+            "keys sort recursively; duplicate keys keep insertion order"
+        );
+        // Idempotent, and a no-op on already-sorted documents.
+        assert_eq!(canon.canonical(), canon);
+    }
 
     #[test]
     fn scalars_round_trip() {

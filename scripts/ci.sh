@@ -100,13 +100,23 @@ echo "    ok: calibration cells and flight postmortems inspect cleanly"
 # --- 4. chaos smoke -------------------------------------------------------
 # Sweep the small fault-plan set over one scenario, strict: a terminal
 # `lost` ladder state, any non-finite fused estimate, or a quarantine that
-# never lifts after its fault window fails CI. Reuses the models trained
-# for the metrics smoke; stays fully offline.
-echo "==> chaos smoke (uniloc chaos --strict)"
+# never lifts after its fault window fails CI. Runs the sweep at both
+# --jobs 1 (the inline sequential path) and --jobs 4 (the worker pool) and
+# requires byte-identical artifacts — the parallel engine's determinism
+# contract. Reuses the models trained for the metrics smoke; stays fully
+# offline.
+echo "==> chaos smoke (uniloc chaos --strict, --jobs 1 vs --jobs 4)"
 target/release/uniloc chaos --models "$smoke/models.json" --scenarios office \
-    --plans smoke --seed 11 --out "$smoke/chaos" --strict --quiet
+    --plans smoke --seed 11 --out "$smoke/chaos" --strict --quiet --jobs 1
+target/release/uniloc chaos --models "$smoke/models.json" --scenarios office \
+    --plans smoke --seed 11 --out "$smoke/chaos4" --strict --quiet --jobs 4
 if ! ls "$smoke/chaos"/CHAOS_*.json >/dev/null 2>&1; then
     echo "ERROR: chaos sweep wrote no CHAOS_*.json report" >&2
+    exit 1
+fi
+if ! diff -r "$smoke/chaos" "$smoke/chaos4" >/dev/null; then
+    echo "ERROR: chaos artifacts differ between --jobs 1 and --jobs 4" >&2
+    diff -r "$smoke/chaos" "$smoke/chaos4" >&2 || true
     exit 1
 fi
 for needle in '"worst_ladder"' '"nonfinite_fused": 0' '"recovered": true'; do
@@ -115,7 +125,7 @@ for needle in '"worst_ladder"' '"nonfinite_fused": 0' '"recovered": true'; do
         exit 1
     fi
 done
-echo "    ok: fault sweep stayed finite, degraded gracefully and recovered"
+echo "    ok: fault sweep stayed finite, recovered, and is --jobs invariant"
 
 # --- 5. bench-regression gate --------------------------------------------
 # Strict self-diff first: re-parses every committed results/BENCH_*.json

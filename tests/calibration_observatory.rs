@@ -96,7 +96,7 @@ fn observed_run(models: &ErrorModelSet, seed: u64) -> String {
     flight.set_sink(Some(Arc::clone(&exporter)));
     d.set_subscriber(Some(Arc::new(MultiSubscriber::new(vec![
         Arc::clone(&exporter) as Arc<dyn Subscriber>,
-        Arc::clone(flight) as Arc<dyn Subscriber>,
+        Arc::clone(&flight) as Arc<dyn Subscriber>,
     ]))));
 
     let scenario = venues::office("observatory-office", seed, 50.0, 18.0);
