@@ -1,0 +1,578 @@
+//! The fleet load generator: thousands of seeded walkers — mixed personas,
+//! devices, venues and fault plans — served by one deterministic
+//! [`FleetScheduler`], shared by `uniloc fleet` and the differential test
+//! suite.
+//!
+//! Every walker is fully determined by its [`SessionSpec`], whose seed is
+//! `split_seed(fleet_seed, lane)` — disjoint per-lane streams
+//! (property-tested in `tests/fleet_properties.rs`). The generator's
+//! artifacts echo the spec mix and a per-session FNV-1a digest of the
+//! canonical epoch records, so a one-line `diff` proves two runs served
+//! byte-identical fleets. The report deliberately excludes `jobs`,
+//! `resident` and every wall-clock number: it must be byte-identical at
+//! any worker count, resident cap and machine speed (held by
+//! `tests/fleet_differential.rs` and the CI fleet smoke).
+//!
+//! Throughput (epochs/sec, sessions/sec, p99 epoch latency) goes to
+//! `BENCH_fleet.json` instead, in the `bench-diff` gate's stage shape.
+
+use std::sync::Arc;
+
+use crate::chaos::{error_stats, fused_error, scenario_by_name};
+use uniloc_core::error_model::ErrorModelSet;
+use uniloc_core::fleet::{
+    FinishedSession, FleetRunStats, FleetScheduler, FleetSession, SessionCheckpoint,
+};
+use uniloc_core::pipeline::{self, EpochRecord, PipelineConfig};
+use uniloc_core::session::Session;
+use uniloc_env::{GaitProfile, Scenario};
+use uniloc_faults::{FaultInjector, FaultPlan};
+use uniloc_rng::split_seed;
+use uniloc_sensors::{DeviceProfile, SensorFrame};
+use uniloc_stats::json::{Json, ToJson};
+
+/// Load-generator parameters. Everything that shapes the fleet's *output*
+/// lives here except `jobs`/`resident`, which only shape its execution.
+pub struct FleetConfig {
+    /// Root seed; lane seeds derive via [`split_seed`].
+    pub seed: u64,
+    /// Walkers to admit.
+    pub sessions: usize,
+    /// Scenario vocabulary names cycled across lanes
+    /// ([`scenario_by_name`]).
+    pub scenario_names: Vec<String>,
+    /// Worker threads for the scheduler (`<= 1` runs inline). Never
+    /// affects artifacts.
+    pub jobs: usize,
+    /// Maximum sessions live at once; bounds memory, never affects
+    /// artifacts. `0` picks a default.
+    pub resident: usize,
+    /// Truncates each walk to this many epochs; `0` keeps full walks.
+    pub max_epochs: usize,
+    /// Every `chaos_every`-th lane walks under a fault plan (cycling the
+    /// smoke library); `0` keeps the whole fleet clean.
+    pub chaos_every: usize,
+}
+
+/// The complete recipe for one walker. A spec (plus the shared error
+/// models and base config) determines the session's records byte for byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSpec {
+    pub lane: u64,
+    pub name: String,
+    /// Scenario vocabulary name.
+    pub scenario: String,
+    /// Persona name from [`GaitProfile::personas`].
+    pub persona: String,
+    /// `nexus5x` or `lgg3`.
+    pub device: String,
+    /// Fault-plan name, `none` for a clean walker.
+    pub plan: String,
+    /// The session's root seed: `split_seed(fleet_seed, lane)`.
+    pub seed: u64,
+}
+
+impl SessionSpec {
+    /// The spec a checkpoint was taken from — restore rebuilds the walker
+    /// from this and replays to the cursor.
+    pub fn from_checkpoint(ckpt: &SessionCheckpoint) -> SessionSpec {
+        SessionSpec {
+            lane: ckpt.lane,
+            name: ckpt.name.clone(),
+            scenario: ckpt.scenario.clone(),
+            persona: ckpt.persona.clone(),
+            device: ckpt.device.clone(),
+            plan: ckpt.plan.clone(),
+            seed: ckpt.seed,
+        }
+    }
+
+    /// The checkpoint naming this spec with `cursor` frames served.
+    pub fn checkpoint(&self, cursor: usize) -> SessionCheckpoint {
+        SessionCheckpoint {
+            lane: self.lane,
+            name: self.name.clone(),
+            scenario: self.scenario.clone(),
+            persona: self.persona.clone(),
+            device: self.device.clone(),
+            plan: self.plan.clone(),
+            seed: self.seed,
+            cursor: cursor as u64,
+        }
+    }
+}
+
+/// Generates the fleet's session mix: scenarios, personas, devices and
+/// fault plans cycled over lanes, seeds split per lane.
+///
+/// # Errors
+///
+/// Returns the first unknown scenario name.
+pub fn fleet_specs(cfg: &FleetConfig) -> Result<Vec<SessionSpec>, String> {
+    for name in &cfg.scenario_names {
+        scenario_by_name(name, 1)?;
+    }
+    if cfg.scenario_names.is_empty() {
+        return Err("fleet needs at least one scenario".to_owned());
+    }
+    let personas = GaitProfile::personas();
+    let plans = FaultPlan::smoke_library();
+    let mut specs = Vec::with_capacity(cfg.sessions);
+    for lane in 0..cfg.sessions as u64 {
+        let scenario = cfg.scenario_names[lane as usize % cfg.scenario_names.len()].clone();
+        let persona = personas[lane as usize % personas.len()].name.clone();
+        let device = if lane % 2 == 0 { "nexus5x" } else { "lgg3" };
+        let plan = if cfg.chaos_every > 0 && (lane as usize + 1) % cfg.chaos_every == 0 {
+            plans[(lane as usize / cfg.chaos_every) % plans.len()].name.clone()
+        } else {
+            "none".to_owned()
+        };
+        specs.push(SessionSpec {
+            lane,
+            name: format!("s{lane:05}-{scenario}-{persona}"),
+            scenario,
+            persona,
+            device: device.to_owned(),
+            plan,
+            seed: split_seed(cfg.seed, lane),
+        });
+    }
+    Ok(specs)
+}
+
+/// The per-walker pipeline config: the shared base with the spec's persona
+/// and device swapped in.
+///
+/// # Panics
+///
+/// Panics on a persona or device name outside the generator vocabulary.
+pub fn spec_pipeline_config(base: &PipelineConfig, spec: &SessionSpec) -> PipelineConfig {
+    let gait = GaitProfile::personas()
+        .into_iter()
+        .find(|g| g.name == spec.persona)
+        .unwrap_or_else(|| panic!("unknown persona {}", spec.persona));
+    let device = match spec.device.as_str() {
+        "nexus5x" => DeviceProfile::nexus_5x(),
+        "lgg3" => DeviceProfile::lg_g3(),
+        other => panic!("unknown device {other}"),
+    };
+    PipelineConfig { gait, device, ..base.clone() }
+}
+
+/// The spec's venue, seeded with the spec's own seed — every walker gets
+/// its own deterministic world.
+///
+/// # Panics
+///
+/// Panics on an unknown scenario name ([`fleet_specs`] validates them).
+pub fn spec_scenario(spec: &SessionSpec) -> Scenario {
+    scenario_by_name(&spec.scenario, spec.seed)
+        .unwrap_or_else(|e| panic!("spec scenario vanished: {e}"))
+}
+
+/// The spec's frame stream: the walk, truncated to `max_epochs` (when
+/// nonzero), then fault-injected when the spec names a plan — the same
+/// chaos-seed discipline as the chaos sweep.
+pub fn spec_frames(
+    scenario: &Scenario,
+    cfg: &PipelineConfig,
+    spec: &SessionSpec,
+    max_epochs: usize,
+) -> Vec<SensorFrame> {
+    let mut frames = pipeline::walk_frames(scenario, cfg, spec.seed);
+    if max_epochs > 0 {
+        frames.truncate(max_epochs);
+    }
+    if spec.plan == "none" {
+        return frames;
+    }
+    let plan = FaultPlan::library()
+        .into_iter()
+        .find(|p| p.name == spec.plan)
+        .unwrap_or_else(|| panic!("unknown fault plan {}", spec.plan));
+    let chaos_seed = spec.seed
+        ^ plan.name.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+    let mut injector =
+        FaultInjector::new(plan, chaos_seed).with_geo_frame(*scenario.world.geo_frame());
+    injector.inject_walk(&frames)
+}
+
+/// Builds the spec's [`FleetSession`] — venue, frames and serving session,
+/// all constructed under the walker's isolated observability session.
+pub fn build_session(
+    spec: SessionSpec,
+    models: Arc<ErrorModelSet>,
+    base: PipelineConfig,
+    max_epochs: usize,
+) -> FleetSession {
+    let lane = spec.lane;
+    let name = spec.name.clone();
+    FleetSession::build(lane, name, move || {
+        let scenario = spec_scenario(&spec);
+        let cfg = spec_pipeline_config(&base, &spec);
+        let frames = spec_frames(&scenario, &cfg, &spec, max_epochs);
+        let session = Session::new(Arc::new(scenario), &models, &cfg, spec.seed);
+        (session, frames)
+    })
+}
+
+/// Restores a checkpointed walker: rebuilds from the spec and silently
+/// replays to the cursor, after which it records only post-checkpoint
+/// epochs. Determinism makes this byte-equivalent to never having stopped.
+pub fn restore_session(
+    ckpt: &SessionCheckpoint,
+    models: Arc<ErrorModelSet>,
+    base: PipelineConfig,
+    max_epochs: usize,
+) -> FleetSession {
+    let mut session = build_session(SessionSpec::from_checkpoint(ckpt), models, base, max_epochs);
+    session.replay_to(ckpt.cursor as usize);
+    session
+}
+
+/// The spec's records through the *legacy batch path*
+/// ([`pipeline::run_walk_on_frames`]), for differential testing against
+/// the scheduler.
+pub fn solo_records(
+    spec: &SessionSpec,
+    models: &ErrorModelSet,
+    base: &PipelineConfig,
+    max_epochs: usize,
+) -> Vec<EpochRecord> {
+    let scenario = spec_scenario(spec);
+    let cfg = spec_pipeline_config(base, spec);
+    let frames = spec_frames(&scenario, &cfg, spec, max_epochs);
+    pipeline::run_walk_on_frames(&scenario, models, &cfg, spec.seed, &frames)
+}
+
+/// FNV-1a 64 over arbitrary bytes — the artifact digest primitive.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of a record series: FNV-1a over the canonical JSON array.
+pub fn records_digest(records: &[EpochRecord]) -> u64 {
+    let doc = Json::Arr(records.iter().map(ToJson::to_json).collect()).canonical();
+    fnv1a64(doc.to_string().as_bytes())
+}
+
+/// One retired walker's row in the fleet report.
+pub struct SessionSummary {
+    pub spec: SessionSpec,
+    pub epochs: usize,
+    /// [`records_digest`] of the session's records.
+    pub digest: u64,
+    pub mean_error: Option<f64>,
+    pub nonfinite_fused: usize,
+    pub quarantined: Vec<String>,
+    /// Flight-recorder lines the walker's isolated obs captured
+    /// (postmortems; deterministic — session clocks follow simulation
+    /// time).
+    pub flight_lines: usize,
+}
+
+/// The generator's complete output: the canonical report (worker-count
+/// invariant) and the run's wall-clock stats (bench-only).
+pub struct FleetResult {
+    pub report: Json,
+    pub summaries: Vec<SessionSummary>,
+    pub stats: FleetRunStats,
+    /// Resilience-contract violations: non-finite fused estimates, or a
+    /// quarantined clean walker whose records diverge from a solo legacy
+    /// replay of the same spec (the isolation-breach spot-check).
+    pub violations: Vec<String>,
+}
+
+fn summarize(spec: SessionSpec, finished: &FinishedSession) -> SessionSummary {
+    let (mean_error, _, _) = error_stats(&finished.records);
+    let nonfinite_fused =
+        finished.records.iter().filter_map(fused_error).filter(|e| !e.is_finite()).count();
+    let mut quarantined: Vec<String> = Vec::new();
+    for r in &finished.records {
+        for id in &r.quarantined {
+            let s = id.to_string();
+            if !quarantined.contains(&s) {
+                quarantined.push(s);
+            }
+        }
+    }
+    SessionSummary {
+        spec,
+        epochs: finished.epochs,
+        digest: records_digest(&finished.records),
+        mean_error,
+        nonfinite_fused,
+        quarantined,
+        flight_lines: finished.capture.flight_lines.len(),
+    }
+}
+
+/// Runs the whole fleet to completion, summarizing and dropping each
+/// session's records as it retires so memory stays bounded by the
+/// resident cap at any fleet size.
+///
+/// # Errors
+///
+/// Returns the first unknown scenario name.
+pub fn run_fleet(
+    models: &Arc<ErrorModelSet>,
+    base: &PipelineConfig,
+    cfg: &FleetConfig,
+) -> Result<FleetResult, String> {
+    let specs = fleet_specs(cfg)?;
+    let resident = if cfg.resident == 0 { 64 } else { cfg.resident };
+    let mut scheduler = FleetScheduler::new(cfg.jobs, base.epoch_interval, resident);
+    for spec in &specs {
+        let (spec, models, base) = (spec.clone(), Arc::clone(models), base.clone());
+        let max_epochs = cfg.max_epochs;
+        scheduler
+            .admit(spec.lane, move || build_session(spec, models, base, max_epochs));
+    }
+    uniloc_obs::info!(
+        "fleet: {} session(s) over {} scenario(s), resident cap {resident}",
+        specs.len(),
+        cfg.scenario_names.len()
+    );
+    let mut specs = specs.into_iter();
+    let mut summaries = Vec::with_capacity(cfg.sessions);
+    let stats = scheduler.run(|finished| {
+        let spec = specs.next().expect("one spec per retired session");
+        assert_eq!(spec.lane, finished.lane, "fleet retired out of lane order");
+        summaries.push(summarize(spec, &finished));
+    });
+
+    // Resilience contract. Non-finite fused estimates are always a
+    // violation — the defense stack scrubs them even under faults. A
+    // quarantine on a *clean* walker, though, is not by itself one:
+    // harsh venues legitimately trip the quarantine machine on clean
+    // data (path1's NLOS stretches quarantine cellular for some
+    // personas). What would be a breach is a neighbor's fault leaking
+    // in — and since every session is deterministic, a leak shows up
+    // as the fleet's records diverging from a solo replay of the same
+    // spec through the legacy batch path. So each suspicious walker
+    // gets spot-checked against its solo digest, capped so a venue
+    // where quarantine is the norm cannot stall a large fleet.
+    const SPOT_CHECK_CAP: usize = 64;
+    let mut violations = Vec::new();
+    let mut suspicious: Vec<&SessionSummary> = Vec::new();
+    for s in &summaries {
+        if s.nonfinite_fused > 0 {
+            violations.push(format!(
+                "{}: {} non-finite fused estimate(s)",
+                s.spec.name, s.nonfinite_fused
+            ));
+        }
+        if s.spec.plan == "none" && !s.quarantined.is_empty() {
+            suspicious.push(s);
+        }
+    }
+    if suspicious.len() > SPOT_CHECK_CAP {
+        uniloc_obs::info!(
+            "fleet: {} quarantined clean walker(s); spot-checking the first {SPOT_CHECK_CAP}",
+            suspicious.len()
+        );
+        suspicious.truncate(SPOT_CHECK_CAP);
+    }
+    for s in suspicious {
+        let solo = solo_records(&s.spec, models, base, cfg.max_epochs);
+        if records_digest(&solo) != s.digest {
+            violations.push(format!(
+                "{}: fleet records diverge from the solo legacy run \
+                 (quarantined {:?} — isolation breach)",
+                s.spec.name, s.quarantined
+            ));
+        }
+    }
+
+    let report = fleet_report(cfg, &summaries);
+    Ok(FleetResult { report, summaries, stats, violations })
+}
+
+/// Assembles the canonical fleet report. Deliberately excludes `jobs`,
+/// `resident` and all wall-clock numbers — see the module docs.
+fn fleet_report(cfg: &FleetConfig, summaries: &[SessionSummary]) -> Json {
+    let opt = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
+    let rows: Vec<Json> = summaries
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("lane".into(), Json::Int(s.spec.lane as i64)),
+                ("name".into(), Json::Str(s.spec.name.clone())),
+                ("scenario".into(), Json::Str(s.spec.scenario.clone())),
+                ("persona".into(), Json::Str(s.spec.persona.clone())),
+                ("device".into(), Json::Str(s.spec.device.clone())),
+                ("plan".into(), Json::Str(s.spec.plan.clone())),
+                ("seed".into(), Json::Str(format!("{:016x}", s.spec.seed))),
+                ("epochs".into(), Json::Int(s.epochs as i64)),
+                ("digest".into(), Json::Str(format!("{:016x}", s.digest))),
+                ("mean_error_m".into(), opt(s.mean_error)),
+                ("nonfinite_fused".into(), Json::Int(s.nonfinite_fused as i64)),
+                (
+                    "quarantined".into(),
+                    Json::Arr(s.quarantined.iter().cloned().map(Json::Str).collect()),
+                ),
+                ("flight_lines".into(), Json::Int(s.flight_lines as i64)),
+            ])
+        })
+        .collect();
+    // The fleet digest folds every session digest in lane order: one
+    // number that two runs must share iff they served identical fleets.
+    let mut fleet_digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for s in summaries {
+        fleet_digest ^= s.digest.wrapping_add(s.spec.lane);
+        fleet_digest = fleet_digest.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let total_epochs: usize = summaries.iter().map(|s| s.epochs).sum();
+    let faulted = summaries.iter().filter(|s| s.spec.plan != "none").count();
+    let quarantined_sessions = summaries.iter().filter(|s| !s.quarantined.is_empty()).count();
+    Json::Obj(vec![
+        ("fleet".into(), Json::Str("uniloc-fleet".into())),
+        ("seed".into(), Json::Int(cfg.seed as i64)),
+        ("sessions".into(), Json::Int(summaries.len() as i64)),
+        (
+            "scenarios".into(),
+            Json::Arr(cfg.scenario_names.iter().cloned().map(Json::Str).collect()),
+        ),
+        ("max_epochs".into(), Json::Int(cfg.max_epochs as i64)),
+        ("chaos_every".into(), Json::Int(cfg.chaos_every as i64)),
+        ("total_epochs".into(), Json::Int(total_epochs as i64)),
+        ("faulted_sessions".into(), Json::Int(faulted as i64)),
+        ("quarantined_sessions".into(), Json::Int(quarantined_sessions as i64)),
+        ("fleet_digest".into(), Json::Str(format!("{fleet_digest:016x}"))),
+        ("rows".into(), Json::Arr(rows)),
+    ])
+    .canonical()
+}
+
+/// Writes `BENCH_fleet.json` in the `bench-diff` gate's shape: the
+/// scheduler's wall-clock histograms as stages (`fleet.epoch`,
+/// `fleet.round`, `fleet.run`) plus throughput headline keys (which the
+/// gate's parser ignores).
+///
+/// # Errors
+///
+/// Propagates the write error.
+pub fn write_fleet_bench(stats: &FleetRunStats) -> std::io::Result<Option<String>> {
+    let reg = uniloc_obs::MetricsRegistry::new();
+    let epoch = reg.histogram("fleet.epoch", uniloc_obs::DURATION_BUCKETS_NS);
+    for &ns in &stats.epoch_ns {
+        epoch.record_ns(ns);
+    }
+    let round = reg.histogram("fleet.round", uniloc_obs::DURATION_BUCKETS_NS);
+    for &ns in &stats.round_ns {
+        round.record_ns(ns);
+    }
+    let run = reg.histogram("fleet.run", uniloc_obs::DURATION_BUCKETS_NS);
+    run.record_ns(stats.run_ns);
+
+    let mut stages = Vec::new();
+    let mut p99_epoch_ns = None;
+    for (name, h) in [("fleet.epoch", &epoch), ("fleet.round", &round), ("fleet.run", &run)] {
+        let snap = h.snapshot();
+        let Some((p50, p90, p99)) = snap.summary() else { continue };
+        if name == "fleet.epoch" {
+            p99_epoch_ns = Some(p99);
+        }
+        stages.push((
+            name.to_owned(),
+            Json::Obj(vec![
+                ("count".to_owned(), snap.count().to_json()),
+                ("mean_ns".to_owned(), snap.mean().to_json()),
+                ("p50_ns".to_owned(), p50.to_json()),
+                ("p90_ns".to_owned(), p90.to_json()),
+                ("p99_ns".to_owned(), p99.to_json()),
+                ("sum_ns".to_owned(), snap.sum.to_json()),
+            ]),
+        ));
+    }
+    if stages.is_empty() {
+        return Ok(None);
+    }
+    let secs = stats.run_ns as f64 / 1e9;
+    let doc = Json::Obj(vec![
+        ("bench".to_owned(), Json::Str("fleet".to_owned())),
+        ("stages".to_owned(), Json::Obj(stages)),
+        ("sessions".to_owned(), Json::Int(stats.sessions as i64)),
+        ("epochs".to_owned(), Json::Int(stats.epochs as i64)),
+        ("rounds".to_owned(), Json::Int(stats.rounds as i64)),
+        (
+            "epochs_per_sec".to_owned(),
+            if secs > 0.0 { Json::Num(stats.epochs as f64 / secs) } else { Json::Null },
+        ),
+        (
+            "sessions_per_sec".to_owned(),
+            if secs > 0.0 { Json::Num(stats.sessions as f64 / secs) } else { Json::Null },
+        ),
+        (
+            "p99_epoch_ms".to_owned(),
+            p99_epoch_ns.map_or(Json::Null, |ns| Json::Num(ns / 1e6)),
+        ),
+    ]);
+    let dir = if std::path::Path::new("results").is_dir() { "results" } else { "." };
+    let path = format!("{dir}/BENCH_fleet.json");
+    std::fs::write(&path, doc.canonical().to_string_pretty())?;
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(sessions: usize) -> FleetConfig {
+        FleetConfig {
+            seed: 7,
+            sessions,
+            scenario_names: vec!["office".to_owned(), "open-space".to_owned()],
+            jobs: 2,
+            resident: 4,
+            max_epochs: 20,
+            chaos_every: 8,
+        }
+    }
+
+    #[test]
+    fn specs_mix_personas_devices_and_plans() {
+        let specs = fleet_specs(&cfg(16)).unwrap();
+        assert_eq!(specs.len(), 16);
+        // Lane seeds are split — all distinct.
+        let mut seeds: Vec<u64> = specs.iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 16);
+        // Both devices, several personas, both scenarios appear.
+        assert!(specs.iter().any(|s| s.device == "nexus5x"));
+        assert!(specs.iter().any(|s| s.device == "lgg3"));
+        assert!(specs.iter().any(|s| s.scenario == "office"));
+        assert!(specs.iter().any(|s| s.scenario == "open-space"));
+        // chaos_every = 8 faults lanes 7 and 15.
+        let faulted: Vec<u64> =
+            specs.iter().filter(|s| s.plan != "none").map(|s| s.lane).collect();
+        assert_eq!(faulted, vec![7, 15]);
+    }
+
+    #[test]
+    fn unknown_scenario_is_rejected() {
+        let mut c = cfg(4);
+        c.scenario_names = vec!["mars".to_owned()];
+        assert!(fleet_specs(&c).unwrap_err().contains("mars"));
+    }
+
+    #[test]
+    fn checkpoint_spec_round_trip() {
+        let spec = fleet_specs(&cfg(8)).unwrap().swap_remove(7);
+        let ckpt = spec.checkpoint(13);
+        assert_eq!(ckpt.cursor, 13);
+        assert_eq!(SessionSpec::from_checkpoint(&ckpt), spec);
+    }
+
+    #[test]
+    fn fnv_digest_is_stable_and_sensitive() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+    }
+}

@@ -7,6 +7,7 @@
 //! plain-text table/series printing.
 
 pub mod chaos;
+pub mod fleet;
 pub mod microbench;
 pub mod regression;
 

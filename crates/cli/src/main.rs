@@ -75,6 +75,7 @@ fn main() -> ExitCode {
         "inspect-flight" => cmd_inspect_flight(&flags),
         "bench-diff" => cmd_bench_diff(&flags),
         "chaos" => cmd_chaos(&flags, exporter.as_deref()),
+        "fleet" => cmd_fleet(&flags),
         "scenarios" => cmd_scenarios(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -103,6 +104,9 @@ const USAGE: &str = "usage:
   uniloc bench-diff [--baseline DIR] [--candidate DIR] [--threshold X] [--warn-only]
   uniloc chaos [--models FILE] [--scenarios a,b] [--plans smoke|full|p1,p2] [--seed N]
                [--out DIR] [--strict] [--jobs N]
+  uniloc fleet [--models FILE] [--sessions N] [--scenarios a,b] [--seed N] [--jobs N]
+               [--resident N] [--max-epochs N] [--chaos-every N] [--out DIR] [--bench]
+               [--strict]
   uniloc scenarios
 global flags: --quiet (suppress progress output)
   --jobs N: worker threads for sweep commands (default: available cores);
@@ -511,20 +515,7 @@ fn cmd_chaos(flags: &BTreeMap<String, String>, exporter: Option<&JsonlExporter>)
     let strict = flags.contains_key("strict");
     let cfg = PipelineConfig::default();
 
-    let models = match flags.get("models") {
-        Some(_) => load_models(flags)?,
-        None => {
-            uniloc_obs::info!("no --models given; training in-process (seed {seed}) ...");
-            let mut samples =
-                pipeline::collect_training(&venues::training_office(seed), &cfg, seed + 10);
-            samples.extend(pipeline::collect_training(
-                &venues::training_open_space(seed + 1),
-                &cfg,
-                seed + 11,
-            ));
-            train(&samples).map_err(|e| format!("training failed: {e}"))?
-        }
-    };
+    let models = models_or_train(flags, &cfg, seed)?;
 
     let scenario_names: Vec<String> = flags
         .get("scenarios")
@@ -578,6 +569,126 @@ fn cmd_chaos(flags: &BTreeMap<String, String>, exporter: Option<&JsonlExporter>)
             uniloc_obs::info!(
                 "{} violation(s) — rerun with --strict to fail on them",
                 sweep.violations.len()
+            );
+            Ok(())
+        }
+    }
+}
+
+/// `--models FILE` when given, otherwise the standard in-process training
+/// pass (office + open space) on `seed` — shared by the sweep commands.
+fn models_or_train(
+    flags: &BTreeMap<String, String>,
+    cfg: &PipelineConfig,
+    seed: u64,
+) -> Result<ErrorModelSet, String> {
+    match flags.get("models") {
+        Some(_) => load_models(flags),
+        None => {
+            uniloc_obs::info!("no --models given; training in-process (seed {seed}) ...");
+            let mut samples =
+                pipeline::collect_training(&venues::training_office(seed), cfg, seed + 10);
+            samples.extend(pipeline::collect_training(
+                &venues::training_open_space(seed + 1),
+                cfg,
+                seed + 11,
+            ));
+            train(&samples).map_err(|e| format!("training failed: {e}"))
+        }
+    }
+}
+
+/// `--<key> N` as a positive integer, with a default.
+fn usize_flag(
+    flags: &BTreeMap<String, String>,
+    key: &str,
+    default: usize,
+) -> Result<usize, String> {
+    match flags.get(key) {
+        Some(s) => s
+            .parse()
+            .map_err(|_| format!("--{key} must be a non-negative integer, got `{s}`")),
+        None => Ok(default),
+    }
+}
+
+/// `uniloc fleet`: the fleet-scale load generator — `--sessions N` seeded
+/// walkers mixing personas, devices, scenarios and (with `--chaos-every
+/// K`) fault plans, served concurrently by the deterministic
+/// [`uniloc_core::fleet::FleetScheduler`] on `--jobs N` workers with at
+/// most `--resident N` sessions live at once. Writes `FLEET.json` to
+/// `--out DIR`: the report is byte-identical at any `--jobs`/`--resident`
+/// value and contains no wall-clock numbers, so the CI smoke gate diffs it
+/// across worker counts. `--bench` additionally writes the throughput
+/// breakdown (`BENCH_fleet.json`: epochs/sec, sessions/sec, p99 epoch
+/// latency) for the `bench-diff` gate. `--strict` fails on any resilience
+/// violation (a non-finite fused estimate, or a clean walker that got
+/// quarantined).
+fn cmd_fleet(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    use uniloc_bench::fleet::{run_fleet, write_fleet_bench, FleetConfig};
+
+    let seed = seed_flag(flags)?;
+    let jobs = jobs_flag(flags)?;
+    let out_dir = flags.get("out").map(String::as_str).unwrap_or("results");
+    let strict = flags.contains_key("strict");
+    let cfg = PipelineConfig::default();
+    let models = Arc::new(models_or_train(flags, &cfg, seed)?);
+
+    let scenario_names: Vec<String> = flags
+        .get("scenarios")
+        .map(|s| s.split(',').map(str::to_owned).collect())
+        .unwrap_or_else(|| vec!["office".to_owned(), "open-space".to_owned()]);
+    let fleet_cfg = FleetConfig {
+        seed,
+        sessions: usize_flag(flags, "sessions", 1000)?,
+        scenario_names,
+        jobs,
+        resident: usize_flag(flags, "resident", 64)?,
+        max_epochs: usize_flag(flags, "max-epochs", 40)?,
+        chaos_every: usize_flag(flags, "chaos-every", 0)?,
+    };
+
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("create {out_dir}: {e}"))?;
+    let result = run_fleet(&models, &cfg, &fleet_cfg)?;
+
+    let path = format!("{out_dir}/FLEET.json");
+    std::fs::write(&path, result.report.to_string_pretty())
+        .map_err(|e| format!("write {path}: {e}"))?;
+    uniloc_obs::info!("wrote {path}");
+
+    let stats = &result.stats;
+    let secs = stats.run_ns as f64 / 1e9;
+    uniloc_obs::info!(
+        "fleet: {} session(s), {} epoch(s), {} round(s) in {secs:.2}s — {:.0} epochs/s, {:.1} sessions/s",
+        stats.sessions,
+        stats.epochs,
+        stats.rounds,
+        stats.epochs as f64 / secs.max(1e-9),
+        stats.sessions as f64 / secs.max(1e-9),
+    );
+    if flags.contains_key("bench") {
+        match write_fleet_bench(stats) {
+            Ok(Some(p)) => uniloc_obs::info!("wrote {p}"),
+            Ok(None) => {}
+            Err(e) => return Err(format!("write fleet bench: {e}")),
+        }
+    }
+
+    if result.violations.is_empty() {
+        uniloc_obs::info!(
+            "fleet clean: every session stayed finite; quarantines match solo replays"
+        );
+        Ok(())
+    } else {
+        for v in &result.violations {
+            eprintln!("fleet violation: {v}");
+        }
+        if strict {
+            Err(format!("{} fleet violation(s)", result.violations.len()))
+        } else {
+            uniloc_obs::info!(
+                "{} violation(s) — rerun with --strict to fail on them",
+                result.violations.len()
             );
             Ok(())
         }

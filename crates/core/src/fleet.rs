@@ -1,0 +1,507 @@
+//! Fleet-scale session scheduling: thousands of concurrent walkers in one
+//! deterministic process.
+//!
+//! A [`FleetScheduler`] owns a set of admitted [`FleetSession`]s (one
+//! walker each — see [`crate::session::Session`]) and advances fleet time
+//! in fixed `tick` rounds. Each round it collects every session with a due
+//! epoch, orders the batch by [`DueKey`] (due time, then lane — a total
+//! order, property-tested in `tests/fleet_properties.rs`), and steps the
+//! batch on the deterministic worker pool
+//! ([`crate::parallel::run_ordered_mut`]). Retired sessions are handed to
+//! the caller strictly in lane order, whatever order they actually
+//! finished or were admitted in.
+//!
+//! # Determinism contract
+//!
+//! Fleet output — every session's records, capture, and the retirement
+//! order — is a pure function of the admitted `(lane, builder)` set:
+//!
+//! * **Worker-count invariance.** Sessions are pure state machines over
+//!   their own frame streams and each steps under its own isolated
+//!   [`ObsSession`], so no output depends on which thread ran what.
+//! * **Admission-order invariance.** [`FleetScheduler::run`] sorts the
+//!   pending set by lane before admitting anything, so shuffling
+//!   [`FleetScheduler::admit`] calls cannot change the schedule.
+//! * **Isolation.** A session's quarantine ladder, calibration bins and
+//!   flight ring live in its own engine/obs state; a chaos plan injected
+//!   into one walker cannot perturb another (held by
+//!   `tests/fleet_differential.rs`).
+//!
+//! Wall-clock measurements ([`FleetRunStats`]) are the one intentionally
+//! nondeterministic output; they feed the throughput bench only and never
+//! the artifacts.
+//!
+//! Unlike the batch path, fleet sessions emit no harness-level
+//! `pipeline.run_walk` / `pipeline.build_context` spans (a span guard
+//! cannot be held across scheduler rounds that migrate between threads);
+//! everything else in a session's capture matches a solo batch walk. See
+//! `DESIGN.md` §9.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::parallel::run_ordered_mut;
+use crate::pipeline::EpochRecord;
+use crate::session::Session;
+use uniloc_obs::session::{self as obs_session, ObsSession, SessionCapture};
+use uniloc_sensors::SensorFrame;
+
+/// Simulation-time slack when deciding whether an epoch is due, in
+/// nanoseconds: absorbs float rounding in frame timestamps without ever
+/// pulling a genuinely later epoch forward a round.
+const DUE_SLACK_NS: u64 = 1_000;
+
+fn sim_ns(t: f64) -> u64 {
+    (t.max(0.0) * 1e9).round() as u64
+}
+
+/// The scheduler's epoch ordering key: fleet-global due time in integer
+/// simulation nanoseconds, tie-broken by the session's unique lane.
+///
+/// The derived lexicographic `Ord` is a *total* order — `due_ns` is an
+/// integer (no NaN holes) and lanes are unique across a fleet — so a due
+/// batch has exactly one canonical ordering however it was collected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DueKey {
+    /// Due time on the fleet clock, in simulation nanoseconds.
+    pub due_ns: u64,
+    /// The session's unique lane.
+    pub lane: u64,
+}
+
+/// Everything needed to rebuild a session and resume it mid-walk, in
+/// serializable form. The fleet is deterministic, so a checkpoint is the
+/// session's *recipe* plus a cursor, not a state dump: restoring replays
+/// frames `0..cursor` through a freshly built session, which lands on
+/// byte-identical state (held by `tests/fleet_differential.rs`).
+///
+/// Round-trips byte-identically through [`Json::canonical`]
+/// (property-tested): `uniloc_stats::json::Json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionCheckpoint {
+    /// Unique session lane within its fleet.
+    pub lane: u64,
+    /// Display name (load-generator naming, e.g. `s00042-office-m-30s`).
+    pub name: String,
+    /// Scenario vocabulary name (`office`, `open-space`, `path1`, ...).
+    pub scenario: String,
+    /// Walker persona name (`GaitProfile::personas`).
+    pub persona: String,
+    /// Device vocabulary name (`nexus5x` / `lgg3`).
+    pub device: String,
+    /// Fault plan name (`none` for a clean walker).
+    pub plan: String,
+    /// The session's root seed (survey = seed, schemes = seed + 2, walker
+    /// = seed + 3, hub = seed + 4 — the stream discipline everywhere).
+    pub seed: u64,
+    /// Frames already served; restore replays exactly this many.
+    pub cursor: u64,
+}
+
+// Hand-written (not `impl_json_struct!`): `seed` comes from
+// `split_seed` and uses the full u64 range, which `Json::Int` (i64)
+// cannot hold — the u64 fields travel as fixed-width hex strings.
+impl uniloc_stats::json::ToJson for SessionCheckpoint {
+    fn to_json(&self) -> uniloc_stats::json::Json {
+        use uniloc_stats::json::Json;
+        Json::Obj(vec![
+            ("lane".to_owned(), Json::Str(format!("{:016x}", self.lane))),
+            ("name".to_owned(), Json::Str(self.name.clone())),
+            ("scenario".to_owned(), Json::Str(self.scenario.clone())),
+            ("persona".to_owned(), Json::Str(self.persona.clone())),
+            ("device".to_owned(), Json::Str(self.device.clone())),
+            ("plan".to_owned(), Json::Str(self.plan.clone())),
+            ("seed".to_owned(), Json::Str(format!("{:016x}", self.seed))),
+            ("cursor".to_owned(), Json::Str(format!("{:016x}", self.cursor))),
+        ])
+    }
+}
+
+impl uniloc_stats::json::FromJson for SessionCheckpoint {
+    fn from_json(
+        json: &uniloc_stats::json::Json,
+    ) -> Result<Self, uniloc_stats::json::JsonError> {
+        use uniloc_stats::json::{field, JsonError};
+        let hex = |name: &str| -> Result<u64, JsonError> {
+            let s: String = field(json, name)?;
+            u64::from_str_radix(&s, 16)
+                .map_err(|e| JsonError::new(format!("checkpoint {name} `{s}`: {e}")))
+        };
+        Ok(SessionCheckpoint {
+            lane: hex("lane")?,
+            name: field(json, "name")?,
+            scenario: field(json, "scenario")?,
+            persona: field(json, "persona")?,
+            device: field(json, "device")?,
+            plan: field(json, "plan")?,
+            seed: hex("seed")?,
+            cursor: hex("cursor")?,
+        })
+    }
+}
+
+/// One walker under fleet scheduling: the serving session, its private
+/// frame stream and cursor, the records served so far, and the isolated
+/// observability session all its effects land in.
+pub struct FleetSession {
+    /// Unique lane within the fleet; the scheduler's canonical identity.
+    pub lane: u64,
+    /// Display name for reports.
+    pub name: String,
+    session: Session,
+    frames: Vec<SensorFrame>,
+    cursor: usize,
+    records: Vec<EpochRecord>,
+    obs: Arc<ObsSession>,
+}
+
+impl FleetSession {
+    /// Builds a fleet session. `make` produces the serving session and its
+    /// (possibly fault-injected) frame stream; it runs with the walker's
+    /// fresh isolated [`ObsSession`] installed, so anything the
+    /// construction emits lands in the walker's own capture.
+    pub fn build(
+        lane: u64,
+        name: impl Into<String>,
+        make: impl FnOnce() -> (Session, Vec<SensorFrame>),
+    ) -> FleetSession {
+        let obs = Arc::new(ObsSession::isolated());
+        let guard = obs_session::install(Arc::clone(&obs));
+        let (session, frames) = make();
+        drop(guard);
+        FleetSession {
+            lane,
+            name: name.into(),
+            session,
+            frames,
+            cursor: 0,
+            records: Vec::new(),
+            obs,
+        }
+    }
+
+    /// Serves frames `0..cursor` *without recording them* — the restore
+    /// half of [`SessionCheckpoint`]: a restored session replays up to the
+    /// checkpoint cursor, then records only post-checkpoint epochs.
+    pub fn replay_to(&mut self, cursor: usize) {
+        let guard = obs_session::install(Arc::clone(&self.obs));
+        let end = cursor.min(self.frames.len());
+        while self.cursor < end {
+            let _ = self.session.step(&self.frames[self.cursor]);
+            self.cursor += 1;
+        }
+        drop(guard);
+    }
+
+    /// Frames served so far.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Total frames in the walk.
+    pub fn total_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Steps every frame due by `now_ns` on the fleet clock (the session
+    /// started at `start_ns`), with the session's obs installed. Returns
+    /// the wall-clock nanoseconds each epoch took, for the throughput
+    /// bench only.
+    fn step_due(&mut self, start_ns: u64, now_ns: u64) -> Vec<u64> {
+        let guard = obs_session::install(Arc::clone(&self.obs));
+        let mut epoch_ns = Vec::new();
+        while self.cursor < self.frames.len()
+            && start_ns + sim_ns(self.frames[self.cursor].t) <= now_ns + DUE_SLACK_NS
+        {
+            let t0 = Instant::now();
+            let record = self.session.step(&self.frames[self.cursor]);
+            epoch_ns.push(t0.elapsed().as_nanos() as u64);
+            self.records.push(record);
+            self.cursor += 1;
+        }
+        drop(guard);
+        epoch_ns
+    }
+
+    fn finished(&self) -> bool {
+        self.cursor >= self.frames.len()
+    }
+
+    fn retire(self) -> FinishedSession {
+        FinishedSession {
+            lane: self.lane,
+            name: self.name,
+            epochs: self.records.len(),
+            records: self.records,
+            capture: self.obs.capture(),
+        }
+    }
+}
+
+/// A retired session, handed to [`FleetScheduler::run`]'s callback in lane
+/// order.
+pub struct FinishedSession {
+    pub lane: u64,
+    pub name: String,
+    /// Epochs *recorded* (equals the walk length unless the session was
+    /// restored from a checkpoint, which replays silently).
+    pub epochs: usize,
+    pub records: Vec<EpochRecord>,
+    /// The walker's private observability capture (metrics, calibration
+    /// cells, flight lines).
+    pub capture: SessionCapture,
+}
+
+/// Deterministic-plus-wall-clock accounting of one fleet run. `rounds`,
+/// `epochs` and `sessions` are pure functions of the admitted set; the
+/// `*_ns` fields are wall-clock and feed the throughput bench only.
+#[derive(Debug, Clone, Default)]
+pub struct FleetRunStats {
+    /// Scheduler rounds executed (fleet time advanced per round).
+    pub rounds: u64,
+    /// Epochs served across all sessions.
+    pub epochs: u64,
+    /// Sessions admitted and retired.
+    pub sessions: u64,
+    /// Wall-clock duration of every served epoch, in scheduling order.
+    pub epoch_ns: Vec<u64>,
+    /// Wall-clock duration of every non-empty round.
+    pub round_ns: Vec<u64>,
+    /// Wall-clock duration of the whole run.
+    pub run_ns: u64,
+}
+
+/// A session recipe awaiting admission: the builder runs on a worker
+/// thread the first round its lane is scheduled.
+type SessionBuilder = Box<dyn FnOnce() -> FleetSession + Send>;
+
+struct Pending {
+    lane: u64,
+    build: SessionBuilder,
+}
+
+enum ActiveState {
+    Pending(SessionBuilder),
+    Live(Box<FleetSession>),
+    /// Placeholder while the slot's state is being replaced.
+    Vacated,
+}
+
+struct Active {
+    lane: u64,
+    /// Fleet-clock time this session was admitted (its local `t = 0`).
+    start_ns: u64,
+    state: ActiveState,
+}
+
+impl Active {
+    /// The session's next due key on the fleet clock, `None` when done.
+    fn due_key(&self) -> Option<DueKey> {
+        match &self.state {
+            // A pending session's first epoch (local t = 0) is due the
+            // round it is admitted.
+            ActiveState::Pending(_) => Some(DueKey { due_ns: self.start_ns, lane: self.lane }),
+            ActiveState::Live(fs) => {
+                let frame = fs.frames.get(fs.cursor)?;
+                Some(DueKey { due_ns: self.start_ns + sim_ns(frame.t), lane: self.lane })
+            }
+            ActiveState::Vacated => unreachable!("vacated slot left in active set"),
+        }
+    }
+
+    /// Materializes (if pending) and serves everything due by `now_ns`.
+    fn step_due(&mut self, now_ns: u64) -> Vec<u64> {
+        if matches!(self.state, ActiveState::Pending(_)) {
+            let ActiveState::Pending(build) =
+                std::mem::replace(&mut self.state, ActiveState::Vacated)
+            else {
+                unreachable!()
+            };
+            let built = build();
+            assert_eq!(built.lane, self.lane, "session builder changed its lane");
+            self.state = ActiveState::Live(Box::new(built));
+        }
+        let ActiveState::Live(fs) = &mut self.state else {
+            unreachable!("stepping a vacated slot")
+        };
+        fs.step_due(self.start_ns, now_ns)
+    }
+}
+
+/// Batches due epochs across many sessions onto the deterministic worker
+/// pool. See the module docs for the determinism contract.
+pub struct FleetScheduler {
+    jobs: usize,
+    tick_ns: u64,
+    resident: usize,
+    pending: Vec<Pending>,
+}
+
+impl FleetScheduler {
+    /// `jobs` worker threads (`<= 1` runs inline), a fleet tick of
+    /// `tick_s` seconds (normally the epoch interval), and at most
+    /// `resident` sessions live at once — admission streams in lane order
+    /// as sessions retire, bounding memory at fleet scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tick_s` is positive and finite.
+    pub fn new(jobs: usize, tick_s: f64, resident: usize) -> FleetScheduler {
+        assert!(
+            tick_s.is_finite() && tick_s > 0.0,
+            "fleet tick must be positive and finite, got {tick_s}"
+        );
+        FleetScheduler {
+            jobs: jobs.max(1),
+            tick_ns: sim_ns(tick_s).max(1),
+            resident: resident.max(1),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Queues a session for admission. `lane` must be unique across the
+    /// fleet; the builder runs on a worker thread when the lane is first
+    /// scheduled. Call order is irrelevant — [`FleetScheduler::run`]
+    /// canonicalizes by lane.
+    pub fn admit(&mut self, lane: u64, build: impl FnOnce() -> FleetSession + Send + 'static) {
+        self.pending.push(Pending { lane, build: Box::new(build) });
+    }
+
+    /// Sessions queued and not yet run.
+    pub fn queued(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Drives every admitted session to completion. `on_finish` receives
+    /// each retired session strictly in lane order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when two admitted sessions share a lane.
+    pub fn run(&mut self, mut on_finish: impl FnMut(FinishedSession)) -> FleetRunStats {
+        let run_start = Instant::now();
+        // Canonicalize admission: lane order, whatever order admit() ran.
+        self.pending.sort_by_key(|p| p.lane);
+        for pair in self.pending.windows(2) {
+            assert!(pair[0].lane != pair[1].lane, "duplicate fleet lane {}", pair[0].lane);
+        }
+        let lane_seq: Vec<u64> = self.pending.iter().map(|p| p.lane).collect();
+        let mut queue = std::mem::take(&mut self.pending).into_iter();
+
+        let mut stats = FleetRunStats { sessions: lane_seq.len() as u64, ..Default::default() };
+        let mut active: Vec<Option<Active>> = Vec::new();
+        let mut live = 0usize;
+        let mut round: u64 = 0;
+        // Retired sessions buffer here until their lane is next in
+        // sequence, so on_finish order is lane order by construction.
+        let mut finish_buf: BTreeMap<u64, FinishedSession> = BTreeMap::new();
+        let mut flushed = 0usize;
+
+        loop {
+            while live < self.resident {
+                let Some(p) = queue.next() else { break };
+                active.push(Some(Active {
+                    lane: p.lane,
+                    start_ns: round * self.tick_ns,
+                    state: ActiveState::Pending(p.build),
+                }));
+                live += 1;
+            }
+            if live == 0 {
+                break;
+            }
+            let now_ns = round * self.tick_ns;
+            let mut due: Vec<(DueKey, usize)> = active
+                .iter()
+                .enumerate()
+                .filter_map(|(i, slot)| {
+                    let key = slot.as_ref()?.due_key()?;
+                    (key.due_ns <= now_ns + DUE_SLACK_NS).then_some((key, i))
+                })
+                .collect();
+            due.sort_unstable();
+            if !due.is_empty() {
+                let round_start = Instant::now();
+                let batch: Vec<Active> =
+                    due.iter().map(|&(_, i)| active[i].take().expect("due slot vanished")).collect();
+                let (batch, timings) =
+                    run_ordered_mut(batch, self.jobs, |_, a| a.step_due(now_ns));
+                for ((&(_, i), mut slot), epoch_ns) in due.iter().zip(batch).zip(timings) {
+                    stats.epochs += epoch_ns.len() as u64;
+                    stats.epoch_ns.extend(epoch_ns);
+                    let done = matches!(&slot.state, ActiveState::Live(fs) if fs.finished());
+                    if done {
+                        let ActiveState::Live(fs) =
+                            std::mem::replace(&mut slot.state, ActiveState::Vacated)
+                        else {
+                            unreachable!()
+                        };
+                        finish_buf.insert(slot.lane, fs.retire());
+                        live -= 1;
+                    } else {
+                        active[i] = Some(slot);
+                    }
+                }
+                stats.round_ns.push(round_start.elapsed().as_nanos() as u64);
+            }
+            round += 1;
+            stats.rounds += 1;
+            while flushed < lane_seq.len() {
+                let Some(f) = finish_buf.remove(&lane_seq[flushed]) else { break };
+                on_finish(f);
+                flushed += 1;
+            }
+        }
+        assert!(finish_buf.is_empty() && flushed == lane_seq.len(), "fleet lost sessions");
+        stats.run_ns = run_start.elapsed().as_nanos() as u64;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn due_keys_order_by_time_then_lane() {
+        let a = DueKey { due_ns: 0, lane: 7 };
+        let b = DueKey { due_ns: 0, lane: 8 };
+        let c = DueKey { due_ns: 1, lane: 0 };
+        assert!(a < b && b < c && a < c);
+        let mut keys = vec![c, a, b];
+        keys.sort_unstable();
+        assert_eq!(keys, vec![a, b, c]);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_canonical_json() {
+        let ckpt = SessionCheckpoint {
+            lane: 42,
+            name: "s00042-office-m-30s".to_owned(),
+            scenario: "office".to_owned(),
+            persona: "m-30s".to_owned(),
+            device: "lgg3".to_owned(),
+            plan: "nan_storm".to_owned(),
+            seed: 0xDEAD_BEEF,
+            cursor: 118,
+        };
+        let canonical = uniloc_stats::json::ToJson::to_json(&ckpt).canonical().to_string();
+        let parsed: SessionCheckpoint = uniloc_stats::json::from_str(&canonical).unwrap();
+        assert_eq!(parsed, ckpt);
+        let again = uniloc_stats::json::ToJson::to_json(&parsed).canonical().to_string();
+        assert_eq!(again, canonical);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate fleet lane")]
+    fn duplicate_lanes_are_rejected() {
+        let mut sched = FleetScheduler::new(1, 0.5, 4);
+        for _ in 0..2 {
+            sched.admit(3, || {
+                FleetSession::build(3, "dup", || unreachable!("never materialized"))
+            });
+        }
+        sched.run(|_| {});
+    }
+}

@@ -57,11 +57,13 @@ pub mod energy;
 pub mod engine;
 pub mod error_model;
 pub mod features;
+pub mod fleet;
 pub mod guard;
 pub mod parallel;
 pub mod pipeline;
 pub mod quarantine;
 pub mod response;
+pub mod session;
 
 pub use aloc::ALocSelector;
 pub use confidence::{adaptive_tau, confidence};
@@ -71,5 +73,7 @@ pub use guard::{scrub_frame, FrameGate, GateVerdict, ScrubReport};
 pub use quarantine::{DegradationLadder, QuarantineMachine, SchemeVerdict};
 pub use error_model::{ErrorModelSet, ErrorPrediction, LinearErrorModel, TrainingSample};
 pub use features::{CustomFeatureFn, FeatureExtractor, PredictorKind, SharedContext};
+pub use fleet::{DueKey, FinishedSession, FleetRunStats, FleetScheduler, FleetSession, SessionCheckpoint};
 pub use pipeline::{EpochRecord, PipelineConfig};
 pub use response::{ResponseTimeModel, ResponseTimeReport};
+pub use session::Session;

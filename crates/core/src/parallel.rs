@@ -144,6 +144,76 @@ where
         .collect()
 }
 
+/// Like [`run_ordered`], but the jobs *own and mutate* their items: the
+/// batch is moved in, every item is handed to exactly one worker as
+/// `&mut I`, and the (possibly mutated) items come back in input order
+/// alongside the per-item results.
+///
+/// This is the fleet scheduler's stepping primitive: a
+/// [`crate::fleet::FleetScheduler`] round moves the due sessions out of
+/// their slots, steps each one on some worker, and puts the advanced
+/// state back. The same determinism contract as [`run_ordered`] applies —
+/// items and results depend only on the input order, never on which
+/// thread ran what — and `jobs <= 1` runs inline on the caller's thread
+/// with no pool at all.
+pub fn run_ordered_mut<I, T, F>(items: Vec<I>, jobs: usize, f: F) -> (Vec<I>, Vec<T>)
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, &mut I) -> T + Sync,
+{
+    let n = items.len();
+    let workers = jobs.max(1).min(n.max(1));
+    if workers <= 1 {
+        let mut items = items;
+        let results =
+            items.iter_mut().enumerate().map(|(i, item)| f(i, item)).collect();
+        return (items, results);
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<I>>> =
+        items.into_iter().map(|item| Mutex::new(Some(item))).collect();
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                // Each index is claimed exactly once, so the item is taken
+                // and returned by the same worker with no contention.
+                let mut item = slots[idx]
+                    .lock()
+                    .expect("parallel item lock poisoned")
+                    .take()
+                    .expect("parallel item claimed twice");
+                let out = f(idx, &mut item);
+                *slots[idx].lock().expect("parallel item lock poisoned") = Some(item);
+                results.lock().expect("parallel result lock poisoned")[idx] = Some(out);
+            });
+        }
+    });
+    let items = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("parallel item lock poisoned")
+                .unwrap_or_else(|| panic!("parallel job {i} lost its item"))
+        })
+        .collect();
+    let results = results
+        .into_inner()
+        .expect("parallel result lock poisoned")
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("parallel job {i} produced no result")))
+        .collect();
+    (items, results)
+}
+
 /// Like [`run_ordered`], but each job runs under an isolated
 /// [`ObsSession`]: its metrics, calibration feed and flight-recorder
 /// output land in per-job private state instead of the process globals,
@@ -211,6 +281,32 @@ mod tests {
         });
         assert_eq!(calls.load(Ordering::Relaxed), 100);
         assert_eq!(got, items);
+    }
+
+    #[test]
+    fn run_ordered_mut_returns_mutated_items_in_order() {
+        for jobs in [0usize, 1, 2, 4, 8] {
+            let items: Vec<u64> = (0..23).collect();
+            let (items, results) = run_ordered_mut(items, jobs, |i, x| {
+                *x += 100;
+                i as u64 + *x
+            });
+            let expect_items: Vec<u64> = (100..123).collect();
+            let expect_results: Vec<u64> = (0..23).map(|i| 2 * i + 100).collect();
+            assert_eq!(items, expect_items, "jobs={jobs}");
+            assert_eq!(results, expect_results, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn run_ordered_mut_handles_empty_and_single_item() {
+        let (items, results) = run_ordered_mut(Vec::<u32>::new(), 4, |_, x| *x);
+        assert!(items.is_empty() && results.is_empty());
+        let (items, results) = run_ordered_mut(vec![7u32], 4, |_, x| {
+            *x += 1;
+            *x
+        });
+        assert_eq!((items, results), (vec![8], vec![8]));
     }
 
     #[test]

@@ -10,7 +10,6 @@
 //!   models and record every scheme's error, UniLoc1/UniLoc2's errors, the
 //!   oracle, scheme usage and the GPS duty cycle.
 
-use crate::engine::UniLocEngine;
 use crate::error_model::{ErrorModelSet, ErrorPrediction, TrainingSample};
 use crate::features::{FeatureExtractor, PredictorKind, SharedContext};
 use crate::quarantine::DegradationLadder;
@@ -19,7 +18,7 @@ use uniloc_geom::Point;
 use uniloc_iodetect::IoState;
 use uniloc_schemes::{
     CellFingerprintDb, CellFingerprintScheme, FusionScheme, GpsScheme, LocalizationScheme,
-    Oracle, PdrConfig, PdrScheme, SchemeId, WifiFingerprintDb, WifiFingerprintScheme,
+    PdrConfig, PdrScheme, SchemeId, WifiFingerprintDb, WifiFingerprintScheme,
 };
 use uniloc_sensors::{DeviceProfile, RssiCalibration, SensorHub};
 use uniloc_rng::Rng;
@@ -372,6 +371,14 @@ pub fn run_walk(
 /// trained models. `seed` must match the one used elsewhere in the run:
 /// the survey uses `seed`, scheme construction `seed + 2` — the same
 /// stream discipline as [`run_walk`].
+///
+/// Since the session refactor this is a thin driver over
+/// [`crate::session::Session`]: one session is built from the scenario and
+/// stepped over every frame in order. The per-epoch work — and therefore
+/// every record byte and every observability effect — is the session's;
+/// the only harness-level additions are the `pipeline.run_walk` /
+/// `pipeline.build_context` spans wrapping the walk, which the fleet
+/// scheduler deliberately does not emit (see `DESIGN.md` §9).
 pub fn run_walk_on_frames(
     scenario: &Scenario,
     models: &ErrorModelSet,
@@ -381,9 +388,6 @@ pub fn run_walk_on_frames(
 ) -> Vec<EpochRecord> {
     assert_valid(cfg);
     let obs = uniloc_obs::global();
-    let metrics = uniloc_obs::global_metrics();
-    let calib = uniloc_obs::global_calibration();
-    let flight = uniloc_obs::global_flight();
     let _walk_span = obs
         .span("pipeline.run_walk")
         .field("scenario", scenario.name.as_str())
@@ -392,110 +396,14 @@ pub fn run_walk_on_frames(
         let _s = obs.span("pipeline.build_context");
         build_context(scenario, cfg, seed)
     };
-    let schemes = build_schemes(scenario, &ctx, cfg, seed + 2);
-    let mut engine =
-        UniLocEngine::with_predictor(schemes, models.clone(), ctx, cfg.predictor);
-
-    let epoch_counter = metrics.counter("pipeline.epochs");
-    let mut records = Vec::with_capacity(frames.len());
-    for frame in frames {
-        // Under a VirtualClock the sidecar's timestamps follow simulation
-        // time; under the default MonotonicClock this is a no-op.
-        obs.sync_virtual_clock(frame.t);
-        epoch_counter.inc();
-        let out = engine.update(frame);
-        let truth = frame.true_position;
-        let (_, station) = scenario.route.project(truth);
-        let scheme_errors: Vec<(SchemeId, Option<f64>)> = out
-            .reports
-            .iter()
-            .map(|r| (r.id, r.estimate.map(|e| e.position.distance(truth))))
-            .collect();
-        // Predicted-minus-actual residuals: only the evaluation harness
-        // knows ground truth, so the calibration histograms — and the
-        // calibration monitor judging them — live here, not in the engine.
-        for r in &out.reports {
-            if flight.note_availability(&r.id.to_string(), r.estimate.is_some()) {
-                flight.trigger(
-                    "scheme_unavailable",
-                    vec![
-                        ("scheme".to_owned(), r.id.to_string().into()),
-                        ("t".to_owned(), frame.t.into()),
-                    ],
-                );
-            }
-            if let (Some(p), Some(e)) = (r.prediction, r.estimate) {
-                let realized = e.position.distance(truth);
-                metrics
-                    .histogram(
-                        &format!("error_model.residual.{}", r.id),
-                        uniloc_obs::RESIDUAL_BUCKETS_M,
-                    )
-                    .record(p.mean - realized);
-                if let Some(alarm) = calib.observe(
-                    &r.id.to_string(),
-                    &out.io.to_string(),
-                    p.mean,
-                    p.sigma,
-                    realized,
-                ) {
-                    flight.trigger(
-                        "calibration_drift",
-                        vec![
-                            ("scheme".to_owned(), alarm.scheme.into()),
-                            ("io".to_owned(), alarm.io.into()),
-                            ("direction".to_owned(), alarm.direction.into()),
-                            ("statistic".to_owned(), alarm.statistic.into()),
-                            ("t".to_owned(), frame.t.into()),
-                        ],
-                    );
-                }
-            }
-        }
-        // Numerical corruption in any fused output freezes a postmortem
-        // (the engine already counted it and raised the warn event).
-        if [out.best_selection, out.bayesian_average, out.mixture_average]
-            .iter()
-            .flatten()
-            .any(|p| !p.x.is_finite() || !p.y.is_finite())
-        {
-            flight.trigger(
-                "non_finite_estimate",
-                vec![("t".to_owned(), frame.t.into())],
-            );
-        }
-        let estimates: Vec<(SchemeId, Option<Point>)> = out
-            .reports
-            .iter()
-            .map(|r| (r.id, r.estimate.map(|e| e.position)))
-            .collect();
-        let predictions: Vec<(SchemeId, Option<ErrorPrediction>)> =
-            out.reports.iter().map(|r| (r.id, r.prediction)).collect();
-        let oracle_input: Vec<_> = out.reports.iter().map(|r| (r.id, r.estimate)).collect();
-        let oracle = Oracle::select(&oracle_input, truth);
-        records.push(EpochRecord {
-            t: frame.t,
-            station,
-            truth,
-            indoor: scenario.world.is_indoor(truth),
-            io_detected: out.io,
-            scheme_errors,
-            estimates,
-            predictions,
-            uniloc1_error: out.best_selection.map(|p| p.distance(truth)),
-            uniloc1_choice: out.selected,
-            uniloc2_error: out.bayesian_average.map(|p| p.distance(truth)),
-            uniloc2_mixture_error: out.mixture_average.map(|p| p.distance(truth)),
-            oracle_error: oracle.map(|(_, _, e)| e),
-            oracle_choice: oracle.map(|(id, _, _)| id),
-            weights: out.reports.iter().map(|r| (r.id, r.weight)).collect(),
-            gps_enabled: out.gps_enabled,
-            tau: out.tau,
-            ladder: out.ladder,
-            quarantined: out.quarantined.clone(),
-        });
-    }
-    records
+    let mut session = crate::session::Session::from_context(
+        std::sync::Arc::new(scenario.clone()),
+        ctx,
+        models,
+        cfg,
+        seed,
+    );
+    frames.iter().map(|frame| session.step(frame)).collect()
 }
 
 /// Mean of the defined, finite values of an optional-valued series.
@@ -589,6 +497,88 @@ mod tests {
         );
         // UniLoc should be well under 10 m indoors.
         assert!(uniloc2 < 10.0, "UniLoc2 error {uniloc2}");
+    }
+
+    /// `validate` at the exact edges of every constraint: the open and
+    /// closed interval ends, signed zero, and subnormals.
+    #[test]
+    fn validate_accepts_boundary_values() {
+        let mut cfg = PipelineConfig::default();
+        // Strictly-positive fields: the smallest subnormal is positive
+        // and finite, so it passes; f64::MAX is the closed top end.
+        cfg.epoch_interval = 5e-324;
+        cfg.indoor_spacing = f64::MIN_POSITIVE;
+        cfg.outdoor_spacing = f64::MAX;
+        cfg.pdr.landmark_sigma = 5e-324;
+        // Sigma fields are non-negative: exact zero and negative zero
+        // both mean "no noise", not "negative noise".
+        cfg.pdr.step_length_noise = 0.0;
+        cfg.pdr.heading_noise = -0.0;
+        cfg.pdr.init_spread = 0.0;
+        // The fraction's closed upper bound.
+        cfg.pdr.resample_frac = 1.0;
+        assert_eq!(cfg.validate(), Ok(()));
+        // The fraction's open lower bound: any positive value passes.
+        cfg.pdr.resample_frac = 5e-324;
+        assert_eq!(cfg.validate(), Ok(()));
+        cfg.pdr.num_particles = 1;
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_each_boundary_violation_with_the_field_named() {
+        let base = PipelineConfig::default();
+        // Positive-and-finite fields: zero, negative zero, infinity and
+        // NaN all fail with the field named.
+        for bad in [0.0, -0.0, f64::INFINITY, f64::NAN] {
+            let cfg = PipelineConfig { epoch_interval: bad, ..base.clone() };
+            assert!(
+                matches!(cfg.validate(), Err(ConfigError::NonPositive("epoch_interval", _))),
+                "epoch_interval = {bad}"
+            );
+        }
+        let cfg = PipelineConfig { indoor_spacing: -1.5, ..base.clone() };
+        assert!(matches!(cfg.validate(), Err(ConfigError::NonPositive("indoor_spacing", _))));
+        let cfg = PipelineConfig { outdoor_spacing: f64::NEG_INFINITY, ..base.clone() };
+        assert!(matches!(cfg.validate(), Err(ConfigError::NonPositive("outdoor_spacing", _))));
+
+        let mut cfg = base.clone();
+        cfg.pdr.num_particles = 0;
+        assert_eq!(cfg.validate(), Err(ConfigError::NoParticles));
+
+        // Sigmas reject anything below zero — even the tiniest subnormal
+        // step below — and non-finite values.
+        let mut cfg = base.clone();
+        cfg.pdr.step_length_noise = -5e-324;
+        assert!(
+            matches!(cfg.validate(), Err(ConfigError::BadSigma("pdr.step_length_noise", _))),
+            "a negative subnormal is still negative"
+        );
+        let mut cfg = base.clone();
+        cfg.pdr.heading_noise = f64::NAN;
+        assert!(matches!(cfg.validate(), Err(ConfigError::BadSigma("pdr.heading_noise", _))));
+
+        // landmark_sigma is strictly positive (a zero-width landmark
+        // likelihood would degenerate), unlike the other sigmas.
+        let mut cfg = base.clone();
+        cfg.pdr.landmark_sigma = 0.0;
+        assert!(matches!(cfg.validate(), Err(ConfigError::NonPositive("pdr.landmark_sigma", _))));
+
+        // The fraction's edges: 0.0 and -0.0 sit outside the open lower
+        // bound, the next float above 1.0 outside the closed upper one.
+        for bad in [0.0, -0.0, 1.0 + f64::EPSILON, -1.0, f64::NAN, f64::INFINITY] {
+            let mut cfg = base.clone();
+            cfg.pdr.resample_frac = bad;
+            assert!(
+                matches!(cfg.validate(), Err(ConfigError::BadFraction("pdr.resample_frac", _))),
+                "resample_frac = {bad}"
+            );
+        }
+
+        // The first failing field wins, in declaration order.
+        let mut cfg = PipelineConfig { epoch_interval: f64::NAN, ..base.clone() };
+        cfg.pdr.num_particles = 0;
+        assert!(matches!(cfg.validate(), Err(ConfigError::NonPositive("epoch_interval", _))));
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl LocationEstimate {
 /// Returning `None` means the scheme is unavailable this epoch (no GPS fix,
 /// no audible APs, ...) — UniLoc then "temporarily exclude[s]" it "by simply
 /// setting its confidence as zero".
-pub trait LocalizationScheme {
+///
+/// `Send` is a supertrait: under the fleet scheduler a session (and every
+/// scheme inside it) migrates between worker threads across rounds.
+pub trait LocalizationScheme: Send {
     /// Which scheme this is.
     fn id(&self) -> SchemeId;
 

@@ -127,11 +127,48 @@ for needle in '"worst_ladder"' '"nonfinite_fused": 0' '"recovered": true'; do
 done
 echo "    ok: fault sweep stayed finite, recovered, and is --jobs invariant"
 
-# --- 5. bench-regression gate --------------------------------------------
+# --- 5. fleet smoke -------------------------------------------------------
+# Serve a 200-walker fleet (two venues, every 10th walker under a fault
+# plan) through the session scheduler at --jobs 1 and --jobs 4 with
+# different resident caps, strict: any non-finite fused estimate fails
+# CI, and any quarantined clean walker is spot-checked against a solo
+# legacy replay (divergence = isolation breach = fail). The FLEET.json
+# report carries per-session record digests and no wall-clock numbers, so
+# byte-identical artifacts across worker counts prove the fleet engine's
+# determinism contract end to end (DESIGN.md §9).
+echo "==> fleet smoke (uniloc fleet --strict, --jobs 1 vs --jobs 4)"
+target/release/uniloc fleet --models "$smoke/models.json" --sessions 200 \
+    --scenarios office,open-space --max-epochs 12 --chaos-every 10 --seed 17 \
+    --out "$smoke/fleet" --strict --quiet --jobs 1 --resident 64
+target/release/uniloc fleet --models "$smoke/models.json" --sessions 200 \
+    --scenarios office,open-space --max-epochs 12 --chaos-every 10 --seed 17 \
+    --out "$smoke/fleet4" --strict --quiet --jobs 4 --resident 9
+if ! diff -r "$smoke/fleet" "$smoke/fleet4" >/dev/null; then
+    echo "ERROR: fleet artifacts differ between --jobs 1 and --jobs 4" >&2
+    diff -r "$smoke/fleet" "$smoke/fleet4" >&2 || true
+    exit 1
+fi
+for needle in '"sessions": 200' '"fleet_digest"' '"quarantined_sessions"'; do
+    if ! grep -qF "$needle" "$smoke/fleet/FLEET.json"; then
+        echo "ERROR: fleet report is missing \`$needle\`" >&2
+        exit 1
+    fi
+done
+echo "    ok: 200-session fleet is clean and --jobs/--resident invariant"
+
+# --- 6. bench-regression gate --------------------------------------------
 # Strict self-diff first: re-parses every committed results/BENCH_*.json
 # with the in-repo JSON reader (malformed or duplicate-key files are hard
 # errors) and must report no regression against itself.
 echo "==> bench gate (uniloc bench-diff)"
+# The fleet throughput breakdown must be committed and inside the gate:
+# bench-diff scans all of results/, so its presence check is all that is
+# needed for it to be parsed and self-diffed below.
+if [ ! -f results/BENCH_fleet.json ]; then
+    echo "ERROR: results/BENCH_fleet.json is missing (regenerate with" >&2
+    echo "       \`uniloc fleet --sessions 10000 --bench\`)" >&2
+    exit 1
+fi
 target/release/uniloc bench-diff
 # Then a fresh run of one representative bench, compared warn-only: latency
 # on shared CI hardware is too noisy to gate hard, but structural drift
