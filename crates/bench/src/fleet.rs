@@ -27,12 +27,15 @@ use uniloc_core::pipeline::{self, EpochRecord, PipelineConfig};
 use uniloc_core::session::Session;
 use uniloc_env::{GaitProfile, Scenario};
 use uniloc_faults::{FaultInjector, FaultPlan};
+use uniloc_obs::fleet::{FleetAggregator, FleetSnapshot, SessionMeta};
+use uniloc_obs::ObsSession;
 use uniloc_rng::split_seed;
 use uniloc_sensors::{DeviceProfile, SensorFrame};
 use uniloc_stats::json::{Json, ToJson};
 
 /// Load-generator parameters. Everything that shapes the fleet's *output*
 /// lives here except `jobs`/`resident`, which only shape its execution.
+#[derive(Clone)]
 pub struct FleetConfig {
     /// Root seed; lane seeds derive via [`split_seed`].
     pub seed: u64,
@@ -52,6 +55,15 @@ pub struct FleetConfig {
     /// Every `chaos_every`-th lane walks under a fault plan (cycling the
     /// smoke library); `0` keeps the whole fleet clean.
     pub chaos_every: usize,
+    /// Serve every walker under a stubbed [`ObsSession`] (the *obs off*
+    /// half of the obs-overhead bench). Records are byte-identical either
+    /// way — observability never feeds the pipeline — but captures come
+    /// back empty, so no fleet snapshot is aggregated.
+    pub obs_stub: bool,
+    /// Telemetry aggregation shards (`0` picks the default). Never affects
+    /// artifacts: the shard merge is associative and commutative, which
+    /// `tests/fleet_proptests.rs` holds.
+    pub shards: usize,
 }
 
 /// The complete recipe for one walker. A spec (plus the shared error
@@ -205,9 +217,24 @@ pub fn build_session(
     base: PipelineConfig,
     max_epochs: usize,
 ) -> FleetSession {
+    build_session_with_obs(spec, models, base, max_epochs, false)
+}
+
+/// [`build_session`] with the walker's observability selectable: stubbed
+/// sessions run the same instrument sites against sink state (the
+/// obs-overhead bench's *off* half).
+pub fn build_session_with_obs(
+    spec: SessionSpec,
+    models: Arc<ErrorModelSet>,
+    base: PipelineConfig,
+    max_epochs: usize,
+    obs_stub: bool,
+) -> FleetSession {
     let lane = spec.lane;
     let name = spec.name.clone();
-    FleetSession::build(lane, name, move || {
+    let obs =
+        if obs_stub { Arc::new(ObsSession::stubbed()) } else { Arc::new(ObsSession::isolated()) };
+    FleetSession::build_with_obs(lane, name, obs, move || {
         let scenario = spec_scenario(&spec);
         let cfg = spec_pipeline_config(&base, &spec);
         let frames = spec_frames(&scenario, &cfg, &spec, max_epochs);
@@ -286,6 +313,26 @@ pub struct FleetResult {
     /// quarantined clean walker whose records diverge from a solo legacy
     /// replay of the same spec (the isolation-breach spot-check).
     pub violations: Vec<String>,
+    /// The fleet observatory's aggregate — every retired capture folded
+    /// through the sharded merge. `None` when the fleet ran obs-stubbed
+    /// (stub captures are empty by design).
+    pub snapshot: Option<FleetSnapshot>,
+}
+
+/// The aggregator's view of one retired walker.
+fn session_meta(s: &SessionSummary) -> SessionMeta {
+    SessionMeta {
+        lane: s.spec.lane,
+        name: s.spec.name.clone(),
+        persona: s.spec.persona.clone(),
+        device: s.spec.device.clone(),
+        venue: s.spec.scenario.clone(),
+        faulted: s.spec.plan != "none",
+        epochs: s.epochs as u64,
+        mean_error_m: s.mean_error,
+        nonfinite: s.nonfinite_fused as u64,
+        quarantined: s.quarantined.clone(),
+    }
 }
 
 fn summarize(spec: SessionSpec, finished: &FinishedSession) -> SessionSummary {
@@ -325,13 +372,18 @@ pub fn run_fleet(
     cfg: &FleetConfig,
 ) -> Result<FleetResult, String> {
     let specs = fleet_specs(cfg)?;
+    // The dump cap is per-run: earlier runs in this process (another fleet
+    // round, a solo walk, a test) must not starve this fleet's postmortem
+    // budget on the process-wide recorder.
+    uniloc_obs::process_flight().rearm_dumps();
     let resident = if cfg.resident == 0 { 64 } else { cfg.resident };
     let mut scheduler = FleetScheduler::new(cfg.jobs, base.epoch_interval, resident);
     for spec in &specs {
         let (spec, models, base) = (spec.clone(), Arc::clone(models), base.clone());
-        let max_epochs = cfg.max_epochs;
-        scheduler
-            .admit(spec.lane, move || build_session(spec, models, base, max_epochs));
+        let (max_epochs, obs_stub) = (cfg.max_epochs, cfg.obs_stub);
+        scheduler.admit(spec.lane, move || {
+            build_session_with_obs(spec, models, base, max_epochs, obs_stub)
+        });
     }
     uniloc_obs::info!(
         "fleet: {} session(s) over {} scenario(s), resident cap {resident}",
@@ -340,10 +392,15 @@ pub fn run_fleet(
     );
     let mut specs = specs.into_iter();
     let mut summaries = Vec::with_capacity(cfg.sessions);
+    let mut agg = (!cfg.obs_stub).then(|| FleetAggregator::new(cfg.shards));
     let stats = scheduler.run(|finished| {
         let spec = specs.next().expect("one spec per retired session");
         assert_eq!(spec.lane, finished.lane, "fleet retired out of lane order");
-        summaries.push(summarize(spec, &finished));
+        let summary = summarize(spec, &finished);
+        if let Some(agg) = agg.as_mut() {
+            agg.observe(&session_meta(&summary), &finished.capture);
+        }
+        summaries.push(summary);
     });
 
     // Resilience contract. Non-finite fused estimates are always a
@@ -390,7 +447,79 @@ pub fn run_fleet(
     }
 
     let report = fleet_report(cfg, &summaries);
-    Ok(FleetResult { report, summaries, stats, violations })
+    let snapshot = agg.map(|a| a.snapshot());
+    Ok(FleetResult { report, summaries, stats, violations, snapshot })
+}
+
+/// The obs layer's measured cost: one fleet served twice per pass — obs
+/// fully on vs. [`ObsSession::stubbed`] — keeping each mode's best
+/// (fastest) pass. Wall-clock only; the records are verified byte-identical
+/// via the fleet digest before any throughput is compared.
+pub struct ObsOverhead {
+    /// Best epochs/s with isolated (full) observability.
+    pub epochs_per_sec_obs: f64,
+    /// Best epochs/s with stubbed observability.
+    pub epochs_per_sec_stub: f64,
+    /// Fractional throughput cost of the obs layer:
+    /// `(stub - obs) / stub`. Negative means noise favored the obs run.
+    pub overhead_frac: f64,
+}
+
+/// Measures the obs layer's throughput cost over `passes` paired runs of
+/// the configured fleet (see [`ObsOverhead`]). Best-of-N per mode bounds
+/// scheduler noise; both modes must serve byte-identical fleets.
+///
+/// # Errors
+///
+/// Returns scenario errors, and a hard error when the obs-on and
+/// obs-stubbed runs disagree on the fleet digest — that would mean
+/// observability leaked into the pipeline.
+pub fn measure_obs_overhead(
+    models: &Arc<ErrorModelSet>,
+    base: &PipelineConfig,
+    cfg: &FleetConfig,
+    passes: usize,
+) -> Result<ObsOverhead, String> {
+    let digest_of = |report: &Json| -> String {
+        report
+            .get("fleet_digest")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_owned()
+    };
+    let eps = |stats: &FleetRunStats| -> f64 {
+        let secs = stats.run_ns as f64 / 1e9;
+        if secs > 0.0 { stats.epochs as f64 / secs } else { 0.0 }
+    };
+    let mut best_obs: f64 = 0.0;
+    let mut best_stub: f64 = 0.0;
+    for pass in 0..passes.max(1) {
+        let on = run_fleet(models, base, &FleetConfig { obs_stub: false, ..cfg.clone() })?;
+        let off = run_fleet(models, base, &FleetConfig { obs_stub: true, ..cfg.clone() })?;
+        if digest_of(&on.report) != digest_of(&off.report) {
+            return Err(
+                "obs-stubbed fleet served different records than the obs-on fleet \
+                 — observability leaked into the pipeline"
+                    .to_owned(),
+            );
+        }
+        best_obs = best_obs.max(eps(&on.stats));
+        best_stub = best_stub.max(eps(&off.stats));
+        uniloc_obs::info!(
+            "obs-overhead pass {}/{}: obs {:.0} epochs/s, stub {:.0} epochs/s",
+            pass + 1,
+            passes.max(1),
+            eps(&on.stats),
+            eps(&off.stats)
+        );
+    }
+    let overhead_frac =
+        if best_stub > 0.0 { (best_stub - best_obs) / best_stub } else { 0.0 };
+    Ok(ObsOverhead {
+        epochs_per_sec_obs: best_obs,
+        epochs_per_sec_stub: best_stub,
+        overhead_frac,
+    })
 }
 
 /// Assembles the canonical fleet report. Deliberately excludes `jobs`,
@@ -532,6 +661,8 @@ mod tests {
             resident: 4,
             max_epochs: 20,
             chaos_every: 8,
+            obs_stub: false,
+            shards: 0,
         }
     }
 

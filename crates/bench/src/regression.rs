@@ -141,11 +141,27 @@ pub struct DiffConfig {
     /// baselines come from whatever machine last blessed them, so the
     /// default is deliberately generous; structure is compared exactly.
     pub latency_tolerance: f64,
+    /// Tighter budget for `fleet.*` stages (e.g. `2.0` = three-fold). The
+    /// fleet bench amortizes thousands of epochs per stage sample, so its
+    /// means are far more stable than the single-walk stages and can hold
+    /// a stricter line without flaking across machines.
+    pub fleet_latency_tolerance: f64,
 }
 
 impl Default for DiffConfig {
     fn default() -> Self {
-        DiffConfig { latency_tolerance: 4.0 }
+        DiffConfig { latency_tolerance: 4.0, fleet_latency_tolerance: 2.0 }
+    }
+}
+
+impl DiffConfig {
+    /// The latency tolerance that applies to `stage`.
+    pub fn tolerance_for(&self, stage: &str) -> f64 {
+        if stage.starts_with("fleet.") {
+            self.fleet_latency_tolerance
+        } else {
+            self.latency_tolerance
+        }
     }
 }
 
@@ -241,7 +257,7 @@ pub fn diff_reports(
         }
         if base.mean_ns > 0.0 && cand.mean_ns.is_finite() {
             let ratio = cand.mean_ns / base.mean_ns;
-            if ratio > 1.0 + cfg.latency_tolerance {
+            if ratio > 1.0 + cfg.tolerance_for(stage) {
                 findings.push(Finding::LatencyRegression {
                     stage: stage.clone(),
                     baseline_mean_ns: base.mean_ns,
@@ -368,11 +384,26 @@ mod tests {
     fn latency_needs_to_exceed_tolerance() {
         let base = report(&[("a", stats(10, 1e6))]);
         let slower = report(&[("a", stats(10, 3e6))]);
-        let cfg = DiffConfig { latency_tolerance: 4.0 };
+        let cfg = DiffConfig { latency_tolerance: 4.0, ..DiffConfig::default() };
         assert!(diff_reports(&base, &slower, &cfg).is_empty(), "3x is within 5x budget");
         let much_slower = report(&[("a", stats(10, 6e6))]);
         let findings = diff_reports(&base, &much_slower, &cfg);
         assert!(matches!(findings[0], Finding::LatencyRegression { ratio, .. } if ratio > 5.0));
+    }
+
+    #[test]
+    fn fleet_stages_hold_a_tighter_latency_line() {
+        let cfg = DiffConfig::default();
+        assert_eq!(cfg.tolerance_for("fleet.epoch"), 2.0);
+        assert_eq!(cfg.tolerance_for("run_walk"), 4.0);
+        // 4x is within the general 5x budget but beyond the fleet 3x one.
+        let base = report(&[("fleet.epoch", stats(10, 1e6)), ("run_walk", stats(10, 1e6))]);
+        let slower = report(&[("fleet.epoch", stats(10, 4e6)), ("run_walk", stats(10, 4e6))]);
+        let findings = diff_reports(&base, &slower, &cfg);
+        assert_eq!(findings.len(), 1, "only the fleet stage regresses: {findings:?}");
+        assert!(
+            matches!(&findings[0], Finding::LatencyRegression { stage, .. } if stage == "fleet.epoch")
+        );
     }
 
     #[test]

@@ -18,6 +18,11 @@
 //!                                               against the committed baselines
 //! uniloc chaos [--plans smoke|full] [--jobs N]  scenario x fault-plan resilience sweep
 //!                                               (parallel, deterministic at any --jobs)
+//! uniloc fleet [--sessions N] [--obs-stub]      fleet-scale load generator; also writes
+//!              [--shards N] [--obs-overhead]    FLEET_HEALTH.json + PROF_fleet.* from
+//!                                               the fleet observatory
+//! uniloc inspect-fleet [--file FILE] [--strict] fleet SLO/health table from a
+//!                                               FLEET_HEALTH.json artifact
 //! uniloc scenarios                              list available venues
 //! ```
 //!
@@ -76,6 +81,7 @@ fn main() -> ExitCode {
         "bench-diff" => cmd_bench_diff(&flags),
         "chaos" => cmd_chaos(&flags, exporter.as_deref()),
         "fleet" => cmd_fleet(&flags),
+        "inspect-fleet" => cmd_inspect_fleet(&flags),
         "scenarios" => cmd_scenarios(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -106,7 +112,9 @@ const USAGE: &str = "usage:
                [--out DIR] [--strict] [--jobs N]
   uniloc fleet [--models FILE] [--sessions N] [--scenarios a,b] [--seed N] [--jobs N]
                [--resident N] [--max-epochs N] [--chaos-every N] [--out DIR] [--bench]
-               [--strict]
+               [--strict] [--shards N] [--obs-stub]
+               [--obs-overhead] [--overhead-budget X] [--overhead-passes N]
+  uniloc inspect-fleet [--file FILE] [--strict]
   uniloc scenarios
 global flags: --quiet (suppress progress output)
   --jobs N: worker threads for sweep commands (default: available cores);
@@ -612,20 +620,37 @@ fn usize_flag(
     }
 }
 
+/// `--<key> X` as a finite float, with a default.
+fn f64_flag(flags: &BTreeMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
+    match flags.get(key) {
+        Some(s) => match s.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(v),
+            _ => Err(format!("--{key} must be a finite number, got `{s}`")),
+        },
+        None => Ok(default),
+    }
+}
+
 /// `uniloc fleet`: the fleet-scale load generator — `--sessions N` seeded
 /// walkers mixing personas, devices, scenarios and (with `--chaos-every
 /// K`) fault plans, served concurrently by the deterministic
 /// [`uniloc_core::fleet::FleetScheduler`] on `--jobs N` workers with at
-/// most `--resident N` sessions live at once. Writes `FLEET.json` to
-/// `--out DIR`: the report is byte-identical at any `--jobs`/`--resident`
-/// value and contains no wall-clock numbers, so the CI smoke gate diffs it
-/// across worker counts. `--bench` additionally writes the throughput
-/// breakdown (`BENCH_fleet.json`: epochs/sec, sessions/sec, p99 epoch
-/// latency) for the `bench-diff` gate. `--strict` fails on any resilience
-/// violation (a non-finite fused estimate, or a clean walker that got
-/// quarantined).
+/// most `--resident N` sessions live at once. Writes `FLEET.json` plus
+/// the fleet-observatory artifacts (`FLEET_HEALTH.json`,
+/// `PROF_fleet.folded`, `PROF_fleet.json`) to `--out DIR`: all four are
+/// byte-identical at any `--jobs`/`--resident`/`--shards` value and
+/// contain no wall-clock numbers, so the CI smoke gate diffs the whole
+/// directory across worker counts. `--bench` additionally writes the
+/// throughput breakdown (`BENCH_fleet.json`: epochs/sec, sessions/sec,
+/// p99 epoch latency) for the `bench-diff` gate. `--obs-stub` swaps every
+/// session's observability for the sink configuration (no aggregation
+/// artifacts), and `--obs-overhead` runs the paired obs-on/obs-stub bench
+/// and fails if the epochs/s cost exceeds `--overhead-budget` (default
+/// 5%). `--strict` fails on any resilience violation (a non-finite fused
+/// estimate, or a clean walker that got quarantined).
 fn cmd_fleet(flags: &BTreeMap<String, String>) -> Result<(), String> {
-    use uniloc_bench::fleet::{run_fleet, write_fleet_bench, FleetConfig};
+    use uniloc_bench::fleet::{measure_obs_overhead, run_fleet, write_fleet_bench, FleetConfig};
+    use uniloc_obs::fleet as obsfleet;
 
     let seed = seed_flag(flags)?;
     let jobs = jobs_flag(flags)?;
@@ -646,7 +671,33 @@ fn cmd_fleet(flags: &BTreeMap<String, String>) -> Result<(), String> {
         resident: usize_flag(flags, "resident", 64)?,
         max_epochs: usize_flag(flags, "max-epochs", 40)?,
         chaos_every: usize_flag(flags, "chaos-every", 0)?,
+        obs_stub: flags.contains_key("obs-stub"),
+        shards: usize_flag(flags, "shards", 0)?,
     };
+
+    if flags.contains_key("obs-overhead") {
+        let passes = usize_flag(flags, "overhead-passes", 2)?;
+        let budget = f64_flag(flags, "overhead-budget", 0.05)?;
+        let o = measure_obs_overhead(&models, &cfg, &fleet_cfg, passes)?;
+        println!(
+            "obs_overhead_frac {:.4} budget {:.4} obs_epochs_per_sec {:.0} stub_epochs_per_sec {:.0}",
+            o.overhead_frac, budget, o.epochs_per_sec_obs, o.epochs_per_sec_stub
+        );
+        return if o.overhead_frac > budget {
+            Err(format!(
+                "obs overhead {:.2}% exceeds budget {:.2}%",
+                o.overhead_frac * 100.0,
+                budget * 100.0
+            ))
+        } else {
+            uniloc_obs::info!(
+                "obs overhead {:.2}% within budget {:.2}%",
+                o.overhead_frac * 100.0,
+                budget * 100.0
+            );
+            Ok(())
+        };
+    }
 
     std::fs::create_dir_all(out_dir).map_err(|e| format!("create {out_dir}: {e}"))?;
     let result = run_fleet(&models, &cfg, &fleet_cfg)?;
@@ -655,6 +706,24 @@ fn cmd_fleet(flags: &BTreeMap<String, String>) -> Result<(), String> {
     std::fs::write(&path, result.report.to_string_pretty())
         .map_err(|e| format!("write {path}: {e}"))?;
     uniloc_obs::info!("wrote {path}");
+
+    if let Some(snap) = &result.snapshot {
+        let health = obsfleet::health_report(snap, &obsfleet::SloTargets::default());
+        let path = format!("{out_dir}/FLEET_HEALTH.json");
+        std::fs::write(&path, health.to_string_pretty())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        uniloc_obs::info!("wrote {path}");
+
+        let tree = obsfleet::profile_tree(snap);
+        let path = format!("{out_dir}/PROF_fleet.folded");
+        std::fs::write(&path, obsfleet::folded_lines(&tree))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        uniloc_obs::info!("wrote {path}");
+        let path = format!("{out_dir}/PROF_fleet.json");
+        std::fs::write(&path, obsfleet::profile_report(&tree).to_string_pretty())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        uniloc_obs::info!("wrote {path}");
+    }
 
     let stats = &result.stats;
     let secs = stats.run_ns as f64 / 1e9;
@@ -693,6 +762,144 @@ fn cmd_fleet(flags: &BTreeMap<String, String>) -> Result<(), String> {
             Ok(())
         }
     }
+}
+
+/// `uniloc inspect-fleet`: a `top`-style health table rendered from a
+/// `FLEET_HEALTH.json` artifact (`--file FILE`, default
+/// `results/FLEET_HEALTH.json`) — fleet totals, the SLO burn table,
+/// per-scheme availability, per-cohort breakdowns and the worst-session
+/// exemplars. Pure formatting: it never recomputes, so the table always
+/// agrees with the artifact the CI gates diff. `--strict` fails when any
+/// SLO row is out of budget.
+fn cmd_inspect_fleet(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let path = flags
+        .get("file")
+        .map(String::as_str)
+        .unwrap_or("results/FLEET_HEALTH.json");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    if doc.get("health").and_then(Json::as_str) != Some("uniloc-fleet") {
+        return Err(format!("{path} is not a uniloc FLEET_HEALTH.json artifact"));
+    }
+    let int = |d: &Json, k: &str| d.get(k).and_then(Json::as_i64).unwrap_or(0);
+    let num = |d: &Json, k: &str| d.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+
+    println!(
+        "fleet health — {} session(s), {} epoch(s) ({} faulted, {} quarantined, {} non-finite)",
+        int(&doc, "sessions"),
+        int(&doc, "epochs"),
+        int(&doc, "faulted_sessions"),
+        int(&doc, "quarantined_sessions"),
+        int(&doc, "nonfinite_fused"),
+    );
+    if let Some(flight) = doc.get("flight") {
+        println!(
+            "flight recorder: {} dump(s), {} dropped, {} suppressed; {} calib drift alarm(s)",
+            int(flight, "dumps"),
+            int(flight, "dropped"),
+            int(flight, "suppressed"),
+            doc.get("calib").map_or(0, |c| int(c, "drift_alarms")),
+        );
+    }
+
+    let mut violated = 0usize;
+    if let Some(rows) = doc.get("slo").and_then(Json::as_arr) {
+        println!();
+        println!(
+            "  {:<34} {:>4} {:>9} {:>9} {:>7}  status",
+            "SLO", "kind", "target", "observed", "burn"
+        );
+        for r in rows {
+            let ok = r.get("ok").and_then(Json::as_bool).unwrap_or(false);
+            if !ok {
+                violated += 1;
+            }
+            println!(
+                "  {:<34} {:>4} {:>9.3} {:>9.3} {:>7.2}  {}",
+                r.get("name").and_then(Json::as_str).unwrap_or("?"),
+                r.get("kind").and_then(Json::as_str).unwrap_or("?"),
+                num(r, "target"),
+                num(r, "observed"),
+                num(r, "burn"),
+                if ok { "ok" } else { "VIOLATED" },
+            );
+        }
+    }
+
+    if let Some(schemes) = doc.get("schemes").and_then(Json::as_obj) {
+        println!();
+        println!(
+            "  {:<10} {:>12} {:>12} {:>10} {:>12}",
+            "scheme", "avail_epochs", "availability", "quar_trip", "quar_readmit"
+        );
+        for (id, s) in schemes {
+            println!(
+                "  {id:<10} {:>12} {:>12.3} {:>10} {:>12}",
+                int(s, "available_epochs"),
+                num(s, "availability"),
+                int(s, "quarantine_tripped"),
+                int(s, "quarantine_readmitted"),
+            );
+        }
+    }
+
+    if let Some(cohorts) = doc.get("cohorts").and_then(Json::as_obj) {
+        println!();
+        println!(
+            "  {:<34} {:>8} {:>7} {:>7} {:>5} {:>6} {:>10}",
+            "cohort", "sessions", "epochs", "faulted", "quar", "drift", "mean_err_m"
+        );
+        for (name, c) in cohorts {
+            let mean = c.get("mean_error_m").and_then(Json::as_f64);
+            println!(
+                "  {name:<34} {:>8} {:>7} {:>7} {:>5} {:>6} {:>10}",
+                int(c, "sessions"),
+                int(c, "epochs"),
+                int(c, "faulted"),
+                int(c, "quarantined"),
+                int(c, "drift_alarms"),
+                mean.map_or("-".to_owned(), |m| format!("{m:.3}")),
+            );
+        }
+    }
+
+    if let Some(exemplars) = doc.get("exemplars").and_then(Json::as_arr) {
+        if !exemplars.is_empty() {
+            println!();
+            println!("  worst sessions (exemplars)");
+            println!(
+                "  {:<6} {:<18} {:>10} {:>7} {:>11}  quarantined",
+                "lane", "name", "mean_err_m", "epochs", "postmortems"
+            );
+            for e in exemplars {
+                let quarantined = e
+                    .get("quarantined")
+                    .and_then(Json::as_arr)
+                    .map_or(String::from("-"), |q| {
+                        let ids: Vec<&str> =
+                            q.iter().filter_map(Json::as_str).collect();
+                        if ids.is_empty() { "-".to_owned() } else { ids.join(",") }
+                    });
+                println!(
+                    "  {:<6} {:<18} {:>10.3} {:>7} {:>11}  {quarantined}",
+                    int(e, "lane"),
+                    e.get("name").and_then(Json::as_str).unwrap_or("?"),
+                    num(e, "mean_error_m"),
+                    int(e, "epochs"),
+                    int(e, "flight_postmortems"),
+                );
+            }
+        }
+    }
+
+    if violated > 0 {
+        println!();
+        println!("{violated} SLO(s) out of budget");
+        if flags.contains_key("strict") {
+            return Err(format!("{violated} SLO violation(s)"));
+        }
+    }
+    Ok(())
 }
 
 fn cmd_scenarios() -> Result<(), String> {

@@ -166,7 +166,19 @@ impl FleetSession {
         name: impl Into<String>,
         make: impl FnOnce() -> (Session, Vec<SensorFrame>),
     ) -> FleetSession {
-        let obs = Arc::new(ObsSession::isolated());
+        FleetSession::build_with_obs(lane, name, Arc::new(ObsSession::isolated()), make)
+    }
+
+    /// [`build`](Self::build) with a caller-supplied observability session
+    /// — how the obs-overhead bench swaps in
+    /// [`ObsSession::stubbed`] walkers while everything else about the
+    /// fleet stays identical.
+    pub fn build_with_obs(
+        lane: u64,
+        name: impl Into<String>,
+        obs: Arc<ObsSession>,
+        make: impl FnOnce() -> (Session, Vec<SensorFrame>),
+    ) -> FleetSession {
         let guard = obs_session::install(Arc::clone(&obs));
         let (session, frames) = make();
         drop(guard);

@@ -299,6 +299,8 @@ pub struct CalibrationMonitor {
     /// `Phi^-1(q)` per configured quantile, precomputed.
     z_quantiles: Vec<f64>,
     cells: Mutex<BTreeMap<(String, String), Cell>>,
+    /// Obs-stub switch: a disabled monitor ignores observations entirely.
+    disabled: std::sync::atomic::AtomicBool,
 }
 
 impl Default for CalibrationMonitor {
@@ -321,12 +323,23 @@ impl CalibrationMonitor {
         );
         let std = Normal::standard();
         let z_quantiles = cfg.quantiles.iter().map(|&q| std.quantile(q)).collect();
-        CalibrationMonitor { cfg, z_quantiles, cells: Mutex::new(BTreeMap::new()) }
+        CalibrationMonitor {
+            cfg,
+            z_quantiles,
+            cells: Mutex::new(BTreeMap::new()),
+            disabled: std::sync::atomic::AtomicBool::new(false),
+        }
     }
 
     /// The monitor's tuning.
     pub fn config(&self) -> &CalibrationConfig {
         &self.cfg
+    }
+
+    /// Disables (or re-enables) the monitor: observations become no-ops
+    /// and never alarm. The obs-stub mode's switch.
+    pub fn set_disabled(&self, disabled: bool) {
+        self.disabled.store(disabled, std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Absorbs one observation: scheme `scheme` in environment `io`
@@ -345,6 +358,9 @@ impl CalibrationMonitor {
         predicted_sigma: f64,
         realized: f64,
     ) -> Option<DriftAlarm> {
+        if self.disabled.load(std::sync::atomic::Ordering::Relaxed) {
+            return None;
+        }
         let mut cells = self.cells.lock().expect("calibration mutex");
         let cell = cells
             .entry((scheme.to_owned(), io.to_owned()))

@@ -1,0 +1,912 @@
+//! The fleet observatory: sharded telemetry aggregation over per-session
+//! captures, a deterministic span-count profiler, and an SLO health plane.
+//!
+//! A fleet run retires thousands of isolated
+//! [`ObsSession`](crate::session::ObsSession) captures in lane order. This
+//! module folds them into one [`FleetSnapshot`] through a fixed number of
+//! *shards* (a retired session folds into shard `lane % shards`, and the
+//! final snapshot merges the shards): the shard merge is the same algebra
+//! as the per-shard fold, so the result is independent of shard count and
+//! of which worker retired which session — the property
+//! `tests/fleet_proptests.rs` holds.
+//!
+//! # Merge algebra
+//!
+//! Every aggregated quantity is chosen so the merge is **associative and
+//! commutative, exactly**:
+//!
+//! * counters and bucket counts are `u64` sums;
+//! * value sums are *fixed-point micro-units* in `i128`
+//!   ([`micro`]) — float addition is not associative, integer addition is;
+//! * gone are last-writer-wins gauges: the fleet level keeps only
+//!   mergeable shapes (counts, sparse histograms, top-K exemplars);
+//! * the worst-session exemplar list is a top-K selection under a total
+//!   order (mean error descending, lane ascending), and top-K selection
+//!   under a total order commutes with merging.
+//!
+//! # Profiler determinism
+//!
+//! Fleet sessions run under a per-session
+//! [`VirtualClock`](crate::clock::VirtualClock) synced once per epoch, so
+//! every intra-epoch span has *zero duration* — deterministic but useless
+//! as a timing. The profiler therefore accounts **invocation counts**, not
+//! nanoseconds: the `span.*` histogram counts are exact integers, byte
+//! identical at any worker count. The collapsed-stack output
+//! (`PROF_fleet.folded`) and stage tree (`PROF_fleet.json`) are flamegraph
+//! shaped with call counts as values.
+
+use std::collections::BTreeMap;
+
+use crate::session::SessionCapture;
+use uniloc_stats::json::{Json, ToJson};
+
+/// Bucket upper bounds for per-session mean localization error, meters.
+pub const ERROR_BUCKETS_M: &[f64] =
+    &[0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 7.0, 10.0, 15.0, 20.0, 30.0, 50.0];
+
+/// Default shard count for [`FleetAggregator::new`].
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Worst-session exemplars kept per snapshot (and per shard).
+pub const EXEMPLAR_CAP: usize = 8;
+
+/// A finite value in fixed-point micro-units (`v * 1e6`, rounded). Integer
+/// micro-units make fleet-level sums associative where `f64` sums are not.
+pub fn micro(v: f64) -> i64 {
+    (v * 1e6).round() as i64
+}
+
+/// A sparse fixed-point histogram over a caller-supplied bound table:
+/// only touched buckets are stored, the value sum is integer micro-units,
+/// and the merge is exact bucket-wise addition.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseHist {
+    /// Bucket index → count. Index `i < bounds.len()` covers
+    /// `v <= bounds[i]` (first match); index `bounds.len()` is overflow.
+    pub counts: BTreeMap<usize, u64>,
+    /// Sum of recorded values in micro-units.
+    pub sum_micro: i128,
+    /// Non-finite values rejected.
+    pub dropped: u64,
+}
+
+impl SparseHist {
+    /// Records one value against `bounds` (ascending upper bounds, the
+    /// same table every merge partner must use).
+    pub fn record(&mut self, bounds: &[f64], v: f64) {
+        if !v.is_finite() {
+            self.dropped += 1;
+            return;
+        }
+        let idx = bounds.partition_point(|b| v > *b);
+        *self.counts.entry(idx).or_insert(0) += 1;
+        self.sum_micro += micro(v) as i128;
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Exact merge: bucket-wise `u64` addition plus integer sum addition —
+    /// associative and commutative by construction.
+    pub fn merge(&self, other: &SparseHist) -> SparseHist {
+        let mut counts = self.counts.clone();
+        for (&i, &c) in &other.counts {
+            *counts.entry(i).or_insert(0) += c;
+        }
+        SparseHist {
+            counts,
+            sum_micro: self.sum_micro + other.sum_micro,
+            dropped: self.dropped + other.dropped,
+        }
+    }
+
+    /// Densifies against `bounds` for serialization:
+    /// `(dense counts, mean value)`.
+    pub fn dense(&self, bounds: &[f64]) -> (Vec<u64>, Option<f64>) {
+        let mut dense = vec![0u64; bounds.len() + 1];
+        for (&i, &c) in &self.counts {
+            if let Some(slot) = dense.get_mut(i) {
+                *slot = c;
+            }
+        }
+        let n = self.count();
+        let mean = (n > 0).then(|| self.sum_micro as f64 / 1e6 / n as f64);
+        (dense, mean)
+    }
+}
+
+/// One retired session's identity and summary facts, as the aggregator
+/// needs them. The caller (the fleet load generator) builds this from its
+/// [`SessionSpec`]-equivalent plus the record summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionMeta {
+    /// Unique fleet lane.
+    pub lane: u64,
+    /// Display name.
+    pub name: String,
+    /// Walker persona (cohort axis 1).
+    pub persona: String,
+    /// Device profile (cohort axis 2).
+    pub device: String,
+    /// Venue / scenario name (cohort axis 3).
+    pub venue: String,
+    /// Whether the session walked under a fault plan.
+    pub faulted: bool,
+    /// Epochs recorded.
+    pub epochs: u64,
+    /// Mean fused localization error over the walk, meters.
+    pub mean_error_m: Option<f64>,
+    /// Non-finite fused estimates observed.
+    pub nonfinite: u64,
+    /// Schemes the session ever quarantined.
+    pub quarantined: Vec<String>,
+}
+
+impl SessionMeta {
+    /// The session's cohort key: `persona/device/venue`.
+    pub fn cohort(&self) -> String {
+        format!("{}/{}/{}", self.persona, self.device, self.venue)
+    }
+}
+
+/// Per-cohort (persona × device × venue) aggregate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CohortStats {
+    /// Sessions retired in the cohort.
+    pub sessions: u64,
+    /// Epochs recorded across them.
+    pub epochs: u64,
+    /// Sessions under a fault plan.
+    pub faulted: u64,
+    /// Sessions that quarantined at least one scheme.
+    pub quarantined: u64,
+    /// Calibration drift alarms raised.
+    pub drift_alarms: u64,
+    /// Flight-recorder postmortems dumped.
+    pub flight_dumps: u64,
+    /// Non-finite fused estimates.
+    pub nonfinite: u64,
+    /// Per-session mean error distribution ([`ERROR_BUCKETS_M`]).
+    pub error_hist: SparseHist,
+}
+
+impl CohortStats {
+    fn merge(&self, other: &CohortStats) -> CohortStats {
+        CohortStats {
+            sessions: self.sessions + other.sessions,
+            epochs: self.epochs + other.epochs,
+            faulted: self.faulted + other.faulted,
+            quarantined: self.quarantined + other.quarantined,
+            drift_alarms: self.drift_alarms + other.drift_alarms,
+            flight_dumps: self.flight_dumps + other.flight_dumps,
+            nonfinite: self.nonfinite + other.nonfinite,
+            error_hist: self.error_hist.merge(&other.error_hist),
+        }
+    }
+}
+
+/// One worst-session exemplar: enough identity to find the session's row
+/// (and its flight-recorder postmortems) in `FLEET.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Fleet lane (links to the `FLEET.json` row of the same lane).
+    pub lane: u64,
+    /// Session display name.
+    pub name: String,
+    /// Mean fused error in micro-meters (the ranking key; fixed point so
+    /// the top-K order is total).
+    pub mean_error_micro: i64,
+    /// Epochs recorded.
+    pub epochs: u64,
+    /// Flight-recorder postmortem lines the session captured — the link
+    /// target: `uniloc inspect-flight` over the session's sidecar shows
+    /// exactly these.
+    pub flight_postmortems: u64,
+    /// Schemes the session quarantined.
+    pub quarantined: Vec<String>,
+}
+
+/// The exemplar total order: worst (largest mean error) first, ties by
+/// lane ascending. Total because the key is integer.
+fn exemplar_key(e: &Exemplar) -> (i64, u64) {
+    (-e.mean_error_micro, e.lane)
+}
+
+/// Top-K under the total order; associative/commutative as a merge.
+fn top_k(mut all: Vec<Exemplar>, k: usize) -> Vec<Exemplar> {
+    all.sort_by_key(exemplar_key);
+    all.dedup_by_key(|e| e.lane);
+    all.truncate(k);
+    all
+}
+
+/// One fleet-wide (or one shard's) aggregate. The merge of two snapshots
+/// is field-wise and exact — see the module docs for the algebra.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetSnapshot {
+    /// Sessions folded in.
+    pub sessions: u64,
+    /// Epochs recorded across them.
+    pub epochs: u64,
+    /// Sessions under a fault plan.
+    pub faulted: u64,
+    /// Sessions that quarantined at least one scheme.
+    pub quarantined_sessions: u64,
+    /// Non-finite fused estimates.
+    pub nonfinite: u64,
+    /// Every session counter, summed by name (`pipeline.epochs`,
+    /// `engine.scheme.available.<id>`, `quarantine.tripped.<id>`,
+    /// `calib.drift_alarms`, `flight.dumps`, ...).
+    pub counters: BTreeMap<String, u64>,
+    /// `span.<name>` invocation counts from the session captures.
+    pub span_counts: BTreeMap<String, u64>,
+    /// Per-session mean error distribution ([`ERROR_BUCKETS_M`]).
+    pub error_hist: SparseHist,
+    /// Per-cohort breakdown, keyed `persona/device/venue`.
+    pub cohorts: BTreeMap<String, CohortStats>,
+    /// The [`EXEMPLAR_CAP`] worst sessions by mean error.
+    pub exemplars: Vec<Exemplar>,
+}
+
+impl FleetSnapshot {
+    /// Folds one retired session into this snapshot.
+    pub fn observe(&mut self, meta: &SessionMeta, capture: &SessionCapture) {
+        self.sessions += 1;
+        self.epochs += meta.epochs;
+        self.faulted += u64::from(meta.faulted);
+        self.quarantined_sessions += u64::from(!meta.quarantined.is_empty());
+        self.nonfinite += meta.nonfinite;
+        for (name, v) in &capture.metrics.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &capture.metrics.histograms {
+            if name.starts_with("span.") {
+                *self.span_counts.entry(name["span.".len()..].to_owned()).or_insert(0) +=
+                    h.count();
+            }
+        }
+        if let Some(err) = meta.mean_error_m {
+            self.error_hist.record(ERROR_BUCKETS_M, err);
+        }
+
+        let counter = |name: &str| {
+            capture.metrics.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v)
+        };
+        let cohort = self.cohorts.entry(meta.cohort()).or_default();
+        cohort.sessions += 1;
+        cohort.epochs += meta.epochs;
+        cohort.faulted += u64::from(meta.faulted);
+        cohort.quarantined += u64::from(!meta.quarantined.is_empty());
+        cohort.drift_alarms += counter("calib.drift_alarms");
+        cohort.flight_dumps += counter("flight.dumps");
+        cohort.nonfinite += meta.nonfinite;
+        if let Some(err) = meta.mean_error_m {
+            cohort.error_hist.record(ERROR_BUCKETS_M, err);
+        }
+
+        if let Some(err) = meta.mean_error_m.filter(|e| e.is_finite()) {
+            let mut pool = std::mem::take(&mut self.exemplars);
+            pool.push(Exemplar {
+                lane: meta.lane,
+                name: meta.name.clone(),
+                mean_error_micro: micro(err),
+                epochs: meta.epochs,
+                flight_postmortems: capture.flight_lines.len() as u64,
+                quarantined: meta.quarantined.clone(),
+            });
+            self.exemplars = top_k(pool, EXEMPLAR_CAP);
+        }
+    }
+
+    /// Exact field-wise merge (associative and commutative; property
+    /// tested).
+    pub fn merge(&self, other: &FleetSnapshot) -> FleetSnapshot {
+        let mut counters = self.counters.clone();
+        for (name, v) in &other.counters {
+            *counters.entry(name.clone()).or_insert(0) += v;
+        }
+        let mut span_counts = self.span_counts.clone();
+        for (name, v) in &other.span_counts {
+            *span_counts.entry(name.clone()).or_insert(0) += v;
+        }
+        let mut cohorts = self.cohorts.clone();
+        for (key, stats) in &other.cohorts {
+            let merged = match cohorts.get(key) {
+                Some(mine) => mine.merge(stats),
+                None => stats.clone(),
+            };
+            cohorts.insert(key.clone(), merged);
+        }
+        let mut exemplars = self.exemplars.clone();
+        exemplars.extend(other.exemplars.iter().cloned());
+        FleetSnapshot {
+            sessions: self.sessions + other.sessions,
+            epochs: self.epochs + other.epochs,
+            faulted: self.faulted + other.faulted,
+            quarantined_sessions: self.quarantined_sessions + other.quarantined_sessions,
+            nonfinite: self.nonfinite + other.nonfinite,
+            counters,
+            span_counts,
+            error_hist: self.error_hist.merge(&other.error_hist),
+            cohorts,
+            exemplars: top_k(exemplars, EXEMPLAR_CAP),
+        }
+    }
+
+    /// The summed value of one counter (0 when never seen).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Per-scheme availability: scheme →
+    /// `(available epochs, availability fraction)` from the
+    /// `engine.scheme.available.<id>` counters over `pipeline.epochs`.
+    pub fn availability(&self) -> BTreeMap<String, (u64, f64)> {
+        let denom = self.counter("pipeline.epochs").max(self.epochs);
+        let mut out = BTreeMap::new();
+        for (name, v) in &self.counters {
+            if let Some(id) = name.strip_prefix("engine.scheme.available.") {
+                let frac = if denom > 0 { *v as f64 / denom as f64 } else { 0.0 };
+                out.insert(id.to_owned(), (*v, frac));
+            }
+        }
+        out
+    }
+}
+
+/// The sharded fold: sessions route to shard `lane % shards`, and
+/// [`FleetAggregator::snapshot`] merges the shards. Because the merge is
+/// associative and commutative, the snapshot is invariant in the shard
+/// count and in the fold order within a shard's lane set.
+#[derive(Debug)]
+pub struct FleetAggregator {
+    shards: Vec<FleetSnapshot>,
+}
+
+impl FleetAggregator {
+    /// An aggregator with `shards` shards (`0` picks [`DEFAULT_SHARDS`]).
+    pub fn new(shards: usize) -> FleetAggregator {
+        let n = if shards == 0 { DEFAULT_SHARDS } else { shards };
+        FleetAggregator { shards: vec![FleetSnapshot::default(); n] }
+    }
+
+    /// Folds one retired session into its lane's shard.
+    pub fn observe(&mut self, meta: &SessionMeta, capture: &SessionCapture) {
+        let shard = (meta.lane % self.shards.len() as u64) as usize;
+        self.shards[shard].observe(meta, capture);
+    }
+
+    /// Merges every shard into the fleet snapshot.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        self.shards.iter().fold(FleetSnapshot::default(), |acc, s| acc.merge(s))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SLO health plane
+// ---------------------------------------------------------------------------
+
+/// Declared fleet SLO targets. `min_availability` rows are lower bounds on
+/// a scheme's available-epoch fraction; the `max_*` rows are budgets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloTargets {
+    /// Scheme → minimum available-epoch fraction.
+    pub min_availability: Vec<(String, f64)>,
+    /// Maximum fraction of sessions that quarantine any scheme.
+    pub max_quarantined_frac: f64,
+    /// Maximum calibration drift alarms per 1000 epochs.
+    pub max_drift_alarms_per_kepoch: f64,
+    /// Maximum fraction of flight postmortems lost to the dump cap
+    /// (`flight.dropped / (flight.dumps + flight.dropped)`).
+    pub max_flight_drop_frac: f64,
+    /// Maximum non-finite fused estimates (the defense stack's contract
+    /// is zero).
+    pub max_nonfinite: u64,
+}
+
+impl Default for SloTargets {
+    fn default() -> Self {
+        SloTargets {
+            // GPS is legitimately dark indoors; the indoor schemes carry.
+            min_availability: vec![
+                ("cellular".to_owned(), 0.75),
+                ("fusion".to_owned(), 0.75),
+                ("gps".to_owned(), 0.05),
+                ("motion".to_owned(), 0.85),
+                ("wifi".to_owned(), 0.75),
+            ],
+            max_quarantined_frac: 0.25,
+            max_drift_alarms_per_kepoch: 50.0,
+            max_flight_drop_frac: 0.5,
+            max_nonfinite: 0,
+        }
+    }
+}
+
+/// One evaluated SLO row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRow {
+    /// SLO name (`availability.wifi`, `quarantined_sessions`, ...).
+    pub name: String,
+    /// `"min"` (observed must stay above target) or `"max"` (budget).
+    pub kind: String,
+    /// Declared target.
+    pub target: f64,
+    /// Observed value.
+    pub observed: f64,
+    /// Budget burn: fraction of the error budget consumed (`> 1` means
+    /// violated). For `min` rows the budget is `1 - target`.
+    pub burn: f64,
+    /// Whether the SLO holds.
+    pub ok: bool,
+}
+
+fn max_row(name: &str, target: f64, observed: f64) -> SloRow {
+    let burn = if target > 0.0 { observed / target } else { observed };
+    SloRow {
+        name: name.to_owned(),
+        kind: "max".to_owned(),
+        target,
+        observed,
+        burn,
+        ok: observed <= target,
+    }
+}
+
+/// Evaluates the snapshot against the targets. Every observed value is a
+/// ratio of integers from the snapshot, so the rows are deterministic at
+/// any worker/shard count.
+pub fn evaluate_slos(snap: &FleetSnapshot, targets: &SloTargets) -> Vec<SloRow> {
+    let mut rows = Vec::new();
+    let avail = snap.availability();
+    for (scheme, target) in &targets.min_availability {
+        let observed = avail.get(scheme).map_or(0.0, |(_, f)| *f);
+        let budget = 1.0 - target;
+        let burn = if budget > 0.0 { (1.0 - observed) / budget } else { 1.0 - observed };
+        rows.push(SloRow {
+            name: format!("availability.{scheme}"),
+            kind: "min".to_owned(),
+            target: *target,
+            observed,
+            burn,
+            ok: observed >= *target,
+        });
+    }
+    let sessions = snap.sessions.max(1) as f64;
+    rows.push(max_row(
+        "quarantined_sessions",
+        targets.max_quarantined_frac,
+        snap.quarantined_sessions as f64 / sessions,
+    ));
+    let kepochs = snap.epochs.max(1) as f64 / 1000.0;
+    rows.push(max_row(
+        "drift_alarms_per_kepoch",
+        targets.max_drift_alarms_per_kepoch,
+        snap.counter("calib.drift_alarms") as f64 / kepochs,
+    ));
+    let dumps = snap.counter("flight.dumps");
+    let dropped = snap.counter("flight.dropped");
+    let drop_frac =
+        if dumps + dropped > 0 { dropped as f64 / (dumps + dropped) as f64 } else { 0.0 };
+    rows.push(max_row("flight_drop_frac", targets.max_flight_drop_frac, drop_frac));
+    rows.push(max_row(
+        "nonfinite_fused",
+        targets.max_nonfinite as f64,
+        snap.nonfinite as f64,
+    ));
+    rows
+}
+
+/// Assembles the canonical `FLEET_HEALTH.json` document: SLO rows,
+/// per-scheme availability/quarantine, cohort breakdown, error
+/// distribution, exemplars and flight/calibration totals. Deliberately
+/// excludes every wall-clock number — byte-identical at any
+/// `--jobs`/`--resident`/shard value (wall-clock latency SLOs live in
+/// `BENCH_fleet.json`).
+pub fn health_report(snap: &FleetSnapshot, targets: &SloTargets) -> Json {
+    let slo_rows: Vec<Json> = evaluate_slos(snap, targets)
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(r.name.clone())),
+                ("kind".into(), Json::Str(r.kind.clone())),
+                ("target".into(), Json::Num(r.target)),
+                ("observed".into(), Json::Num(r.observed)),
+                ("burn".into(), Json::Num(r.burn)),
+                ("ok".into(), Json::Bool(r.ok)),
+            ])
+        })
+        .collect();
+    let schemes: Vec<(String, Json)> = snap
+        .availability()
+        .iter()
+        .map(|(id, (epochs, frac))| {
+            (
+                id.clone(),
+                Json::Obj(vec![
+                    ("available_epochs".into(), epochs.to_json()),
+                    ("availability".into(), Json::Num(*frac)),
+                    (
+                        "quarantine_tripped".into(),
+                        snap.counter(&format!("quarantine.tripped.{id}")).to_json(),
+                    ),
+                    (
+                        "quarantine_readmitted".into(),
+                        snap.counter(&format!("quarantine.readmitted.{id}")).to_json(),
+                    ),
+                ]),
+            )
+        })
+        .collect();
+    let cohorts: Vec<(String, Json)> = snap
+        .cohorts
+        .iter()
+        .map(|(key, c)| {
+            let (counts, mean) = c.error_hist.dense(ERROR_BUCKETS_M);
+            (
+                key.clone(),
+                Json::Obj(vec![
+                    ("sessions".into(), c.sessions.to_json()),
+                    ("epochs".into(), c.epochs.to_json()),
+                    ("faulted".into(), c.faulted.to_json()),
+                    ("quarantined".into(), c.quarantined.to_json()),
+                    ("drift_alarms".into(), c.drift_alarms.to_json()),
+                    ("flight_dumps".into(), c.flight_dumps.to_json()),
+                    ("nonfinite".into(), c.nonfinite.to_json()),
+                    ("mean_error_m".into(), mean.map_or(Json::Null, Json::Num)),
+                    ("error_counts".into(), counts.to_json()),
+                ]),
+            )
+        })
+        .collect();
+    let exemplars: Vec<Json> = snap
+        .exemplars
+        .iter()
+        .map(|e| {
+            Json::Obj(vec![
+                ("lane".into(), Json::Int(e.lane as i64)),
+                ("name".into(), Json::Str(e.name.clone())),
+                ("mean_error_m".into(), Json::Num(e.mean_error_micro as f64 / 1e6)),
+                ("epochs".into(), e.epochs.to_json()),
+                ("flight_postmortems".into(), e.flight_postmortems.to_json()),
+                (
+                    "quarantined".into(),
+                    Json::Arr(e.quarantined.iter().cloned().map(Json::Str).collect()),
+                ),
+            ])
+        })
+        .collect();
+    let (error_counts, mean_error) = snap.error_hist.dense(ERROR_BUCKETS_M);
+    Json::Obj(vec![
+        ("health".into(), Json::Str("uniloc-fleet".into())),
+        ("sessions".into(), snap.sessions.to_json()),
+        ("epochs".into(), snap.epochs.to_json()),
+        ("faulted_sessions".into(), snap.faulted.to_json()),
+        ("quarantined_sessions".into(), snap.quarantined_sessions.to_json()),
+        ("nonfinite_fused".into(), snap.nonfinite.to_json()),
+        ("slo".into(), Json::Arr(slo_rows)),
+        ("schemes".into(), Json::Obj(schemes)),
+        ("cohorts".into(), Json::Obj(cohorts)),
+        (
+            "error_hist".into(),
+            Json::Obj(vec![
+                ("bounds_m".into(), ERROR_BUCKETS_M.to_vec().to_json()),
+                ("counts".into(), error_counts.to_json()),
+                ("mean_error_m".into(), mean_error.map_or(Json::Null, Json::Num)),
+                ("dropped".into(), snap.error_hist.dropped.to_json()),
+            ]),
+        ),
+        ("exemplars".into(), Json::Arr(exemplars)),
+        (
+            "flight".into(),
+            Json::Obj(vec![
+                ("dumps".into(), snap.counter("flight.dumps").to_json()),
+                ("dropped".into(), snap.counter("flight.dropped").to_json()),
+                (
+                    "suppressed".into(),
+                    snap.counter("flight.dumps_suppressed").to_json(),
+                ),
+            ]),
+        ),
+        (
+            "calib".into(),
+            Json::Obj(vec![(
+                "drift_alarms".into(),
+                snap.counter("calib.drift_alarms").to_json(),
+            )]),
+        ),
+    ])
+    .canonical()
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic self-profiler
+// ---------------------------------------------------------------------------
+
+/// The declared span taxonomy: `(span name, parent span name)`; `""` means
+/// a direct child of the root. Spans not named here (and not matching
+/// [`span_parent`]'s prefix rules) also hang off the root.
+const SPAN_PARENTS: &[(&str, &str)] = &[
+    ("engine.confidence", "engine.update"),
+    ("engine.fuse", "engine.update"),
+    ("engine.predict", "engine.update"),
+    ("engine.update", ""),
+    ("pipeline.build_context", ""),
+    ("pipeline.collect_training", ""),
+    ("pipeline.run_walk", ""),
+];
+
+/// The parent of `name` in the span taxonomy. Per-scheme estimate spans
+/// (`scheme.estimate.<id>`) are opened inside the engine's update scope.
+pub fn span_parent(name: &str) -> &'static str {
+    if name.starts_with("scheme.estimate.") {
+        return "engine.update";
+    }
+    SPAN_PARENTS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map_or("", |(_, p)| p)
+}
+
+/// One node of the profiler's stage tree. `count` is the span's
+/// *invocation count* (see the module docs for why counts, not
+/// durations); children are sorted by name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfNode {
+    /// Span name (the root is named `fleet`).
+    pub name: String,
+    /// Invocation count (the root carries the fleet's epoch total).
+    pub count: u64,
+    /// Child stages, sorted by name.
+    pub children: Vec<ProfNode>,
+}
+
+impl ProfNode {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("count".into(), self.count.to_json()),
+            (
+                "children".into(),
+                Json::Arr(self.children.iter().map(ProfNode::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Builds the span-accounting tree from the snapshot's merged
+/// `span.*` counts: every recorded span hangs under its declared parent,
+/// the root is `fleet` with the epoch total.
+pub fn profile_tree(snap: &FleetSnapshot) -> ProfNode {
+    fn build(name: &str, count: u64, by_parent: &BTreeMap<&str, Vec<(&str, u64)>>) -> ProfNode {
+        let children = by_parent
+            .get(name)
+            .map(|kids| {
+                kids.iter().map(|&(n, c)| build(n, c, by_parent)).collect::<Vec<_>>()
+            })
+            .unwrap_or_default();
+        ProfNode { name: name.to_owned(), count, children }
+    }
+    // BTreeMap keys keep sibling order sorted by name deterministically.
+    let mut by_parent: BTreeMap<&str, Vec<(&str, u64)>> = BTreeMap::new();
+    for (name, &count) in &snap.span_counts {
+        by_parent.entry(span_parent(name)).or_default().push((name, count));
+    }
+    let root = build("", snap.epochs, &by_parent);
+    ProfNode { name: "fleet".to_owned(), count: root.count, children: root.children }
+}
+
+/// The tree as flamegraph collapsed-stack lines: one
+/// `fleet;parent;child COUNT` line per node, depth-first with siblings in
+/// name order. Values are invocation counts, not time.
+pub fn folded_lines(root: &ProfNode) -> String {
+    fn walk(node: &ProfNode, prefix: &str, out: &mut String) {
+        let path =
+            if prefix.is_empty() { node.name.clone() } else { format!("{prefix};{}", node.name) };
+        out.push_str(&format!("{path} {}\n", node.count));
+        for child in &node.children {
+            walk(child, &path, out);
+        }
+    }
+    let mut out = String::new();
+    walk(root, "", &mut out);
+    out
+}
+
+/// The tree as the canonical `PROF_fleet.json` document.
+pub fn profile_report(root: &ProfNode) -> Json {
+    Json::Obj(vec![
+        ("prof".into(), Json::Str("fleet".into())),
+        ("unit".into(), Json::Str("calls".into())),
+        ("clock".into(), Json::Str("virtual".into())),
+        ("root".into(), root.to_json()),
+    ])
+    .canonical()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsSnapshot;
+
+    fn capture(counters: &[(&str, u64)], spans: &[(&str, u64)]) -> SessionCapture {
+        let mut ms = MetricsSnapshot::default();
+        ms.counters = counters.iter().map(|(n, v)| (n.to_string(), *v)).collect();
+        ms.histograms = spans
+            .iter()
+            .map(|(n, c)| {
+                let mut h = crate::metrics::HistogramSnapshot {
+                    bounds: vec![1.0],
+                    counts: vec![0, 0],
+                    sum: 0.0,
+                    dropped: 0,
+                };
+                h.counts[0] = *c;
+                (format!("span.{n}"), h)
+            })
+            .collect();
+        SessionCapture { metrics: ms, ..SessionCapture::default() }
+    }
+
+    fn meta(lane: u64, err: f64) -> SessionMeta {
+        SessionMeta {
+            lane,
+            name: format!("s{lane:05}"),
+            persona: "m-30s".to_owned(),
+            device: "nexus5x".to_owned(),
+            venue: "office".to_owned(),
+            faulted: lane % 3 == 0,
+            epochs: 10,
+            mean_error_m: Some(err),
+            nonfinite: 0,
+            quarantined: if lane % 4 == 0 { vec!["gps".to_owned()] } else { vec![] },
+        }
+    }
+
+    #[test]
+    fn sparse_hist_records_and_merges_exactly() {
+        let bounds = [1.0, 2.0, 4.0];
+        let mut a = SparseHist::default();
+        a.record(&bounds, 0.5);
+        a.record(&bounds, 3.0);
+        a.record(&bounds, f64::NAN);
+        let mut b = SparseHist::default();
+        b.record(&bounds, 100.0);
+        let m = a.merge(&b);
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.dropped, 1);
+        assert_eq!(m.sum_micro, micro(0.5) as i128 + micro(3.0) as i128 + micro(100.0) as i128);
+        let (dense, mean) = m.dense(&bounds);
+        assert_eq!(dense, vec![1, 0, 1, 1]);
+        assert!((mean.unwrap() - (103.5 / 3.0)).abs() < 1e-9);
+        assert_eq!(a.merge(&b), b.merge(&a), "merge commutes");
+    }
+
+    #[test]
+    fn aggregator_is_shard_count_invariant() {
+        let sessions: Vec<(SessionMeta, SessionCapture)> = (0..17)
+            .map(|lane| {
+                (
+                    meta(lane, 1.0 + lane as f64 * 0.37),
+                    capture(
+                        &[("pipeline.epochs", 10), ("engine.scheme.available.wifi", 8)],
+                        &[("engine.update", 10)],
+                    ),
+                )
+            })
+            .collect();
+        let mut snaps = Vec::new();
+        for shards in [1usize, 2, 5, 8] {
+            let mut agg = FleetAggregator::new(shards);
+            for (m, c) in &sessions {
+                agg.observe(m, c);
+            }
+            snaps.push(agg.snapshot());
+        }
+        for s in &snaps[1..] {
+            assert_eq!(s, &snaps[0]);
+        }
+        assert_eq!(snaps[0].sessions, 17);
+        assert_eq!(snaps[0].counter("pipeline.epochs"), 170);
+        assert_eq!(snaps[0].span_counts.get("engine.update"), Some(&170));
+    }
+
+    #[test]
+    fn exemplars_are_worst_first_and_capped() {
+        let mut snap = FleetSnapshot::default();
+        for lane in 0..20 {
+            snap.observe(&meta(lane, lane as f64), &capture(&[], &[]));
+        }
+        assert_eq!(snap.exemplars.len(), EXEMPLAR_CAP);
+        assert_eq!(snap.exemplars[0].lane, 19, "worst error first");
+        assert!(snap
+            .exemplars
+            .windows(2)
+            .all(|w| w[0].mean_error_micro >= w[1].mean_error_micro));
+    }
+
+    #[test]
+    fn availability_and_slos_read_counters() {
+        let mut snap = FleetSnapshot::default();
+        for lane in 0..4 {
+            snap.observe(
+                &meta(lane, 2.0),
+                &capture(
+                    &[
+                        ("pipeline.epochs", 10),
+                        ("engine.scheme.available.wifi", 9),
+                        ("engine.scheme.available.gps", 1),
+                    ],
+                    &[],
+                ),
+            );
+        }
+        let avail = snap.availability();
+        assert_eq!(avail["wifi"].0, 36);
+        assert!((avail["wifi"].1 - 0.9).abs() < 1e-12);
+        let rows = evaluate_slos(&snap, &SloTargets::default());
+        let wifi = rows.iter().find(|r| r.name == "availability.wifi").unwrap();
+        assert!(wifi.ok && wifi.kind == "min");
+        let nf = rows.iter().find(|r| r.name == "nonfinite_fused").unwrap();
+        assert!(nf.ok && nf.observed == 0.0);
+    }
+
+    #[test]
+    fn profile_tree_nests_spans_under_declared_parents() {
+        let mut snap = FleetSnapshot::default();
+        snap.epochs = 10;
+        snap.span_counts = [
+            ("engine.update", 10u64),
+            ("engine.predict", 10),
+            ("engine.fuse", 10),
+            ("scheme.estimate.wifi", 9),
+            ("pipeline.build_context", 1),
+        ]
+        .iter()
+        .map(|(n, c)| (n.to_string(), *c))
+        .collect();
+        let root = profile_tree(&snap);
+        assert_eq!(root.name, "fleet");
+        assert_eq!(root.count, 10);
+        let update = root.children.iter().find(|c| c.name == "engine.update").unwrap();
+        let kids: Vec<&str> = update.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(kids, ["engine.fuse", "engine.predict", "scheme.estimate.wifi"]);
+        let folded = folded_lines(&root);
+        assert!(folded.contains("fleet;engine.update;engine.predict 10\n"));
+        assert!(folded.contains("fleet;pipeline.build_context 1\n"));
+        let doc = profile_report(&root);
+        assert_eq!(doc.get("unit").unwrap().as_str().unwrap(), "calls");
+    }
+
+    #[test]
+    fn health_report_is_canonical_and_complete() {
+        let mut snap = FleetSnapshot::default();
+        for lane in 0..6 {
+            snap.observe(
+                &meta(lane, 1.5 + lane as f64),
+                &capture(
+                    &[
+                        ("pipeline.epochs", 10),
+                        ("engine.scheme.available.wifi", 8),
+                        ("calib.drift_alarms", 1),
+                        ("flight.dumps", 2),
+                    ],
+                    &[("engine.update", 10)],
+                ),
+            );
+        }
+        let doc = health_report(&snap, &SloTargets::default());
+        let text = doc.to_string();
+        let reparsed = Json::parse(&text).unwrap();
+        assert_eq!(reparsed.canonical().to_string(), text, "already canonical");
+        assert_eq!(doc.get("sessions").unwrap().as_i64().unwrap(), 6);
+        assert!(doc.get("slo").unwrap().as_arr().unwrap().len() >= 9);
+        assert!(doc.get("cohorts").unwrap().get("m-30s/nexus5x/office").is_some());
+        assert_eq!(
+            doc.get("flight").unwrap().get("dumps").unwrap().as_i64().unwrap(),
+            12
+        );
+    }
+}

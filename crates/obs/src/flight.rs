@@ -19,7 +19,7 @@
 //! byte-stable across same-seed runs.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use crate::metrics::global_metrics;
@@ -32,8 +32,13 @@ pub const DEFAULT_RING_CAPACITY: usize = 128;
 /// Default consecutive-unavailable-epoch count that trips a dump.
 pub const DEFAULT_UNAVAILABLE_THRESHOLD: u64 = 25;
 
-/// Default cap on dumps per process: postmortems are for the first few
-/// anomalies; a persistently sick run would otherwise flood the sidecar.
+/// Default cap on dumps per recorder *arming*: postmortems are for the
+/// first few anomalies; a persistently sick run would otherwise flood the
+/// sidecar. The cap is not meant to span unrelated runs in one process —
+/// a fleet run calls [`FlightRecorder::rearm_dumps`] on its process-wide
+/// recorder up front so an earlier run's dumps don't starve it, and every
+/// suppressed postmortem is counted in the `flight.dropped` metric rather
+/// than vanishing.
 pub const DEFAULT_MAX_DUMPS: u64 = 16;
 
 /// Per-scheme availability streak state.
@@ -51,6 +56,7 @@ pub struct FlightRecorder {
     unavailable_threshold: AtomicU64,
     max_dumps: AtomicU64,
     dumps: AtomicU64,
+    disabled: AtomicBool,
     streaks: Mutex<BTreeMap<String, Streak>>,
     /// Counter values at the previous dump (or reset); dumps report the
     /// delta since then so consecutive postmortems don't repeat totals.
@@ -70,6 +76,7 @@ impl FlightRecorder {
             unavailable_threshold: AtomicU64::new(DEFAULT_UNAVAILABLE_THRESHOLD),
             max_dumps: AtomicU64::new(DEFAULT_MAX_DUMPS),
             dumps: AtomicU64::new(0),
+            disabled: AtomicBool::new(false),
             streaks: Mutex::new(BTreeMap::new()),
             baseline: Mutex::new(BTreeMap::new()),
         }
@@ -96,11 +103,31 @@ impl FlightRecorder {
         self.dumps.load(Ordering::Relaxed)
     }
 
+    /// Disables (or re-enables) the recorder entirely: triggers,
+    /// availability streaks and ring writes all become no-ops. This is the
+    /// obs-stub mode's switch — it measures the layer's cost without
+    /// changing any pipeline behavior.
+    pub fn set_disabled(&self, disabled: bool) {
+        self.disabled.store(disabled, Ordering::Relaxed);
+    }
+
+    /// Re-arms only the dump budget, leaving the ring, streaks and counter
+    /// baseline intact. A fleet run calls this up front so postmortem
+    /// budget consumed by earlier runs in the same process (or an earlier
+    /// fleet round) doesn't silently starve later sessions' dumps — the
+    /// cap is per-run, not per-process.
+    pub fn rearm_dumps(&self) {
+        self.dumps.store(0, Ordering::Relaxed);
+    }
+
     /// Records one epoch of availability for `scheme`. Returns `true`
     /// exactly when the scheme's unavailable streak reaches the threshold
     /// (once per streak — the caller should then [`trigger`](Self::trigger)
     /// a `scheme_unavailable` dump). An available epoch re-arms the trip.
     pub fn note_availability(&self, scheme: &str, available: bool) -> bool {
+        if self.disabled.load(Ordering::Relaxed) {
+            return false;
+        }
         let mut streaks = self.streaks.lock().expect("flight streak lock");
         let s = streaks.entry(scheme.to_owned()).or_default();
         if available {
@@ -121,10 +148,16 @@ impl FlightRecorder {
     /// Freezes the current window into a postmortem: writes one
     /// `"kind":"flight"` JSON line to the sink, bumps `flight.dumps`, and
     /// emits a `flight.dump` warn event. Returns `false` when the dump cap
-    /// suppressed it (`flight.dumps_suppressed` counts those).
+    /// suppressed it — `flight.dumps_suppressed` and `flight.dropped` both
+    /// count those (`dropped` is the fleet health plane's loss metric;
+    /// `dumps_suppressed` stays for sidecar compatibility).
     pub fn trigger(&self, reason: &str, fields: Vec<(String, FieldValue)>) -> bool {
+        if self.disabled.load(Ordering::Relaxed) {
+            return false;
+        }
         if self.dumps.load(Ordering::Relaxed) >= self.max_dumps.load(Ordering::Relaxed) {
             global_metrics().counter("flight.dumps_suppressed").inc();
+            global_metrics().counter("flight.dropped").inc();
             return false;
         }
         let seq = self.dumps.fetch_add(1, Ordering::Relaxed);
@@ -193,6 +226,9 @@ impl FlightRecorder {
 
 impl Subscriber for FlightRecorder {
     fn event(&self, event: &TraceEvent) {
+        if self.disabled.load(Ordering::Relaxed) {
+            return;
+        }
         self.ring.event(event);
     }
 }
@@ -299,6 +335,45 @@ mod tests {
         assert!(fr.trigger("b", vec![]));
         assert!(!fr.trigger("c", vec![]), "over the cap");
         assert_eq!(fr.dumps(), 2);
+    }
+
+    #[test]
+    fn suppressed_dumps_count_as_dropped_and_rearm_restores_budget() {
+        // An isolated session so the flight.dropped counter is readable
+        // without races against other tests' global registry traffic.
+        let session = Arc::new(crate::session::ObsSession::isolated());
+        let _g = crate::session::install(Arc::clone(&session));
+        let fr = FlightRecorder::new(4);
+        fr.set_max_dumps(1);
+        assert!(fr.trigger("a", vec![]));
+        assert!(!fr.trigger("b", vec![]));
+        assert!(!fr.trigger("c", vec![]));
+        let dropped = session
+            .capture()
+            .metrics
+            .counters
+            .iter()
+            .find(|(n, _)| n == "flight.dropped")
+            .map(|(_, v)| *v);
+        assert_eq!(dropped, Some(2), "each suppressed postmortem is a drop");
+        // Re-arming only the dump budget: the next trigger dumps again.
+        fr.rearm_dumps();
+        assert_eq!(fr.dumps(), 0);
+        assert!(fr.trigger("d", vec![]), "budget is per-run, not per-process");
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let fr = FlightRecorder::new(4);
+        fr.set_unavailable_threshold(1);
+        fr.set_disabled(true);
+        fr.event(&event("x", 0));
+        assert!(fr.ring.is_empty(), "ring writes are dropped");
+        assert!(!fr.note_availability("gps", false), "streaks never trip");
+        assert!(!fr.trigger("a", vec![]), "triggers never dump");
+        assert_eq!(fr.dumps(), 0);
+        fr.set_disabled(false);
+        assert!(fr.trigger("b", vec![]), "re-enabling restores dumps");
     }
 
     #[test]

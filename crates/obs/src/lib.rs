@@ -26,6 +26,11 @@
 //!   activity dumped as a byte-stable JSON postmortem on drift alarms,
 //!   scheme-unavailability streaks or non-finite estimates (see
 //!   [`flight::global_flight`]).
+//! * [`fleet`] — the fleet observatory: sharded aggregation of retired
+//!   session captures into one mergeable [`FleetSnapshot`], a
+//!   deterministic span-count profiler (collapsed-stack + stage tree),
+//!   and the SLO health plane behind `FLEET_HEALTH.json` and
+//!   `uniloc inspect-fleet`.
 //! * [`session`] — per-thread observability sessions for parallel sweeps:
 //!   installing an [`ObsSession`] redirects every `global_*` accessor on
 //!   the current thread to private state that can be captured and merged
@@ -68,6 +73,7 @@
 
 pub mod calib;
 pub mod clock;
+pub mod fleet;
 pub mod flight;
 pub mod metrics;
 pub mod session;
@@ -78,6 +84,10 @@ pub use calib::{
     CalibrationMonitor, CalibrationSnapshot, DriftAlarm,
 };
 pub use clock::{Clock, MonotonicClock, VirtualClock};
+pub use fleet::{
+    evaluate_slos, folded_lines, health_report, profile_report, profile_tree, FleetAggregator,
+    FleetSnapshot, ProfNode, SessionMeta, SloRow, SloTargets,
+};
 pub use flight::{global_flight, process_flight, FlightRecorder};
 pub use metrics::{
     global_metrics, process_metrics, Counter, Gauge, Histogram, HistogramSnapshot,

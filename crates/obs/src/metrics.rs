@@ -20,7 +20,7 @@
 //! poisoning the sum.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use uniloc_stats::impl_json_struct;
@@ -405,6 +405,13 @@ pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    /// Sink mode: lookups hand out shared scratch handles that are never
+    /// registered, and snapshots come back empty. The obs-stub fleet mode
+    /// uses this to measure the layer's cost with the same call sites.
+    sink: AtomicBool,
+    scratch_counter: OnceLock<Arc<Counter>>,
+    scratch_gauge: OnceLock<Arc<Gauge>>,
+    scratch_histogram: OnceLock<Arc<Histogram>>,
 }
 
 impl MetricsRegistry {
@@ -413,8 +420,24 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// Creates a sink registry: updates land in shared scratch atomics
+    /// (kept out of every snapshot), so instrument sites run unchanged
+    /// while the registry remembers nothing.
+    pub fn sink() -> Self {
+        let reg = MetricsRegistry::default();
+        reg.sink.store(true, Ordering::Relaxed);
+        reg
+    }
+
+    fn is_sink(&self) -> bool {
+        self.sink.load(Ordering::Relaxed)
+    }
+
     /// The counter named `name`, created on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if self.is_sink() {
+            return Arc::clone(self.scratch_counter.get_or_init(Default::default));
+        }
         let mut map = self.counters.lock().expect("metrics mutex");
         match map.get(name) {
             Some(c) => Arc::clone(c),
@@ -428,6 +451,9 @@ impl MetricsRegistry {
 
     /// The gauge named `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if self.is_sink() {
+            return Arc::clone(self.scratch_gauge.get_or_init(Default::default));
+        }
         let mut map = self.gauges.lock().expect("metrics mutex");
         match map.get(name) {
             Some(g) => Arc::clone(g),
@@ -443,6 +469,13 @@ impl MetricsRegistry {
     /// (later callers share the original buckets regardless of their
     /// `bounds` argument, keeping merges well-defined).
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        if self.is_sink() {
+            // The first caller's bounds serve every scratch record; the
+            // values are never read back, so the bucketing is irrelevant.
+            return Arc::clone(
+                self.scratch_histogram.get_or_init(|| Arc::new(Histogram::new(bounds))),
+            );
+        }
         let mut map = self.histograms.lock().expect("metrics mutex");
         match map.get(name) {
             Some(h) => Arc::clone(h),
@@ -455,7 +488,11 @@ impl MetricsRegistry {
     }
 
     /// A deterministic snapshot: metrics sorted by name within each kind.
+    /// A sink registry snapshots empty.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        if self.is_sink() {
+            return MetricsSnapshot::default();
+        }
         MetricsSnapshot {
             counters: self
                 .counters

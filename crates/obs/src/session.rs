@@ -67,6 +67,10 @@ pub struct ObsSession {
     /// the dispatcher's subscriber — `None` means events are dropped
     /// (worker progress output would interleave nondeterministically).
     pub subscriber: Option<Arc<dyn Subscriber>>,
+    /// Span-timing override: `Some(false)` turns `span.*` duration
+    /// recording off for this session only (the obs-stub mode), `Some(true)`
+    /// forces it on, `None` defers to the dispatcher's process-wide flag.
+    pub span_timings: Option<bool>,
     flight_buf: Arc<Mutex<Vec<u8>>>,
 }
 
@@ -99,7 +103,32 @@ impl ObsSession {
             subscriber: Some(Arc::clone(&flight) as Arc<dyn Subscriber>),
             flight,
             clock: Some(Arc::new(VirtualClock::new())),
+            span_timings: None,
             flight_buf,
+        }
+    }
+
+    /// A stubbed session: every instrument site still runs, but metrics
+    /// land in a sink registry, the calibration monitor and flight
+    /// recorder are disabled, span timing is off and no subscriber is
+    /// installed. Captures come back empty. This is the *obs off*
+    /// configuration of the obs-overhead bench — observability never feeds
+    /// the pipeline, so records are byte-identical either way, and the
+    /// epochs/s delta against [`isolated`](Self::isolated) sessions is the
+    /// layer's true cost.
+    pub fn stubbed() -> Self {
+        let flight = Arc::new(FlightRecorder::new(DEFAULT_RING_CAPACITY));
+        flight.set_disabled(true);
+        let calibration = Arc::new(CalibrationMonitor::default());
+        calibration.set_disabled(true);
+        ObsSession {
+            metrics: Arc::new(MetricsRegistry::sink()),
+            calibration,
+            subscriber: None,
+            flight,
+            clock: Some(Arc::new(VirtualClock::new())),
+            span_timings: Some(false),
+            flight_buf: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -195,6 +224,31 @@ mod tests {
         let capture = session.capture();
         assert_eq!(capture.flight_lines.len(), 1);
         assert!(capture.flight_lines[0].contains("\"reason\":\"session_test\""));
+    }
+
+    #[test]
+    fn stubbed_session_swallows_everything() {
+        let session = Arc::new(ObsSession::stubbed());
+        {
+            let _g = install(Arc::clone(&session));
+            global_metrics().counter("stub.counter").add(7);
+            global_metrics()
+                .histogram("stub.hist", &[1.0])
+                .record(0.5);
+            {
+                let _span = crate::trace::global().span("stub.span");
+            }
+            assert!(
+                session
+                    .calibration
+                    .observe("wifi", "indoor", 1.0, 0.5, 1.2)
+                    .is_none(),
+                "disabled monitor never alarms"
+            );
+            assert!(!session.flight.trigger("stub_test", vec![]));
+        }
+        let capture = session.capture();
+        assert_eq!(capture, SessionCapture::default(), "capture is empty");
     }
 
     #[test]

@@ -438,6 +438,20 @@ impl Dispatcher {
         self.span_timings.store(on, Ordering::Relaxed);
     }
 
+    /// Whether spans should currently record duration samples: the current
+    /// thread's [`ObsSession`](crate::session::ObsSession) override when it
+    /// sets one (the obs-stub mode turns timing off per session without
+    /// racing other threads on the process-wide flag), otherwise the
+    /// process-wide setting.
+    fn span_timings_enabled(&self) -> bool {
+        if let Some(session) = crate::session::current() {
+            if let Some(on) = session.span_timings {
+                return on;
+            }
+        }
+        self.span_timings.load(Ordering::Relaxed)
+    }
+
     /// Installs the clock used to timestamp events and measure spans.
     pub fn set_clock(&self, clock: Arc<dyn Clock>) {
         *self.clock.write().expect("clock lock") = clock;
@@ -483,7 +497,7 @@ impl Dispatcher {
     /// `span.<name>` duration sample) when dropped.
     pub fn span(&self, name: &str) -> SpanGuard<'_> {
         let emit = self.enabled(TraceLevel::Span);
-        let time = self.span_timings.load(Ordering::Relaxed);
+        let time = self.span_timings_enabled();
         if !emit && !time {
             return SpanGuard {
                 dispatcher: self,

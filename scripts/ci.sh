@@ -54,10 +54,10 @@ echo "    ok: all dependencies are in-repo uniloc-* crates"
 
 # --- 2. tier-1 verify, fully offline ------------------------------------
 export CARGO_NET_OFFLINE=true
-echo "==> cargo build --release (offline)"
-cargo build --release
-echo "==> cargo test -q (offline)"
-cargo test -q
+echo "==> cargo build --release --workspace (offline)"
+cargo build --release --workspace
+echo "==> cargo test -q --workspace (offline)"
+cargo test -q --workspace
 
 # --- 3. metrics smoke ----------------------------------------------------
 # Run a short scenario with the observability sidecar enabled, then assert
@@ -155,6 +155,38 @@ for needle in '"sessions": 200' '"fleet_digest"' '"quarantined_sessions"'; do
     fi
 done
 echo "    ok: 200-session fleet is clean and --jobs/--resident invariant"
+
+# The fleet observatory artifacts ride the same determinism gate (the
+# diff -r above already proved them byte-identical across worker counts);
+# here assert they exist and that the health table renders from them.
+for artifact in FLEET_HEALTH.json PROF_fleet.folded PROF_fleet.json; do
+    if [ ! -s "$smoke/fleet/$artifact" ]; then
+        echo "ERROR: fleet run wrote no $artifact" >&2
+        exit 1
+    fi
+done
+if ! grep -q '^fleet;engine.update;' "$smoke/fleet/PROF_fleet.folded"; then
+    echo "ERROR: PROF_fleet.folded carries no engine.update stack" >&2
+    exit 1
+fi
+target/release/uniloc inspect-fleet --file "$smoke/fleet/FLEET_HEALTH.json" \
+    > "$smoke/fleet-health.txt"
+for needle in "fleet health — 200 session(s)" "availability.motion" "worst sessions"; do
+    if ! grep -qF "$needle" "$smoke/fleet-health.txt"; then
+        echo "ERROR: inspect-fleet output is missing \`$needle\`" >&2
+        exit 1
+    fi
+done
+echo "    ok: observatory artifacts written and inspect-fleet renders them"
+
+# Observability must stay cheap as well as inert: run the same smoke
+# fleet with live and stubbed obs (paired, best-of-2, identical fleet
+# digests required) and fail if the epochs/s cost exceeds 5%.
+echo "==> obs-overhead gate (uniloc fleet --obs-overhead)"
+target/release/uniloc fleet --models "$smoke/models.json" --sessions 200 \
+    --scenarios office,open-space --max-epochs 12 --chaos-every 10 --seed 17 \
+    --quiet --jobs 4 --obs-overhead --overhead-budget 0.05
+echo "    ok: observability overhead within the 5% epochs/s budget"
 
 # --- 6. bench-regression gate --------------------------------------------
 # Strict self-diff first: re-parses every committed results/BENCH_*.json

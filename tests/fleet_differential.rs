@@ -90,6 +90,8 @@ fn fleet_matches_legacy_batch_and_is_jobs_invariant() {
         resident: 0,
         max_epochs: 12,
         chaos_every: 0,
+        obs_stub: false,
+        shards: 0,
     };
     let specs = fleet_specs(&cfg).unwrap();
     let in_order: Vec<usize> = (0..specs.len()).collect();
@@ -174,6 +176,8 @@ fn fault_and_quarantine_state_never_leaks_between_sessions() {
         resident: 0,
         max_epochs: 40,
         chaos_every: 4,
+        obs_stub: false,
+        shards: 0,
     };
     let specs = fleet_specs(&cfg).unwrap();
     assert_eq!(specs.iter().filter(|s| s.plan != "none").count(), 6);
@@ -230,6 +234,8 @@ fn checkpoint_restore_resumes_byte_identically() {
         resident: 0,
         max_epochs: 20,
         chaos_every: 2,
+        obs_stub: false,
+        shards: 0,
     };
     let specs = fleet_specs(&cfg).unwrap();
     for spec in &specs {
@@ -267,6 +273,8 @@ fn spec_frames_match_legacy_walk_frames() {
         resident: 0,
         max_epochs: 15,
         chaos_every: 0,
+        obs_stub: false,
+        shards: 0,
     };
     let base = PipelineConfig::default();
     for spec in fleet_specs(&cfg).unwrap() {
@@ -306,6 +314,66 @@ fn session_construction_is_obs_isolated() {
     assert!(cap.flight_lines.is_empty());
 }
 
+/// Tentpole (fleet observatory): `FLEET_HEALTH.json`, `PROF_fleet.folded`
+/// and `PROF_fleet.json` are byte-identical at any worker count and shard
+/// count, and the obs-stub configuration never perturbs the pipeline (the
+/// fleet digest of the canonical records is unchanged).
+#[test]
+fn observatory_artifacts_are_jobs_and_shard_invariant() {
+    use uniloc::obs::fleet::{
+        folded_lines, health_report, profile_report, profile_tree, SloTargets,
+    };
+    use uniloc_bench::fleet::run_fleet;
+
+    let models = models(5);
+    let base = PipelineConfig::default();
+    let mk = |jobs, shards, obs_stub| FleetConfig {
+        seed: 61,
+        sessions: 48,
+        scenario_names: vec!["office".to_owned(), "open-space".to_owned()],
+        jobs,
+        resident: 16,
+        max_epochs: 10,
+        chaos_every: 6,
+        obs_stub,
+        shards,
+    };
+    let digest_of = |report: &uniloc::stats::json::Json| {
+        report.get("fleet_digest").unwrap().as_str().unwrap().to_owned()
+    };
+    let artifacts = |cfg: &FleetConfig| {
+        let result = run_fleet(&models, &base, cfg).unwrap();
+        let snap = result.snapshot.expect("obs-on fleets aggregate");
+        let tree = profile_tree(&snap);
+        (
+            health_report(&snap, &SloTargets::default()).to_string(),
+            folded_lines(&tree),
+            profile_report(&tree).to_string(),
+            digest_of(&result.report),
+        )
+    };
+
+    let baseline = artifacts(&mk(1, 1, false));
+    assert!(baseline.0.contains("\"health\":\"uniloc-fleet\""));
+    assert!(baseline.1.starts_with("fleet "));
+    assert!(baseline.1.contains("fleet;engine.update;"));
+    for (jobs, shards) in [(2, 0), (4, 3), (8, 16)] {
+        assert_eq!(
+            artifacts(&mk(jobs, shards, false)),
+            baseline,
+            "observatory artifacts changed at jobs={jobs} shards={shards}"
+        );
+    }
+
+    let stub = run_fleet(&models, &base, &mk(4, 0, true)).unwrap();
+    assert!(stub.snapshot.is_none(), "stubbed fleets aggregate nothing");
+    assert_eq!(
+        digest_of(&stub.report),
+        baseline.3,
+        "observability leaked into the pipeline"
+    );
+}
+
 /// Seeding sanity for the load generator itself: the same [`FleetConfig`]
 /// always generates the same specs, and distinct fleet seeds generate
 /// disjoint per-lane session seeds.
@@ -319,6 +387,8 @@ fn load_generator_is_seed_deterministic() {
         resident: 0,
         max_epochs: 10,
         chaos_every: 8,
+        obs_stub: false,
+        shards: 0,
     };
     let a = fleet_specs(&mk(1)).unwrap();
     let b = fleet_specs(&mk(1)).unwrap();
