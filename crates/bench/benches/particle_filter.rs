@@ -31,7 +31,7 @@ fn bench_particle_step(c: &mut Criterion) {
                 let mut moves: Vec<(Point, Point)> = Vec::with_capacity(n);
                 pf.predict(&mut rng, |p, rng| {
                     let old = *p;
-                    *p = *p + Vector2::from_heading(1.57 + rng.gen_range(-0.1..0.1), 0.65);
+                    *p += Vector2::from_heading(1.57 + rng.gen_range(-0.1..0.1), 0.65);
                     moves.push((old, *p));
                 });
                 let mut idx = 0;

@@ -64,6 +64,10 @@ pub struct FleetConfig {
     /// artifacts: the shard merge is associative and commutative, which
     /// `tests/fleet_proptests.rs` holds.
     pub shards: usize,
+    /// Worst-session exemplars kept by the fleet observatory (`0` picks
+    /// the default, [`uniloc_obs::fleet::EXEMPLAR_CAP`]). Shapes only the
+    /// health plane's exemplar table, never the fleet report.
+    pub top_k: usize,
 }
 
 /// The complete recipe for one walker. A spec (plus the shared error
@@ -134,7 +138,7 @@ pub fn fleet_specs(cfg: &FleetConfig) -> Result<Vec<SessionSpec>, String> {
         let scenario = cfg.scenario_names[lane as usize % cfg.scenario_names.len()].clone();
         let persona = personas[lane as usize % personas.len()].name.clone();
         let device = if lane % 2 == 0 { "nexus5x" } else { "lgg3" };
-        let plan = if cfg.chaos_every > 0 && (lane as usize + 1) % cfg.chaos_every == 0 {
+        let plan = if cfg.chaos_every > 0 && (lane as usize + 1).is_multiple_of(cfg.chaos_every) {
             plans[(lane as usize / cfg.chaos_every) % plans.len()].name.clone()
         } else {
             "none".to_owned()
@@ -232,8 +236,17 @@ pub fn build_session_with_obs(
 ) -> FleetSession {
     let lane = spec.lane;
     let name = spec.name.clone();
-    let obs =
-        if obs_stub { Arc::new(ObsSession::stubbed()) } else { Arc::new(ObsSession::isolated()) };
+    let obs = if obs_stub {
+        Arc::new(ObsSession::stubbed())
+    } else {
+        // Full observability includes the allocation observatory: the
+        // walker's timed spans attribute heap traffic into its isolated
+        // registry (`alloc.*` counters), which the fleet aggregator folds
+        // like any other counter.
+        let mut obs = ObsSession::isolated();
+        obs.alloc_tracking = true;
+        Arc::new(obs)
+    };
     FleetSession::build_with_obs(lane, name, obs, move || {
         let scenario = spec_scenario(&spec);
         let cfg = spec_pipeline_config(&base, &spec);
@@ -392,7 +405,8 @@ pub fn run_fleet(
     );
     let mut specs = specs.into_iter();
     let mut summaries = Vec::with_capacity(cfg.sessions);
-    let mut agg = (!cfg.obs_stub).then(|| FleetAggregator::new(cfg.shards));
+    let mut agg =
+        (!cfg.obs_stub).then(|| FleetAggregator::with_exemplar_cap(cfg.shards, cfg.top_k));
     let stats = scheduler.run(|finished| {
         let spec = specs.next().expect("one spec per retired session");
         assert_eq!(spec.lane, finished.lane, "fleet retired out of lane order");
@@ -663,6 +677,7 @@ mod tests {
             chaos_every: 8,
             obs_stub: false,
             shards: 0,
+            top_k: 0,
         }
     }
 

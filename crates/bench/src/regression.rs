@@ -133,6 +133,140 @@ pub fn load_dir(dir: &str) -> Result<Vec<(String, BenchReport)>, String> {
     Ok(reports)
 }
 
+/// A flattened `PROF_alloc.json` heap profile: stage path (`;`-joined,
+/// as in the folded lines) → the four exclusive counters, plus the
+/// steady-state meter. Allocation counts of the seeded fleet are exact
+/// integers, so the gate diffs them with zero tolerance — any drift is a
+/// real change in the pipeline's heap behavior.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AllocProfile {
+    /// `fleet;engine.update;…` path → `[allocs, bytes, deallocs, reallocs]`.
+    pub paths: BTreeMap<String, [u64; 4]>,
+    /// Steady-window allocation total (`steady.allocs`).
+    pub steady_allocs: u64,
+    /// Steady-window epoch total (`steady.epochs`).
+    pub steady_epochs: u64,
+}
+
+/// Names of the four per-stage allocation counters, in `AllocProfile`
+/// slot order.
+pub const ALLOC_FIELDS: [&str; 4] = ["allocs", "bytes", "deallocs", "reallocs"];
+
+/// Parses a `PROF_alloc.json` document strictly (duplicate keys rejected)
+/// and flattens its stage tree to paths.
+///
+/// # Errors
+///
+/// Describes the first structural problem found.
+pub fn parse_alloc_profile(doc: &Json) -> Result<AllocProfile, String> {
+    check_duplicate_keys(doc)?;
+    if doc.get("prof").and_then(Json::as_str) != Some("alloc") {
+        return Err("missing field `prof`: `alloc`".to_owned());
+    }
+    let steady = doc.get("steady").ok_or("missing object field `steady`")?;
+    let int = |d: &Json, k: &str| {
+        d.get(k)
+            .and_then(Json::as_i64)
+            .and_then(|v| u64::try_from(v).ok())
+            .ok_or_else(|| format!("missing integer field `{k}`"))
+    };
+    let mut profile = AllocProfile {
+        steady_allocs: int(steady, "allocs").map_err(|e| format!("under `steady`: {e}"))?,
+        steady_epochs: int(steady, "epochs").map_err(|e| format!("under `steady`: {e}"))?,
+        ..AllocProfile::default()
+    };
+    fn walk(node: &Json, prefix: &str, out: &mut AllocProfile) -> Result<(), String> {
+        let name = node
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("stage node missing string field `name`")?;
+        let path = if prefix.is_empty() { name.to_owned() } else { format!("{prefix};{name}") };
+        let mut slots = [0u64; 4];
+        for (i, field) in ALLOC_FIELDS.iter().enumerate() {
+            slots[i] = node
+                .get(field)
+                .and_then(Json::as_i64)
+                .and_then(|v| u64::try_from(v).ok())
+                .ok_or_else(|| format!("stage `{path}` missing integer field `{field}`"))?;
+        }
+        if out.paths.insert(path.clone(), slots).is_some() {
+            return Err(format!("duplicate stage path `{path}`"));
+        }
+        for child in node.get("children").and_then(Json::as_arr).unwrap_or(&[]) {
+            walk(child, &path, out)?;
+        }
+        Ok(())
+    }
+    let root = doc.get("root").ok_or("missing object field `root`")?;
+    walk(root, "", &mut profile)?;
+    Ok(profile)
+}
+
+/// Loads `dir/PROF_alloc.json` when present (strictly parsed).
+///
+/// # Errors
+///
+/// Fails on an unreadable *present* file or a strict-parse failure; an
+/// absent file is `Ok(None)`.
+pub fn load_alloc_profile(dir: &str) -> Result<Option<AllocProfile>, String> {
+    let path = format!("{dir}/PROF_alloc.json");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("cannot read {path}: {e}")),
+    };
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    parse_alloc_profile(&doc).map(Some).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Diffs two heap profiles exactly: every stage path must exist on both
+/// sides with identical counters, and the steady meter must match to the
+/// integer. Every finding is a regression — there is no tolerance band.
+pub fn diff_alloc_profiles(baseline: &AllocProfile, candidate: &AllocProfile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (path, base) in &baseline.paths {
+        let Some(cand) = candidate.paths.get(path) else {
+            findings.push(Finding::AllocStageSetChanged {
+                path: path.clone(),
+                detail: "missing from candidate profile".to_owned(),
+            });
+            continue;
+        };
+        for (i, field) in ALLOC_FIELDS.iter().enumerate() {
+            if base[i] != cand[i] {
+                findings.push(Finding::AllocDrift {
+                    path: path.clone(),
+                    field,
+                    baseline: base[i],
+                    candidate: cand[i],
+                });
+            }
+        }
+    }
+    for path in candidate.paths.keys() {
+        if !baseline.paths.contains_key(path) {
+            findings.push(Finding::AllocStageSetChanged {
+                path: path.clone(),
+                detail: "not in baseline profile".to_owned(),
+            });
+        }
+    }
+    for (field, base, cand) in [
+        ("steady.allocs", baseline.steady_allocs, candidate.steady_allocs),
+        ("steady.epochs", baseline.steady_epochs, candidate.steady_epochs),
+    ] {
+        if base != cand {
+            findings.push(Finding::AllocDrift {
+                path: "(meter)".to_owned(),
+                field,
+                baseline: base,
+                candidate: cand,
+            });
+        }
+    }
+    findings
+}
+
 /// Comparison tuning.
 #[derive(Debug, Clone, Copy)]
 pub struct DiffConfig {
@@ -198,6 +332,25 @@ pub enum Finding {
         /// `candidate / baseline`.
         ratio: f64,
     },
+    /// A heap-profile counter changed — exact integers, zero tolerance.
+    AllocDrift {
+        /// Stage path (`;`-joined) or `(meter)` for the steady meter.
+        path: String,
+        /// Which counter drifted (`allocs`/`bytes`/`deallocs`/`reallocs`,
+        /// or a `steady.*` meter field).
+        field: &'static str,
+        /// Baseline value.
+        baseline: u64,
+        /// Candidate value.
+        candidate: u64,
+    },
+    /// The heap profile's stage set itself changed.
+    AllocStageSetChanged {
+        /// Stage path.
+        path: String,
+        /// Which side lost or gained it.
+        detail: String,
+    },
 }
 
 impl Finding {
@@ -232,6 +385,14 @@ impl std::fmt::Display for Finding {
                 baseline_mean_ns / 1e3,
                 candidate_mean_ns / 1e3,
             ),
+            Finding::AllocDrift { path, field, baseline, candidate } => write!(
+                f,
+                "heap profile `{path}` {field} changed: {baseline} -> {candidate} \
+                 (exact gate; re-bless if intended)"
+            ),
+            Finding::AllocStageSetChanged { path, detail } => {
+                write!(f, "heap profile stage `{path}` {detail}")
+            }
         }
     }
 }
@@ -329,6 +490,16 @@ pub fn diff_dirs(
                 .compared
                 .push((name, diff_reports(&baseline, candidate, cfg))),
             None => outcome.skipped.push(name),
+        }
+    }
+    // The heap profile rides the same gate as an exact-match section:
+    // allocation counts of the seeded fleet are deterministic integers.
+    if let Some(base_alloc) = load_alloc_profile(baseline_dir)? {
+        match load_alloc_profile(candidate_dir)? {
+            Some(cand_alloc) => outcome
+                .compared
+                .push(("PROF_alloc.json".to_owned(), diff_alloc_profiles(&base_alloc, &cand_alloc))),
+            None => outcome.skipped.push("PROF_alloc.json".to_owned()),
         }
     }
     Ok(outcome)
@@ -432,9 +603,63 @@ mod tests {
         let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
         let reports = load_dir(dir).expect("committed baselines parse strictly");
         assert!(!reports.is_empty(), "results/ has committed BENCH files");
+        let alloc = load_alloc_profile(dir).expect("committed heap profile parses strictly");
+        assert!(alloc.is_some(), "results/ has a committed PROF_alloc.json");
         let outcome = diff_dirs(dir, dir, &DiffConfig::default()).unwrap();
         assert!(outcome.is_clean(), "self-diff must report no regression");
         assert!(outcome.skipped.is_empty());
-        assert_eq!(outcome.compared.len(), reports.len());
+        // Every BENCH file plus the exact-match heap-profile section.
+        assert_eq!(outcome.compared.len(), reports.len() + 1);
+        assert!(outcome.compared.iter().any(|(n, f)| n == "PROF_alloc.json" && f.is_empty()));
+    }
+
+    fn alloc_doc(update_allocs: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{"prof":"alloc","unit":"allocs","allocs_per_epoch":5.0,
+                "steady":{{"allocs":30,"epochs":6}},
+                "root":{{"name":"fleet","allocs":{update_allocs},"bytes":100,
+                         "deallocs":1,"reallocs":0,"children":[
+                  {{"name":"engine.update","allocs":{update_allocs},"bytes":100,
+                    "deallocs":1,"reallocs":0,"children":[]}}]}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn alloc_profile_parses_and_flattens_paths() {
+        let p = parse_alloc_profile(&alloc_doc(40)).unwrap();
+        assert_eq!(p.steady_allocs, 30);
+        assert_eq!(p.steady_epochs, 6);
+        assert_eq!(p.paths["fleet"], [40, 100, 1, 0]);
+        assert_eq!(p.paths["fleet;engine.update"], [40, 100, 1, 0]);
+        let not_alloc = Json::parse(r#"{"prof":"fleet"}"#).unwrap();
+        assert!(parse_alloc_profile(&not_alloc).is_err());
+    }
+
+    #[test]
+    fn alloc_diff_is_exact_and_always_regression() {
+        let base = parse_alloc_profile(&alloc_doc(40)).unwrap();
+        assert!(diff_alloc_profiles(&base, &base).is_empty(), "self-diff clean");
+        // One allocation of drift fails — zero tolerance.
+        let cand = parse_alloc_profile(&alloc_doc(41)).unwrap();
+        let findings = diff_alloc_profiles(&base, &cand);
+        assert!(!findings.is_empty());
+        assert!(findings.iter().all(Finding::is_regression));
+        assert!(findings.iter().any(
+            |f| matches!(f, Finding::AllocDrift { path, field, baseline: 40, candidate: 41 }
+                if path == "fleet;engine.update" && *field == "allocs")
+        ));
+        // A vanished stage is structural drift.
+        let mut missing = base.clone();
+        missing.paths.remove("fleet;engine.update");
+        assert!(diff_alloc_profiles(&base, &missing)
+            .iter()
+            .any(|f| matches!(f, Finding::AllocStageSetChanged { .. })));
+        // Meter drift is caught too.
+        let mut meter = base.clone();
+        meter.steady_epochs = 7;
+        assert!(diff_alloc_profiles(&base, &meter).iter().any(
+            |f| matches!(f, Finding::AllocDrift { field, .. } if *field == "steady.epochs")
+        ));
     }
 }

@@ -19,10 +19,12 @@
 //! uniloc chaos [--plans smoke|full] [--jobs N]  scenario x fault-plan resilience sweep
 //!                                               (parallel, deterministic at any --jobs)
 //! uniloc fleet [--sessions N] [--obs-stub]      fleet-scale load generator; also writes
-//!              [--shards N] [--obs-overhead]    FLEET_HEALTH.json + PROF_fleet.* from
-//!                                               the fleet observatory
+//!              [--shards N] [--obs-overhead]    FLEET_HEALTH.json + PROF_fleet.* +
+//!              [--top-k N] [--alloc-budget N]   PROF_alloc.* from the fleet observatory
 //! uniloc inspect-fleet [--file FILE] [--strict] fleet SLO/health table from a
-//!                                               FLEET_HEALTH.json artifact
+//!                      [--json]                 FLEET_HEALTH.json artifact
+//! uniloc inspect-alloc [--file FILE] [--json]   per-stage heap profile table from a
+//!                                               PROF_alloc.json artifact
 //! uniloc scenarios                              list available venues
 //! ```
 //!
@@ -82,6 +84,7 @@ fn main() -> ExitCode {
         "chaos" => cmd_chaos(&flags, exporter.as_deref()),
         "fleet" => cmd_fleet(&flags),
         "inspect-fleet" => cmd_inspect_fleet(&flags),
+        "inspect-alloc" => cmd_inspect_alloc(&flags),
         "scenarios" => cmd_scenarios(),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -112,9 +115,10 @@ const USAGE: &str = "usage:
                [--out DIR] [--strict] [--jobs N]
   uniloc fleet [--models FILE] [--sessions N] [--scenarios a,b] [--seed N] [--jobs N]
                [--resident N] [--max-epochs N] [--chaos-every N] [--out DIR] [--bench]
-               [--strict] [--shards N] [--obs-stub]
+               [--strict] [--shards N] [--obs-stub] [--top-k N] [--alloc-budget N]
                [--obs-overhead] [--overhead-budget X] [--overhead-passes N]
-  uniloc inspect-fleet [--file FILE] [--strict]
+  uniloc inspect-fleet [--file FILE] [--strict] [--json]
+  uniloc inspect-alloc [--file FILE] [--json]
   uniloc scenarios
 global flags: --quiet (suppress progress output)
   --jobs N: worker threads for sweep commands (default: available cores);
@@ -673,6 +677,11 @@ fn cmd_fleet(flags: &BTreeMap<String, String>) -> Result<(), String> {
         chaos_every: usize_flag(flags, "chaos-every", 0)?,
         obs_stub: flags.contains_key("obs-stub"),
         shards: usize_flag(flags, "shards", 0)?,
+        top_k: usize_flag(flags, "top-k", 0)?,
+    };
+    let alloc_budget = match flags.get("alloc-budget") {
+        Some(_) => Some(f64_flag(flags, "alloc-budget", 0.0)?),
+        None => None,
     };
 
     if flags.contains_key("obs-overhead") {
@@ -723,6 +732,34 @@ fn cmd_fleet(flags: &BTreeMap<String, String>) -> Result<(), String> {
         std::fs::write(&path, obsfleet::profile_report(&tree).to_string_pretty())
             .map_err(|e| format!("write {path}: {e}"))?;
         uniloc_obs::info!("wrote {path}");
+
+        let heap = obsfleet::alloc_tree(snap);
+        let path = format!("{out_dir}/PROF_alloc.folded");
+        std::fs::write(&path, obsfleet::alloc_folded_lines(&heap))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        uniloc_obs::info!("wrote {path}");
+        let path = format!("{out_dir}/PROF_alloc.json");
+        std::fs::write(&path, obsfleet::alloc_report(snap, &heap).to_string_pretty())
+            .map_err(|e| format!("write {path}: {e}"))?;
+        uniloc_obs::info!("wrote {path}");
+        uniloc_obs::info!(
+            "alloc observatory: {:.1} steady-state alloc(s)/epoch",
+            snap.allocs_per_epoch()
+        );
+    }
+    if let Some(budget) = alloc_budget {
+        let Some(snap) = &result.snapshot else {
+            return Err("--alloc-budget needs the alloc observatory; drop --obs-stub".to_owned());
+        };
+        let observed = snap.allocs_per_epoch();
+        if observed > budget {
+            return Err(format!(
+                "steady-state allocations {observed:.1}/epoch exceed --alloc-budget {budget:.1}"
+            ));
+        }
+        uniloc_obs::info!(
+            "alloc budget ok: {observed:.1}/epoch within --alloc-budget {budget:.1}"
+        );
     }
 
     let stats = &result.stats;
@@ -769,8 +806,10 @@ fn cmd_fleet(flags: &BTreeMap<String, String>) -> Result<(), String> {
 /// `results/FLEET_HEALTH.json`) — fleet totals, the SLO burn table,
 /// per-scheme availability, per-cohort breakdowns and the worst-session
 /// exemplars. Pure formatting: it never recomputes, so the table always
-/// agrees with the artifact the CI gates diff. `--strict` fails when any
-/// SLO row is out of budget.
+/// agrees with the artifact the CI gates diff. `--json` re-emits the
+/// artifact through the canonical writer instead (machine-readable, and a
+/// parse round-trip check in one step). `--strict` fails when any SLO row
+/// is out of budget.
 fn cmd_inspect_fleet(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let path = flags
         .get("file")
@@ -780,6 +819,10 @@ fn cmd_inspect_fleet(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
     if doc.get("health").and_then(Json::as_str) != Some("uniloc-fleet") {
         return Err(format!("{path} is not a uniloc FLEET_HEALTH.json artifact"));
+    }
+    if flags.contains_key("json") {
+        println!("{}", doc.canonical().to_string());
+        return Ok(());
     }
     let int = |d: &Json, k: &str| d.get(k).and_then(Json::as_i64).unwrap_or(0);
     let num = |d: &Json, k: &str| d.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
@@ -799,6 +842,14 @@ fn cmd_inspect_fleet(flags: &BTreeMap<String, String>) -> Result<(), String> {
             int(flight, "dropped"),
             int(flight, "suppressed"),
             doc.get("calib").map_or(0, |c| int(c, "drift_alarms")),
+        );
+    }
+    if let Some(alloc) = doc.get("alloc") {
+        println!(
+            "alloc observatory: {:.1} steady alloc(s)/epoch ({} allocs over {} steady epochs)",
+            num(alloc, "allocs_per_epoch"),
+            int(alloc, "steady_allocs"),
+            int(alloc, "steady_epochs"),
         );
     }
 
@@ -899,6 +950,59 @@ fn cmd_inspect_fleet(flags: &BTreeMap<String, String>) -> Result<(), String> {
             return Err(format!("{violated} SLO violation(s)"));
         }
     }
+    Ok(())
+}
+
+/// `uniloc inspect-alloc`: the per-stage heap profile table rendered from
+/// a `PROF_alloc.json` artifact (`--file FILE`, default
+/// `results/PROF_alloc.json`) — the steady-state allocs-per-epoch meter
+/// and the stage tree with exclusive alloc/byte/dealloc/realloc counts.
+/// Pure formatting over the artifact, like `inspect-fleet`. `--json`
+/// re-emits the artifact through the canonical writer.
+fn cmd_inspect_alloc(flags: &BTreeMap<String, String>) -> Result<(), String> {
+    let path = flags
+        .get("file")
+        .map(String::as_str)
+        .unwrap_or("results/PROF_alloc.json");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    if doc.get("prof").and_then(Json::as_str) != Some("alloc") {
+        return Err(format!("{path} is not a uniloc PROF_alloc.json artifact"));
+    }
+    if flags.contains_key("json") {
+        println!("{}", doc.canonical().to_string());
+        return Ok(());
+    }
+    let int = |d: &Json, k: &str| d.get(k).and_then(Json::as_i64).unwrap_or(0);
+    let per_epoch = doc.get("allocs_per_epoch").and_then(Json::as_f64).unwrap_or(f64::NAN);
+    let steady = doc.get("steady");
+    println!(
+        "heap profile — {per_epoch:.1} steady alloc(s)/epoch ({} allocs over {} steady epochs)",
+        steady.map_or(0, |s| int(s, "allocs")),
+        steady.map_or(0, |s| int(s, "epochs")),
+    );
+    println!();
+    println!(
+        "  {:<44} {:>12} {:>14} {:>12} {:>10}",
+        "stage", "allocs", "bytes", "deallocs", "reallocs"
+    );
+    fn walk(node: &Json, depth: usize) {
+        let int = |k: &str| node.get(k).and_then(Json::as_i64).unwrap_or(0);
+        let name = node.get("name").and_then(Json::as_str).unwrap_or("?");
+        println!(
+            "  {:<44} {:>12} {:>14} {:>12} {:>10}",
+            format!("{:indent$}{name}", "", indent = depth * 2),
+            int("allocs"),
+            int("bytes"),
+            int("deallocs"),
+            int("reallocs"),
+        );
+        for child in node.get("children").and_then(Json::as_arr).unwrap_or(&[]) {
+            walk(child, depth + 1);
+        }
+    }
+    let root = doc.get("root").ok_or_else(|| format!("{path}: no stage tree"))?;
+    walk(root, 0);
     Ok(())
 }
 

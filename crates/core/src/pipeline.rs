@@ -503,12 +503,14 @@ mod tests {
     /// closed interval ends, signed zero, and subnormals.
     #[test]
     fn validate_accepts_boundary_values() {
-        let mut cfg = PipelineConfig::default();
         // Strictly-positive fields: the smallest subnormal is positive
         // and finite, so it passes; f64::MAX is the closed top end.
-        cfg.epoch_interval = 5e-324;
-        cfg.indoor_spacing = f64::MIN_POSITIVE;
-        cfg.outdoor_spacing = f64::MAX;
+        let mut cfg = PipelineConfig {
+            epoch_interval: 5e-324,
+            indoor_spacing: f64::MIN_POSITIVE,
+            outdoor_spacing: f64::MAX,
+            ..PipelineConfig::default()
+        };
         cfg.pdr.landmark_sigma = 5e-324;
         // Sigma fields are non-negative: exact zero and negative zero
         // both mean "no noise", not "negative noise".

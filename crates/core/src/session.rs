@@ -108,6 +108,11 @@ impl Session {
         // Under a VirtualClock the sidecar's timestamps follow simulation
         // time; under the default MonotonicClock this is a no-op.
         obs.sync_virtual_clock(frame.t);
+        // Tell the allocation observatory which epoch this is *before* any
+        // span opens: epochs past the warmup window count toward the
+        // steady-state allocs-per-epoch meter. A no-op unless the calling
+        // thread's obs session opted into allocation tracking.
+        uniloc_obs::alloc::epoch_phase(self.epochs as u64);
         metrics.counter("pipeline.epochs").inc();
         let out = self.engine.update(frame);
         let truth = frame.true_position;

@@ -140,6 +140,30 @@ impl PropagationConfig {
     }
 }
 
+impl uniloc_stats::ToJson for ApId {
+    fn to_json(&self) -> uniloc_stats::Json {
+        uniloc_stats::ToJson::to_json(&self.0)
+    }
+}
+
+impl uniloc_stats::FromJson for ApId {
+    fn from_json(json: &uniloc_stats::Json) -> Result<Self, uniloc_stats::JsonError> {
+        uniloc_stats::FromJson::from_json(json).map(ApId)
+    }
+}
+
+impl uniloc_stats::ToJson for TowerId {
+    fn to_json(&self) -> uniloc_stats::Json {
+        uniloc_stats::ToJson::to_json(&self.0)
+    }
+}
+
+impl uniloc_stats::FromJson for TowerId {
+    fn from_json(json: &uniloc_stats::Json) -> Result<Self, uniloc_stats::JsonError> {
+        uniloc_stats::FromJson::from_json(json).map(TowerId)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,29 +229,5 @@ mod tests {
         assert_eq!(ap.tx_power_dbm, 20.0);
         let tower = CellTower::new(TowerId(0), Point::origin());
         assert_eq!(tower.tx_power_dbm, 43.0);
-    }
-}
-
-impl uniloc_stats::ToJson for ApId {
-    fn to_json(&self) -> uniloc_stats::Json {
-        uniloc_stats::ToJson::to_json(&self.0)
-    }
-}
-
-impl uniloc_stats::FromJson for ApId {
-    fn from_json(json: &uniloc_stats::Json) -> Result<Self, uniloc_stats::JsonError> {
-        uniloc_stats::FromJson::from_json(json).map(ApId)
-    }
-}
-
-impl uniloc_stats::ToJson for TowerId {
-    fn to_json(&self) -> uniloc_stats::Json {
-        uniloc_stats::ToJson::to_json(&self.0)
-    }
-}
-
-impl uniloc_stats::FromJson for TowerId {
-    fn from_json(json: &uniloc_stats::Json) -> Result<Self, uniloc_stats::JsonError> {
-        uniloc_stats::FromJson::from_json(json).map(TowerId)
     }
 }

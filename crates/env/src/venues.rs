@@ -56,12 +56,12 @@ pub fn office(name: &str, seed: u64, width: f64, height: f64) -> Scenario {
     let mut y = 3.0;
     let mut idx = 0usize;
     loop {
-        let w = if idx % 2 == 0 { NARROW } else { WIDE };
+        let w = if idx.is_multiple_of(2) { NARROW } else { WIDE };
         if y + w / 2.0 > height - 1.0 {
             break;
         }
         lanes.push((y, w));
-        let next_w = if idx % 2 == 0 { WIDE } else { NARROW };
+        let next_w = if idx.is_multiple_of(2) { WIDE } else { NARROW };
         y += w / 2.0 + next_w / 2.0 + 0.8;
         idx += 1;
     }
@@ -326,7 +326,7 @@ mod tests {
             heard += malls[0].world.cell_observation(p, &mut rng).len();
         }
         let avg = heard as f64 / 20.0;
-        assert!(avg >= 1.0 && avg <= 3.5, "mall cellular avg {avg}");
+        assert!((1.0..=3.5).contains(&avg), "mall cellular avg {avg}");
     }
 
     #[test]

@@ -51,7 +51,7 @@ impl Polyline {
         }
         let mut dedup: Vec<Point> = Vec::with_capacity(vertices.len());
         for v in vertices {
-            if dedup.last().map_or(true, |last| last.distance(v) > 0.0) {
+            if dedup.last().is_none_or(|last| last.distance(v) > 0.0) {
                 dedup.push(v);
             }
         }

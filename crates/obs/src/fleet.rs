@@ -47,7 +47,9 @@ pub const ERROR_BUCKETS_M: &[f64] =
 /// Default shard count for [`FleetAggregator::new`].
 pub const DEFAULT_SHARDS: usize = 8;
 
-/// Worst-session exemplars kept per snapshot (and per shard).
+/// Default worst-session exemplar count kept per snapshot (and per
+/// shard); override per snapshot with [`FleetSnapshot::with_exemplar_cap`]
+/// (the CLI's `--top-k`).
 pub const EXEMPLAR_CAP: usize = 8;
 
 /// A finite value in fixed-point micro-units (`v * 1e6`, rounded). Integer
@@ -224,8 +226,11 @@ fn top_k(mut all: Vec<Exemplar>, k: usize) -> Vec<Exemplar> {
 
 /// One fleet-wide (or one shard's) aggregate. The merge of two snapshots
 /// is field-wise and exact — see the module docs for the algebra.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FleetSnapshot {
+    /// Worst-session exemplars kept (the configurable top-K; merging
+    /// takes the larger partner's cap so a widened cap survives folds).
+    pub exemplar_cap: usize,
     /// Sessions folded in.
     pub sessions: u64,
     /// Epochs recorded across them.
@@ -250,7 +255,34 @@ pub struct FleetSnapshot {
     pub exemplars: Vec<Exemplar>,
 }
 
+impl Default for FleetSnapshot {
+    fn default() -> Self {
+        FleetSnapshot {
+            exemplar_cap: EXEMPLAR_CAP,
+            sessions: 0,
+            epochs: 0,
+            faulted: 0,
+            quarantined_sessions: 0,
+            nonfinite: 0,
+            counters: BTreeMap::new(),
+            span_counts: BTreeMap::new(),
+            error_hist: SparseHist::default(),
+            cohorts: BTreeMap::new(),
+            exemplars: Vec::new(),
+        }
+    }
+}
+
 impl FleetSnapshot {
+    /// An empty snapshot keeping the worst `cap` exemplars (`0` keeps
+    /// [`EXEMPLAR_CAP`]).
+    pub fn with_exemplar_cap(cap: usize) -> FleetSnapshot {
+        FleetSnapshot {
+            exemplar_cap: if cap == 0 { EXEMPLAR_CAP } else { cap },
+            ..FleetSnapshot::default()
+        }
+    }
+
     /// Folds one retired session into this snapshot.
     pub fn observe(&mut self, meta: &SessionMeta, capture: &SessionCapture) {
         self.sessions += 1;
@@ -262,9 +294,8 @@ impl FleetSnapshot {
             *self.counters.entry(name.clone()).or_insert(0) += v;
         }
         for (name, h) in &capture.metrics.histograms {
-            if name.starts_with("span.") {
-                *self.span_counts.entry(name["span.".len()..].to_owned()).or_insert(0) +=
-                    h.count();
+            if let Some(span) = name.strip_prefix("span.") {
+                *self.span_counts.entry(span.to_owned()).or_insert(0) += h.count();
             }
         }
         if let Some(err) = meta.mean_error_m {
@@ -296,7 +327,7 @@ impl FleetSnapshot {
                 flight_postmortems: capture.flight_lines.len() as u64,
                 quarantined: meta.quarantined.clone(),
             });
-            self.exemplars = top_k(pool, EXEMPLAR_CAP);
+            self.exemplars = top_k(pool, self.exemplar_cap);
         }
     }
 
@@ -321,7 +352,9 @@ impl FleetSnapshot {
         }
         let mut exemplars = self.exemplars.clone();
         exemplars.extend(other.exemplars.iter().cloned());
+        let exemplar_cap = self.exemplar_cap.max(other.exemplar_cap);
         FleetSnapshot {
+            exemplar_cap,
             sessions: self.sessions + other.sessions,
             epochs: self.epochs + other.epochs,
             faulted: self.faulted + other.faulted,
@@ -331,13 +364,26 @@ impl FleetSnapshot {
             span_counts,
             error_hist: self.error_hist.merge(&other.error_hist),
             cohorts,
-            exemplars: top_k(exemplars, EXEMPLAR_CAP),
+            exemplars: top_k(exemplars, exemplar_cap),
         }
     }
 
     /// The summed value of one counter (0 when never seen).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Steady-state heap allocations per epoch: the exact integer ratio
+    /// `alloc.steady.allocs / alloc.steady_epochs` from the allocation
+    /// observatory (`uniloc_obs::alloc`); 0 when no steady epochs were
+    /// tracked. Both operands are plain summed counters, so the meter
+    /// merges across sessions and shards exactly.
+    pub fn allocs_per_epoch(&self) -> f64 {
+        let epochs = self.counter("alloc.steady_epochs");
+        if epochs == 0 {
+            return 0.0;
+        }
+        self.counter("alloc.steady.allocs") as f64 / epochs as f64
     }
 
     /// Per-scheme availability: scheme →
@@ -366,10 +412,17 @@ pub struct FleetAggregator {
 }
 
 impl FleetAggregator {
-    /// An aggregator with `shards` shards (`0` picks [`DEFAULT_SHARDS`]).
+    /// An aggregator with `shards` shards (`0` picks [`DEFAULT_SHARDS`])
+    /// keeping the default [`EXEMPLAR_CAP`] worst exemplars.
     pub fn new(shards: usize) -> FleetAggregator {
+        FleetAggregator::with_exemplar_cap(shards, EXEMPLAR_CAP)
+    }
+
+    /// [`new`](Self::new) with a configurable worst-K exemplar count
+    /// (`0` keeps [`EXEMPLAR_CAP`]) — the CLI's `--top-k`.
+    pub fn with_exemplar_cap(shards: usize, cap: usize) -> FleetAggregator {
         let n = if shards == 0 { DEFAULT_SHARDS } else { shards };
-        FleetAggregator { shards: vec![FleetSnapshot::default(); n] }
+        FleetAggregator { shards: vec![FleetSnapshot::with_exemplar_cap(cap); n] }
     }
 
     /// Folds one retired session into its lane's shard.
@@ -378,9 +431,13 @@ impl FleetAggregator {
         self.shards[shard].observe(meta, capture);
     }
 
-    /// Merges every shard into the fleet snapshot.
+    /// Merges every shard into the fleet snapshot. Folds from the first
+    /// shard (not an empty default) so a sub-default exemplar cap is not
+    /// widened back to [`EXEMPLAR_CAP`] by the merge's max-cap rule.
     pub fn snapshot(&self) -> FleetSnapshot {
-        self.shards.iter().fold(FleetSnapshot::default(), |acc, s| acc.merge(s))
+        let mut iter = self.shards.iter();
+        let first = iter.next().cloned().unwrap_or_default();
+        iter.fold(first, |acc, s| acc.merge(s))
     }
 }
 
@@ -404,6 +461,10 @@ pub struct SloTargets {
     /// Maximum non-finite fused estimates (the defense stack's contract
     /// is zero).
     pub max_nonfinite: u64,
+    /// Maximum steady-state heap allocations per epoch
+    /// ([`FleetSnapshot::allocs_per_epoch`]) — the budget the zero-alloc
+    /// roadmap work ratchets down.
+    pub max_allocs_per_epoch: f64,
 }
 
 impl Default for SloTargets {
@@ -421,6 +482,11 @@ impl Default for SloTargets {
             max_drift_alarms_per_kepoch: 50.0,
             max_flight_drop_frac: 0.5,
             max_nonfinite: 0,
+            // Today's measured steady state is ~920 allocs/epoch on the
+            // committed 10k-session fleet; the SLO holds a generous
+            // ceiling (CI pins the tight line via `--alloc-budget`) until
+            // the zero-alloc work ratchets both down.
+            max_allocs_per_epoch: 5000.0,
         }
     }
 }
@@ -495,6 +561,11 @@ pub fn evaluate_slos(snap: &FleetSnapshot, targets: &SloTargets) -> Vec<SloRow> 
         "nonfinite_fused",
         targets.max_nonfinite as f64,
         snap.nonfinite as f64,
+    ));
+    rows.push(max_row(
+        "allocs_per_epoch",
+        targets.max_allocs_per_epoch,
+        snap.allocs_per_epoch(),
     ));
     rows
 }
@@ -617,6 +688,20 @@ pub fn health_report(snap: &FleetSnapshot, targets: &SloTargets) -> Json {
                 snap.counter("calib.drift_alarms").to_json(),
             )]),
         ),
+        (
+            "alloc".into(),
+            Json::Obj(vec![
+                ("allocs_per_epoch".into(), Json::Num(snap.allocs_per_epoch())),
+                (
+                    "steady_allocs".into(),
+                    snap.counter("alloc.steady.allocs").to_json(),
+                ),
+                (
+                    "steady_epochs".into(),
+                    snap.counter("alloc.steady_epochs").to_json(),
+                ),
+            ]),
+        ),
     ])
     .canonical()
 }
@@ -726,11 +811,158 @@ pub fn profile_report(root: &ProfNode) -> Json {
     .canonical()
 }
 
+// ---------------------------------------------------------------------------
+// Allocation observatory tree
+// ---------------------------------------------------------------------------
+
+/// One node of the heap-profile stage tree (`PROF_alloc.json`). Counts are
+/// *exclusive* (self-only): each span stage flushes only the allocations
+/// made while it was the innermost open span (`uniloc_obs::alloc`), so a
+/// parent's numbers do not include its children's. All four figures are
+/// exact merged integers — byte-identical at any `--jobs`/`--shards`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AllocNode {
+    /// Stage (span) name; the root is named `fleet` and carries the
+    /// fleet-wide totals.
+    pub name: String,
+    /// Heap allocations attributed to this stage.
+    pub allocs: u64,
+    /// Bytes requested by those allocations (including realloc growth).
+    pub bytes: u64,
+    /// Deallocations attributed to this stage.
+    pub deallocs: u64,
+    /// Reallocations attributed to this stage.
+    pub reallocs: u64,
+    /// Child stages, sorted by name.
+    pub children: Vec<AllocNode>,
+}
+
+impl AllocNode {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("allocs".into(), self.allocs.to_json()),
+            ("bytes".into(), self.bytes.to_json()),
+            ("deallocs".into(), self.deallocs.to_json()),
+            ("reallocs".into(), self.reallocs.to_json()),
+            (
+                "children".into(),
+                Json::Arr(self.children.iter().map(AllocNode::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Builds the heap-profile tree from the snapshot's merged
+/// `alloc.{allocs,bytes,deallocs,reallocs}.<stage>` counters, hung under
+/// the same [`span_parent`] taxonomy as the call-count profiler; the root
+/// is `fleet` carrying the sums over every stage. Meter counters
+/// (`alloc.steady.*`, `alloc.steady_epochs`) are not stages and never
+/// appear in the tree.
+pub fn alloc_tree(snap: &FleetSnapshot) -> AllocNode {
+    #[derive(Default, Clone)]
+    struct Slots {
+        allocs: u64,
+        bytes: u64,
+        deallocs: u64,
+        reallocs: u64,
+    }
+    // BTreeMap keys keep sibling order sorted by name deterministically.
+    let mut stages: BTreeMap<&str, Slots> = BTreeMap::new();
+    for (name, &v) in &snap.counters {
+        let Some(rest) = name.strip_prefix("alloc.") else { continue };
+        let (field, stage) = if let Some(s) = rest.strip_prefix("allocs.") {
+            (0, s)
+        } else if let Some(s) = rest.strip_prefix("bytes.") {
+            (1, s)
+        } else if let Some(s) = rest.strip_prefix("deallocs.") {
+            (2, s)
+        } else if let Some(s) = rest.strip_prefix("reallocs.") {
+            (3, s)
+        } else {
+            // Meter counters (`alloc.steady.allocs`, `alloc.steady_epochs`)
+            // are not per-stage slots.
+            continue;
+        };
+        let slot = stages.entry(stage).or_default();
+        match field {
+            0 => slot.allocs += v,
+            1 => slot.bytes += v,
+            2 => slot.deallocs += v,
+            _ => slot.reallocs += v,
+        }
+    }
+    fn build(name: &str, slots: &Slots, by_parent: &BTreeMap<&str, Vec<(&str, Slots)>>) -> AllocNode {
+        let children = by_parent
+            .get(name)
+            .map(|kids| kids.iter().map(|(n, s)| build(n, s, by_parent)).collect::<Vec<_>>())
+            .unwrap_or_default();
+        AllocNode {
+            name: name.to_owned(),
+            allocs: slots.allocs,
+            bytes: slots.bytes,
+            deallocs: slots.deallocs,
+            reallocs: slots.reallocs,
+            children,
+        }
+    }
+    let mut by_parent: BTreeMap<&str, Vec<(&str, Slots)>> = BTreeMap::new();
+    let mut total = Slots::default();
+    for (stage, slots) in &stages {
+        total.allocs += slots.allocs;
+        total.bytes += slots.bytes;
+        total.deallocs += slots.deallocs;
+        total.reallocs += slots.reallocs;
+        by_parent.entry(span_parent(stage)).or_default().push((stage, slots.clone()));
+    }
+    let mut root = build("", &total, &by_parent);
+    root.name = "fleet".to_owned();
+    root
+}
+
+/// The heap-profile tree as flamegraph collapsed-stack lines: one
+/// `fleet;parent;child ALLOCS` line per node, depth-first with siblings in
+/// name order. Values are exclusive allocation counts, not time.
+pub fn alloc_folded_lines(root: &AllocNode) -> String {
+    fn walk(node: &AllocNode, prefix: &str, out: &mut String) {
+        let path =
+            if prefix.is_empty() { node.name.clone() } else { format!("{prefix};{}", node.name) };
+        out.push_str(&format!("{path} {}\n", node.allocs));
+        for child in &node.children {
+            walk(child, &path, out);
+        }
+    }
+    let mut out = String::new();
+    walk(root, "", &mut out);
+    out
+}
+
+/// The heap profile as the canonical `PROF_alloc.json` document:
+/// the stage tree plus the steady-state meter, all exact integers (the
+/// per-epoch ratio is the one derived float, computed from them).
+pub fn alloc_report(snap: &FleetSnapshot, root: &AllocNode) -> Json {
+    Json::Obj(vec![
+        ("prof".into(), Json::Str("alloc".into())),
+        ("unit".into(), Json::Str("allocs".into())),
+        ("allocs_per_epoch".into(), Json::Num(snap.allocs_per_epoch())),
+        (
+            "steady".into(),
+            Json::Obj(vec![
+                ("allocs".into(), snap.counter("alloc.steady.allocs").to_json()),
+                ("epochs".into(), snap.counter("alloc.steady_epochs").to_json()),
+            ]),
+        ),
+        ("root".into(), root.to_json()),
+    ])
+    .canonical()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::metrics::MetricsSnapshot;
 
+    #[allow(clippy::field_reassign_with_default)] // clearer built field by field
     fn capture(counters: &[(&str, u64)], spans: &[(&str, u64)]) -> SessionCapture {
         let mut ms = MetricsSnapshot::default();
         ms.counters = counters.iter().map(|(n, v)| (n.to_string(), *v)).collect();
@@ -757,11 +989,11 @@ mod tests {
             persona: "m-30s".to_owned(),
             device: "nexus5x".to_owned(),
             venue: "office".to_owned(),
-            faulted: lane % 3 == 0,
+            faulted: lane.is_multiple_of(3),
             epochs: 10,
             mean_error_m: Some(err),
             nonfinite: 0,
-            quarantined: if lane % 4 == 0 { vec!["gps".to_owned()] } else { vec![] },
+            quarantined: if lane.is_multiple_of(4) { vec!["gps".to_owned()] } else { vec![] },
         }
     }
 
@@ -855,18 +1087,20 @@ mod tests {
 
     #[test]
     fn profile_tree_nests_spans_under_declared_parents() {
-        let mut snap = FleetSnapshot::default();
-        snap.epochs = 10;
-        snap.span_counts = [
-            ("engine.update", 10u64),
-            ("engine.predict", 10),
-            ("engine.fuse", 10),
-            ("scheme.estimate.wifi", 9),
-            ("pipeline.build_context", 1),
-        ]
-        .iter()
-        .map(|(n, c)| (n.to_string(), *c))
-        .collect();
+        let snap = FleetSnapshot {
+            epochs: 10,
+            span_counts: [
+                ("engine.update", 10u64),
+                ("engine.predict", 10),
+                ("engine.fuse", 10),
+                ("scheme.estimate.wifi", 9),
+                ("pipeline.build_context", 1),
+            ]
+            .iter()
+            .map(|(n, c)| (n.to_string(), *c))
+            .collect(),
+            ..FleetSnapshot::default()
+        };
         let root = profile_tree(&snap);
         assert_eq!(root.name, "fleet");
         assert_eq!(root.count, 10);
@@ -878,6 +1112,99 @@ mod tests {
         assert!(folded.contains("fleet;pipeline.build_context 1\n"));
         let doc = profile_report(&root);
         assert_eq!(doc.get("unit").unwrap().as_str().unwrap(), "calls");
+    }
+
+    #[test]
+    fn exemplar_cap_is_configurable_and_survives_merge() {
+        let mut a = FleetSnapshot::with_exemplar_cap(3);
+        let mut b = FleetSnapshot::with_exemplar_cap(3);
+        for lane in 0..10 {
+            a.observe(&meta(lane, lane as f64), &capture(&[], &[]));
+            b.observe(&meta(lane + 10, (lane + 10) as f64), &capture(&[], &[]));
+        }
+        assert_eq!(a.exemplars.len(), 3);
+        let merged = a.merge(&b);
+        assert_eq!(merged.exemplar_cap, 3);
+        assert_eq!(merged.exemplars.len(), 3);
+        assert_eq!(merged.exemplars[0].lane, 19, "worst across both inputs");
+        // Merging with a wider-capped snapshot takes the max cap.
+        let wide = FleetSnapshot::default();
+        assert_eq!(a.merge(&wide).exemplar_cap, EXEMPLAR_CAP);
+        // Zero falls back to the default.
+        assert_eq!(FleetSnapshot::with_exemplar_cap(0).exemplar_cap, EXEMPLAR_CAP);
+    }
+
+    #[test]
+    fn aggregator_honors_sub_default_cap_across_shards() {
+        let mut agg = FleetAggregator::with_exemplar_cap(4, 2);
+        for lane in 0..12 {
+            agg.observe(&meta(lane, lane as f64), &capture(&[], &[]));
+        }
+        let snap = agg.snapshot();
+        assert_eq!(snap.exemplar_cap, 2);
+        assert_eq!(snap.exemplars.len(), 2, "fold must not widen a sub-default cap");
+        assert_eq!(snap.exemplars[0].lane, 11);
+    }
+
+    #[test]
+    fn alloc_tree_nests_stages_and_reports_meter() {
+        let mut snap = FleetSnapshot::default();
+        snap.observe(
+            &meta(0, 2.0),
+            &capture(
+                &[
+                    ("alloc.allocs.engine.update", 40),
+                    ("alloc.bytes.engine.update", 4096),
+                    ("alloc.deallocs.engine.update", 38),
+                    ("alloc.reallocs.engine.update", 2),
+                    ("alloc.allocs.scheme.estimate.wifi", 9),
+                    ("alloc.bytes.scheme.estimate.wifi", 512),
+                    ("alloc.allocs.pipeline.build_context", 100),
+                    ("alloc.bytes.pipeline.build_context", 65536),
+                    ("alloc.steady.allocs", 30),
+                    ("alloc.steady_epochs", 6),
+                ],
+                &[],
+            ),
+        );
+        let root = alloc_tree(&snap);
+        assert_eq!(root.name, "fleet");
+        assert_eq!(root.allocs, 149, "root carries the stage totals");
+        assert_eq!(root.bytes, 4096 + 512 + 65536);
+        let names: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["engine.update", "pipeline.build_context"],
+            "meter counters must not become stages"
+        );
+        let update = &root.children[0];
+        assert_eq!(update.allocs, 40, "counts are exclusive, not rolled up");
+        assert_eq!(update.reallocs, 2);
+        let wifi = update.children.iter().find(|c| c.name == "scheme.estimate.wifi").unwrap();
+        assert_eq!((wifi.allocs, wifi.bytes, wifi.deallocs), (9, 512, 0));
+
+        let folded = alloc_folded_lines(&root);
+        assert!(folded.starts_with("fleet 149\n"));
+        assert!(folded.contains("fleet;engine.update;scheme.estimate.wifi 9\n"));
+        assert!(folded.contains("fleet;pipeline.build_context 100\n"));
+
+        let doc = alloc_report(&snap, &root);
+        let text = doc.to_string();
+        assert_eq!(Json::parse(&text).unwrap().canonical().to_string(), text);
+        assert_eq!(doc.get("prof").unwrap().as_str().unwrap(), "alloc");
+        assert_eq!(doc.get("unit").unwrap().as_str().unwrap(), "allocs");
+        assert_eq!(
+            doc.get("steady").unwrap().get("allocs").unwrap().as_i64().unwrap(),
+            30
+        );
+        assert!((snap.allocs_per_epoch() - 5.0).abs() < 1e-12);
+        assert!(
+            (doc.get("allocs_per_epoch").unwrap().as_f64().unwrap() - 5.0).abs() < 1e-12
+        );
+        // The SLO plane sees the meter too.
+        let rows = evaluate_slos(&snap, &SloTargets::default());
+        let row = rows.iter().find(|r| r.name == "allocs_per_epoch").unwrap();
+        assert!(row.ok && row.kind == "max" && (row.observed - 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //! `tracing`/`metrics` crates, so this crate provides the slice the
 //! workspace needs:
 //!
+//! * [`alloc`] — the allocation observatory: a counting
+//!   `#[global_allocator]` wrapper attributing every heap operation to
+//!   the innermost active span (exact, deterministic per-stage heap
+//!   profiles and the `allocs_per_epoch` steady-state meter behind
+//!   `PROF_alloc.json` and the `--alloc-budget` CI gate).
 //! * [`trace`] — structured spans with key/value fields, a thread-safe
 //!   [`Subscriber`] trait, a bounded [`RingCollector`], a [`JsonlExporter`]
 //!   over `uniloc_stats`' byte-stable JSON writer, and a process-wide
@@ -71,6 +76,7 @@
 //! assert!(snapshot.counters.iter().any(|(n, v)| n == "demo.epochs" && *v >= 1));
 //! ```
 
+pub mod alloc;
 pub mod calib;
 pub mod clock;
 pub mod fleet;
@@ -79,14 +85,16 @@ pub mod metrics;
 pub mod session;
 pub mod trace;
 
+pub use alloc::{CountingAlloc, TrackingGuard, STEADY_WARMUP_EPOCHS};
 pub use calib::{
     global_calibration, process_calibration, CalibrationCell, CalibrationConfig,
     CalibrationMonitor, CalibrationSnapshot, DriftAlarm,
 };
 pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use fleet::{
-    evaluate_slos, folded_lines, health_report, profile_report, profile_tree, FleetAggregator,
-    FleetSnapshot, ProfNode, SessionMeta, SloRow, SloTargets,
+    alloc_folded_lines, alloc_report, alloc_tree, evaluate_slos, folded_lines, health_report,
+    profile_report, profile_tree, AllocNode, FleetAggregator, FleetSnapshot, ProfNode,
+    SessionMeta, SloRow, SloTargets,
 };
 pub use flight::{global_flight, process_flight, FlightRecorder};
 pub use metrics::{

@@ -71,6 +71,13 @@ pub struct ObsSession {
     /// recording off for this session only (the obs-stub mode), `Some(true)`
     /// forces it on, `None` defers to the dispatcher's process-wide flag.
     pub span_timings: Option<bool>,
+    /// Opt-in for span-attributed allocation tracking (see
+    /// [`crate::alloc`]): while this session is installed, timed spans
+    /// open attribution frames and flush `alloc.*` counters into the
+    /// session's registry. Off by default so concurrent sessions that did
+    /// not ask for heap profiles never see `alloc.*` counters, whatever
+    /// other threads are doing.
+    pub alloc_tracking: bool,
     flight_buf: Arc<Mutex<Vec<u8>>>,
 }
 
@@ -104,6 +111,7 @@ impl ObsSession {
             flight,
             clock: Some(Arc::new(VirtualClock::new())),
             span_timings: None,
+            alloc_tracking: false,
             flight_buf,
         }
     }
@@ -128,6 +136,7 @@ impl ObsSession {
             flight,
             clock: Some(Arc::new(VirtualClock::new())),
             span_timings: Some(false),
+            alloc_tracking: false,
             flight_buf: Arc::new(Mutex::new(Vec::new())),
         }
     }

@@ -494,10 +494,16 @@ impl Dispatcher {
     }
 
     /// Opens a span; the returned guard emits a span record (and a
-    /// `span.<name>` duration sample) when dropped.
+    /// `span.<name>` duration sample) when dropped. When allocation
+    /// tracking is on (see [`crate::alloc`]) a timed span also opens an
+    /// attribution frame so heap operations inside it are charged to its
+    /// stage; the guard's own bookkeeping runs under an attribution pause
+    /// so observability overhead stays out of the profile.
     pub fn span(&self, name: &str) -> SpanGuard<'_> {
         let emit = self.enabled(TraceLevel::Span);
         let time = self.span_timings_enabled();
+        let track = crate::alloc::tracking_active();
+        let _pause = track.then(crate::alloc::pause);
         if !emit && !time {
             return SpanGuard {
                 dispatcher: self,
@@ -506,8 +512,10 @@ impl Dispatcher {
                 fields: Vec::new(),
                 emit,
                 time,
+                alloc: None,
             };
         }
+        let alloc = if time && track { crate::alloc::span_open(name) } else { None };
         SpanGuard {
             dispatcher: self,
             name: name.to_owned(),
@@ -515,6 +523,7 @@ impl Dispatcher {
             fields: Vec::new(),
             emit,
             time,
+            alloc,
         }
     }
 
@@ -535,6 +544,7 @@ pub struct SpanGuard<'a> {
     fields: Vec<(String, FieldValue)>,
     emit: bool,
     time: bool,
+    alloc: Option<crate::alloc::SpanToken>,
 }
 
 impl SpanGuard<'_> {
@@ -549,6 +559,13 @@ impl SpanGuard<'_> {
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
+        // Close the allocation-attribution frame first, and keep the
+        // guard's own teardown (histogram-name formatting, the span-name
+        // buffer's free) out of the enclosing span's heap profile.
+        let _pause = crate::alloc::tracking_active().then(crate::alloc::pause);
+        if let Some(token) = self.alloc.take() {
+            crate::alloc::span_close(token);
+        }
         if !self.emit && !self.time {
             return;
         }
@@ -571,6 +588,7 @@ impl Drop for SpanGuard<'_> {
                 });
             }
         }
+        drop(std::mem::take(&mut self.name));
     }
 }
 
@@ -719,6 +737,100 @@ mod tests {
             .find(|(n, _)| n == &format!("span.{name}"))
             .expect("span histogram registered");
         assert!(h.count() >= 1);
+    }
+
+    /// Count of samples in the installed-target `span.<name>` histogram.
+    fn span_samples(snap: &crate::metrics::MetricsSnapshot, name: &str) -> u64 {
+        snap.histograms
+            .iter()
+            .find(|(n, _)| n == &format!("span.{name}"))
+            .map(|(_, h)| h.count())
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn session_span_timings_override_beats_global_flag() {
+        use crate::session::ObsSession;
+        // Global flag ON (the default), session override OFF: no sample.
+        let mut session = ObsSession::isolated();
+        session.span_timings = Some(false);
+        let off = Arc::new(session);
+        {
+            let _g = crate::session::install(Arc::clone(&off));
+            let _s = global().span("obs.test.override_off");
+        }
+        assert_eq!(span_samples(&off.capture().metrics, "obs.test.override_off"), 0);
+
+        // Session override ON records into the session even while the
+        // process-wide flag is OFF: `Some(true)` wins over the global.
+        global().set_span_timings(false);
+        let mut session = ObsSession::isolated();
+        session.span_timings = Some(true);
+        let on = Arc::new(session);
+        {
+            let _g = crate::session::install(Arc::clone(&on));
+            let _s = global().span("obs.test.override_on");
+        }
+        global().set_span_timings(true);
+        assert_eq!(span_samples(&on.capture().metrics, "obs.test.override_on"), 1);
+    }
+
+    #[test]
+    fn session_none_defers_to_global_and_guard_restores_on_drop() {
+        use crate::session::ObsSession;
+        // `span_timings: None` (the isolated default) defers to the
+        // process-wide flag in both positions.
+        let defer = Arc::new(ObsSession::isolated());
+        assert_eq!(defer.span_timings, None);
+        {
+            let _g = crate::session::install(Arc::clone(&defer));
+            let _s = global().span("obs.test.defer_global_on");
+        }
+        assert_eq!(span_samples(&defer.capture().metrics, "obs.test.defer_global_on"), 1);
+
+        // Once the install guard drops, the session's override stops
+        // applying: timing lands in the process registry again.
+        let stub = Arc::new(ObsSession::stubbed());
+        {
+            let _g = crate::session::install(Arc::clone(&stub));
+            let _s = global().span("obs.test.restore_inside");
+        }
+        let name = "obs.test.restore_after_drop";
+        {
+            let _s = global().span(name);
+        }
+        let process = global_metrics().snapshot();
+        assert!(
+            span_samples(&process, name) >= 1,
+            "global flag applies again after the session guard drops"
+        );
+        assert!(
+            !process
+                .histograms
+                .iter()
+                .any(|(n, _)| n == "span.obs.test.restore_inside"),
+            "stubbed-session span must not leak into the process registry"
+        );
+    }
+
+    #[test]
+    fn stubbed_session_suppresses_timing_without_racing_global_state() {
+        use crate::session::ObsSession;
+        // A stubbed session turns timing off per-session while the
+        // process-wide flag stays untouched — the obs-stub mode's whole
+        // point (no cross-thread races on the global flag).
+        let stub = Arc::new(ObsSession::stubbed());
+        assert_eq!(stub.span_timings, Some(false));
+        {
+            let _g = crate::session::install(Arc::clone(&stub));
+            let _s = global().span("obs.test.stub_span");
+            assert!(!global().span_timings_enabled());
+        }
+        assert!(
+            global().span_timings.load(Ordering::Relaxed),
+            "process-wide flag unchanged by the stubbed session"
+        );
+        assert_eq!(stub.capture(), crate::session::SessionCapture::default());
     }
 
     #[test]

@@ -196,7 +196,7 @@ fn aggregator_is_shard_count_and_order_invariant() {
 #[test]
 fn exemplars_are_the_global_worst_k() {
     checker("exemplars_are_the_global_worst_k").run(
-        |rng, scale| gen_fleet(rng, scale),
+        gen_fleet,
         |sessions| {
             let snap = fold(sessions);
             let mut expected: Vec<(i64, u64)> = sessions

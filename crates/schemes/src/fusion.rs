@@ -57,7 +57,7 @@ impl FingerprintIndex {
                     if let Some(ids) = self.buckets.get(&(cx + dx, cy + dy)) {
                         for &i in ids {
                             let d = self.positions[i].distance_sq(p);
-                            if best.map_or(true, |(_, bd)| d < bd) {
+                            if best.is_none_or(|(_, bd)| d < bd) {
                                 best = Some((i, d));
                             }
                         }

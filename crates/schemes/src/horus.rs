@@ -147,7 +147,7 @@ impl ProbFingerprintDb {
             if let Some(ll) = e.log_likelihood(scan, self.miss_penalty) {
                 match best {
                     Some((_, b)) if ll <= b => {
-                        if second.map_or(true, |s| ll > s) {
+                        if second.is_none_or(|s| ll > s) {
                             second = Some(ll);
                         }
                     }

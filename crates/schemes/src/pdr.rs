@@ -351,7 +351,7 @@ mod tests {
         let mut core = PdrCore::new(plan, Point::origin(), PdrConfig::default(), 79);
         // Drift the cloud artificially.
         core.pf.predict(&mut Rng::seed_from_u64(1), |p, _| {
-            p.pos = p.pos + Vector2::new(10.0, 0.0);
+            p.pos += Vector2::new(10.0, 0.0);
         });
         let before = core.estimate().position;
         assert!((before.x - 10.0).abs() < 1.0);

@@ -82,7 +82,7 @@ fn downsample_idempotent() {
 #[test]
 fn self_match_is_exact() {
     checker("self_match_is_exact").run(
-        |rng, scale| gen_db(rng, scale),
+        gen_db,
         |db| {
             for (pos, fp) in db.entries() {
                 let matches = db.match_scan(fp, 1);

@@ -253,13 +253,13 @@ fn write_seq(
         }
         if let Some(step) = indent {
             out.push('\n');
-            out.extend(std::iter::repeat(' ').take(step * (depth + 1)));
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
         }
         item(i, depth + 1, out);
     }
     if let Some(step) = indent {
         out.push('\n');
-        out.extend(std::iter::repeat(' ').take(step * depth));
+        out.extend(std::iter::repeat_n(' ', step * depth));
     }
     out.push(close);
 }

@@ -58,6 +58,8 @@ echo "==> cargo build --release --workspace (offline)"
 cargo build --release --workspace
 echo "==> cargo test -q --workspace (offline)"
 cargo test -q --workspace
+echo "==> cargo clippy --workspace --all-targets (offline, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
 
 # --- 3. metrics smoke ----------------------------------------------------
 # Run a short scenario with the observability sidecar enabled, then assert
@@ -137,12 +139,19 @@ echo "    ok: fault sweep stayed finite, recovered, and is --jobs invariant"
 # byte-identical artifacts across worker counts prove the fleet engine's
 # determinism contract end to end (DESIGN.md §9).
 echo "==> fleet smoke (uniloc fleet --strict, --jobs 1 vs --jobs 4)"
+# --alloc-budget pins the allocation observatory's steady-state meter: the
+# smoke fleet measures 913.1 alloc(s)/epoch today, so a breach of 920 means
+# a hot-path allocation regression landed. Re-bless by measuring the new
+# steady state (`uniloc fleet ... --out` then `uniloc inspect-alloc`) and
+# raising the budget in the same change that justifies it.
 target/release/uniloc fleet --models "$smoke/models.json" --sessions 200 \
     --scenarios office,open-space --max-epochs 12 --chaos-every 10 --seed 17 \
-    --out "$smoke/fleet" --strict --quiet --jobs 1 --resident 64
+    --out "$smoke/fleet" --strict --quiet --jobs 1 --resident 64 \
+    --alloc-budget 920
 target/release/uniloc fleet --models "$smoke/models.json" --sessions 200 \
     --scenarios office,open-space --max-epochs 12 --chaos-every 10 --seed 17 \
-    --out "$smoke/fleet4" --strict --quiet --jobs 4 --resident 9
+    --out "$smoke/fleet4" --strict --quiet --jobs 4 --resident 9 \
+    --alloc-budget 920
 if ! diff -r "$smoke/fleet" "$smoke/fleet4" >/dev/null; then
     echo "ERROR: fleet artifacts differ between --jobs 1 and --jobs 4" >&2
     diff -r "$smoke/fleet" "$smoke/fleet4" >&2 || true
@@ -159,7 +168,8 @@ echo "    ok: 200-session fleet is clean and --jobs/--resident invariant"
 # The fleet observatory artifacts ride the same determinism gate (the
 # diff -r above already proved them byte-identical across worker counts);
 # here assert they exist and that the health table renders from them.
-for artifact in FLEET_HEALTH.json PROF_fleet.folded PROF_fleet.json; do
+for artifact in FLEET_HEALTH.json PROF_fleet.folded PROF_fleet.json \
+                PROF_alloc.folded PROF_alloc.json; do
     if [ ! -s "$smoke/fleet/$artifact" ]; then
         echo "ERROR: fleet run wrote no $artifact" >&2
         exit 1
@@ -169,15 +179,42 @@ if ! grep -q '^fleet;engine.update;' "$smoke/fleet/PROF_fleet.folded"; then
     echo "ERROR: PROF_fleet.folded carries no engine.update stack" >&2
     exit 1
 fi
+if ! grep -q '^fleet;engine.update;' "$smoke/fleet/PROF_alloc.folded"; then
+    echo "ERROR: PROF_alloc.folded carries no engine.update stack" >&2
+    exit 1
+fi
 target/release/uniloc inspect-fleet --file "$smoke/fleet/FLEET_HEALTH.json" \
     > "$smoke/fleet-health.txt"
-for needle in "fleet health — 200 session(s)" "availability.motion" "worst sessions"; do
+for needle in "fleet health — 200 session(s)" "availability.motion" \
+              "worst sessions" "alloc observatory:"; do
     if ! grep -qF "$needle" "$smoke/fleet-health.txt"; then
         echo "ERROR: inspect-fleet output is missing \`$needle\`" >&2
         exit 1
     fi
 done
-echo "    ok: observatory artifacts written and inspect-fleet renders them"
+# The machine-readable views must stay canonical JSON the in-repo reader
+# accepts: --json on both inspectors round-trips through inspect-* itself.
+target/release/uniloc inspect-fleet --file "$smoke/fleet/FLEET_HEALTH.json" \
+    --json > "$smoke/fleet-health.json"
+if ! grep -qF '"allocs_per_epoch"' "$smoke/fleet-health.json"; then
+    echo "ERROR: inspect-fleet --json carries no allocs_per_epoch" >&2
+    exit 1
+fi
+target/release/uniloc inspect-alloc --file "$smoke/fleet/PROF_alloc.json" \
+    > "$smoke/fleet-alloc.txt"
+for needle in "heap profile —" "engine.update" "steady alloc(s)/epoch"; do
+    if ! grep -qF "$needle" "$smoke/fleet-alloc.txt"; then
+        echo "ERROR: inspect-alloc output is missing \`$needle\`" >&2
+        exit 1
+    fi
+done
+target/release/uniloc inspect-alloc --file "$smoke/fleet/PROF_alloc.json" \
+    --json > "$smoke/fleet-alloc.json"
+if ! grep -qF '"prof":"alloc"' "$smoke/fleet-alloc.json"; then
+    echo "ERROR: inspect-alloc --json is not the canonical alloc profile" >&2
+    exit 1
+fi
+echo "    ok: observatory artifacts written and inspectors render them"
 
 # Observability must stay cheap as well as inert: run the same smoke
 # fleet with live and stubbed obs (paired, best-of-2, identical fleet

@@ -55,10 +55,8 @@ fn run_pair(scenario: &Scenario, plan: FaultPlan, seed: u64) -> (Vec<EpochRecord
 /// The defense contract every faulted run must satisfy.
 fn assert_survival(records: &[EpochRecord], label: &str) {
     for (i, r) in records.iter().enumerate() {
-        for err in [r.uniloc1_error, r.uniloc2_error, r.uniloc2_mixture_error] {
-            if let Some(e) = err {
-                assert!(e.is_finite(), "{label}: non-finite fused error at epoch {i}");
-            }
+        for e in [r.uniloc1_error, r.uniloc2_error, r.uniloc2_mixture_error].into_iter().flatten() {
+            assert!(e.is_finite(), "{label}: non-finite fused error at epoch {i}");
         }
     }
     let last = records.last().expect("non-empty walk");

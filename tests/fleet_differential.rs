@@ -92,6 +92,7 @@ fn fleet_matches_legacy_batch_and_is_jobs_invariant() {
         chaos_every: 0,
         obs_stub: false,
         shards: 0,
+        top_k: 0,
     };
     let specs = fleet_specs(&cfg).unwrap();
     let in_order: Vec<usize> = (0..specs.len()).collect();
@@ -150,12 +151,42 @@ fn solo_with_capture(
     (records, obs.capture())
 }
 
-/// Metrics JSONL lines minus the harness-level span timings the fleet
-/// path deliberately does not emit.
+/// Metrics JSONL lines minus the signals the two paths deliberately emit
+/// differently: the solo path records harness-level `span.pipeline.*`
+/// timings the fleet path skips, and the fleet path runs with the
+/// allocation observatory on (`alloc.*`) while the solo path leaves it off.
+/// Alloc determinism is covered by the artifact byte-identity test above.
 fn metrics_without_pipeline_spans(m: &uniloc::obs::MetricsSnapshot) -> Vec<String> {
     m.jsonl_lines()
         .into_iter()
-        .filter(|l| !l.contains("\"span.pipeline."))
+        .filter(|l| !l.contains("\"span.pipeline.") && !l.contains("\"name\":\"alloc."))
+        .collect()
+}
+
+/// Flight postmortems embed counter deltas, which pick up `alloc.*`
+/// counters only on the alloc-tracking (fleet) side; strip those entries
+/// so the two captures compare on the signals both paths emit.
+fn flight_lines_without_alloc(lines: &[String]) -> Vec<String> {
+    use uniloc::stats::json::Json;
+    lines
+        .iter()
+        .map(|line| {
+            let mut doc = Json::parse(line).expect("flight line parses");
+            if let Json::Obj(fields) = &mut doc {
+                for (key, value) in fields.iter_mut() {
+                    if key != "counters_delta" {
+                        continue;
+                    }
+                    if let Json::Arr(entries) = value {
+                        entries.retain(|entry| {
+                            !matches!(entry, Json::Arr(pair)
+                                if matches!(pair.first(), Some(Json::Str(n)) if n.starts_with("alloc.")))
+                        });
+                    }
+                }
+            }
+            doc.to_string()
+        })
         .collect()
 }
 
@@ -178,6 +209,7 @@ fn fault_and_quarantine_state_never_leaks_between_sessions() {
         chaos_every: 4,
         obs_stub: false,
         shards: 0,
+        top_k: 0,
     };
     let specs = fleet_specs(&cfg).unwrap();
     assert_eq!(specs.iter().filter(|s| s.plan != "none").count(), 6);
@@ -205,7 +237,12 @@ fn fault_and_quarantine_state_never_leaks_between_sessions() {
             "lane {} calibration diverged",
             spec.lane
         );
-        assert_eq!(f.capture.flight_lines, solo_cap.flight_lines);
+        assert_eq!(
+            flight_lines_without_alloc(&f.capture.flight_lines),
+            flight_lines_without_alloc(&solo_cap.flight_lines),
+            "lane {} flight postmortems diverged",
+            spec.lane
+        );
         let quarantined = f.records.iter().any(|r| !r.quarantined.is_empty());
         if spec.plan == "none" {
             assert!(!quarantined, "clean lane {} caught a neighbor's fault", spec.lane);
@@ -236,6 +273,7 @@ fn checkpoint_restore_resumes_byte_identically() {
         chaos_every: 2,
         obs_stub: false,
         shards: 0,
+        top_k: 0,
     };
     let specs = fleet_specs(&cfg).unwrap();
     for spec in &specs {
@@ -275,6 +313,7 @@ fn spec_frames_match_legacy_walk_frames() {
         chaos_every: 0,
         obs_stub: false,
         shards: 0,
+        top_k: 0,
     };
     let base = PipelineConfig::default();
     for spec in fleet_specs(&cfg).unwrap() {
@@ -321,7 +360,8 @@ fn session_construction_is_obs_isolated() {
 #[test]
 fn observatory_artifacts_are_jobs_and_shard_invariant() {
     use uniloc::obs::fleet::{
-        folded_lines, health_report, profile_report, profile_tree, SloTargets,
+        alloc_folded_lines, alloc_report, alloc_tree, folded_lines, health_report,
+        profile_report, profile_tree, SloTargets,
     };
     use uniloc_bench::fleet::run_fleet;
 
@@ -337,6 +377,7 @@ fn observatory_artifacts_are_jobs_and_shard_invariant() {
         chaos_every: 6,
         obs_stub,
         shards,
+        top_k: 0,
     };
     let digest_of = |report: &uniloc::stats::json::Json| {
         report.get("fleet_digest").unwrap().as_str().unwrap().to_owned()
@@ -345,10 +386,13 @@ fn observatory_artifacts_are_jobs_and_shard_invariant() {
         let result = run_fleet(&models, &base, cfg).unwrap();
         let snap = result.snapshot.expect("obs-on fleets aggregate");
         let tree = profile_tree(&snap);
+        let heap = alloc_tree(&snap);
         (
             health_report(&snap, &SloTargets::default()).to_string(),
             folded_lines(&tree),
             profile_report(&tree).to_string(),
+            alloc_folded_lines(&heap),
+            alloc_report(&snap, &heap).to_string(),
             digest_of(&result.report),
         )
     };
@@ -357,6 +401,13 @@ fn observatory_artifacts_are_jobs_and_shard_invariant() {
     assert!(baseline.0.contains("\"health\":\"uniloc-fleet\""));
     assert!(baseline.1.starts_with("fleet "));
     assert!(baseline.1.contains("fleet;engine.update;"));
+    // The heap profile saw real traffic and attributes it to real stages.
+    assert!(baseline.3.contains("fleet;engine.update;"));
+    assert!(baseline.4.contains("\"prof\":\"alloc\""));
+    assert!(
+        !baseline.4.contains("\"allocs_per_epoch\":0,"),
+        "steady-state alloc meter must be live on an obs-on fleet"
+    );
     for (jobs, shards) in [(2, 0), (4, 3), (8, 16)] {
         assert_eq!(
             artifacts(&mk(jobs, shards, false)),
@@ -369,7 +420,7 @@ fn observatory_artifacts_are_jobs_and_shard_invariant() {
     assert!(stub.snapshot.is_none(), "stubbed fleets aggregate nothing");
     assert_eq!(
         digest_of(&stub.report),
-        baseline.3,
+        baseline.5,
         "observability leaked into the pipeline"
     );
 }
@@ -389,6 +440,7 @@ fn load_generator_is_seed_deterministic() {
         chaos_every: 8,
         obs_stub: false,
         shards: 0,
+        top_k: 0,
     };
     let a = fleet_specs(&mk(1)).unwrap();
     let b = fleet_specs(&mk(1)).unwrap();

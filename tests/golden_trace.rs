@@ -47,7 +47,7 @@ fn walk_records() -> &'static [EpochRecord] {
 /// Projects the walk onto the fields a variant's golden pins, one compact
 /// object per epoch.
 fn variant_trace(project: impl Fn(&EpochRecord) -> Json) -> String {
-    let epochs: Vec<Json> = walk_records().iter().map(|r| project(r)).collect();
+    let epochs: Vec<Json> = walk_records().iter().map(project).collect();
     let mut text = Json::Arr(epochs).to_string_pretty();
     text.push('\n');
     text

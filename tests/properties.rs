@@ -348,7 +348,7 @@ fn fault_injection_is_deterministic() {
                 .map(|_| {
                     let a = rng.gen_range(0.0..0.6);
                     let b = a + rng.gen_range(0.05..0.39);
-                    let kind = kinds[rng.gen_range(0..kinds.len())].clone();
+                    let kind = kinds[rng.gen_range(0..kinds.len())];
                     FaultClause::over(a, b, kind)
                 })
                 .collect();
