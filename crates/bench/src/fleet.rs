@@ -16,12 +16,15 @@
 //! Throughput (epochs/sec, sessions/sec, p99 epoch latency) goes to
 //! `BENCH_fleet.json` instead, in the `bench-diff` gate's stage shape.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use crate::chaos::{error_stats, fused_error, scenario_by_name};
 use uniloc_core::error_model::ErrorModelSet;
 use uniloc_core::fleet::{
-    FinishedSession, FleetRunStats, FleetScheduler, FleetSession, SessionCheckpoint,
+    check_checkpoint_version, CheckpointError, FinishedSession, FleetEvent, FleetRunStats,
+    FleetScheduler, FleetSession, RunControl, SessionCheckpoint, SupervisionPolicy,
+    CHECKPOINT_VERSION,
 };
 use uniloc_core::pipeline::{self, EpochRecord, PipelineConfig};
 use uniloc_core::session::Session;
@@ -31,7 +34,7 @@ use uniloc_obs::fleet::{FleetAggregator, FleetSnapshot, SessionMeta};
 use uniloc_obs::ObsSession;
 use uniloc_rng::split_seed;
 use uniloc_sensors::{DeviceProfile, SensorFrame};
-use uniloc_stats::json::{Json, ToJson};
+use uniloc_stats::json::{field, FromJson, Json, JsonError, ToJson};
 
 /// Load-generator parameters. Everything that shapes the fleet's *output*
 /// lives here except `jobs`/`resident`, which only shape its execution.
@@ -68,6 +71,13 @@ pub struct FleetConfig {
     /// the default, [`uniloc_obs::fleet::EXEMPLAR_CAP`]). Shapes only the
     /// health plane's exemplar table, never the fleet report.
     pub top_k: usize,
+    /// Arms a process-level fault on this lane: its walker panics at
+    /// epoch [`FleetConfig::panic_epoch`] (plan `panic_at_epoch_<E>`),
+    /// exercising the supervisor's strike/poison path. `None` keeps the
+    /// fleet panic-free.
+    pub panic_lane: Option<u64>,
+    /// The epoch [`FleetConfig::panic_lane`] panics at.
+    pub panic_epoch: u64,
 }
 
 /// The complete recipe for one walker. A spec (plus the shared error
@@ -106,6 +116,7 @@ impl SessionSpec {
     /// The checkpoint naming this spec with `cursor` frames served.
     pub fn checkpoint(&self, cursor: usize) -> SessionCheckpoint {
         SessionCheckpoint {
+            version: CHECKPOINT_VERSION,
             lane: self.lane,
             name: self.name.clone(),
             scenario: self.scenario.clone(),
@@ -138,7 +149,12 @@ pub fn fleet_specs(cfg: &FleetConfig) -> Result<Vec<SessionSpec>, String> {
         let scenario = cfg.scenario_names[lane as usize % cfg.scenario_names.len()].clone();
         let persona = personas[lane as usize % personas.len()].name.clone();
         let device = if lane % 2 == 0 { "nexus5x" } else { "lgg3" };
-        let plan = if cfg.chaos_every > 0 && (lane as usize + 1).is_multiple_of(cfg.chaos_every) {
+        let plan = if cfg.panic_lane == Some(lane) {
+            // The process-fault lane: sensor chaos never stacks on top, so
+            // the panicking walker's frame stream (and hence its partial
+            // records at poison time) stays byte-deterministic.
+            FaultPlan::panic_at_epoch(cfg.panic_epoch).name
+        } else if cfg.chaos_every > 0 && (lane as usize + 1).is_multiple_of(cfg.chaos_every) {
             plans[(lane as usize / cfg.chaos_every) % plans.len()].name.clone()
         } else {
             "none".to_owned()
@@ -202,9 +218,7 @@ pub fn spec_frames(
     if spec.plan == "none" {
         return frames;
     }
-    let plan = FaultPlan::library()
-        .into_iter()
-        .find(|p| p.name == spec.plan)
+    let plan = FaultPlan::by_name(&spec.plan)
         .unwrap_or_else(|| panic!("unknown fault plan {}", spec.plan));
     let chaos_seed = spec.seed
         ^ plan.name.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
@@ -236,6 +250,7 @@ pub fn build_session_with_obs(
 ) -> FleetSession {
     let lane = spec.lane;
     let name = spec.name.clone();
+    let panic_epoch = FaultPlan::by_name(&spec.plan).and_then(|p| p.panic_epoch());
     let obs = if obs_stub {
         Arc::new(ObsSession::stubbed())
     } else {
@@ -247,13 +262,15 @@ pub fn build_session_with_obs(
         obs.alloc_tracking = true;
         Arc::new(obs)
     };
-    FleetSession::build_with_obs(lane, name, obs, move || {
+    let mut fleet_session = FleetSession::build_with_obs(lane, name, obs, move || {
         let scenario = spec_scenario(&spec);
         let cfg = spec_pipeline_config(&base, &spec);
         let frames = spec_frames(&scenario, &cfg, &spec, max_epochs);
         let session = Session::new(Arc::new(scenario), &models, &cfg, spec.seed);
         (session, frames)
-    })
+    });
+    fleet_session.set_panic_at_epoch(panic_epoch);
+    fleet_session
 }
 
 /// Restores a checkpointed walker: rebuilds from the spec and silently
@@ -301,7 +318,9 @@ pub fn records_digest(records: &[EpochRecord]) -> u64 {
     fnv1a64(doc.to_string().as_bytes())
 }
 
-/// One retired walker's row in the fleet report.
+/// One retired walker's row in the fleet report. Round-trips through JSON
+/// exactly (the checkpoint-resident form for already-retired walkers).
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionSummary {
     pub spec: SessionSpec,
     pub epochs: usize,
@@ -314,6 +333,10 @@ pub struct SessionSummary {
     /// (postmortems; deterministic — session clocks follow simulation
     /// time).
     pub flight_lines: usize,
+    /// `Some(failure)` when the supervisor poisoned the walker after it
+    /// exhausted its panic strikes; the row then summarizes the partial
+    /// records served before the first panic.
+    pub poisoned: Option<String>,
 }
 
 /// The generator's complete output: the canonical report (worker-count
@@ -369,7 +392,359 @@ fn summarize(spec: SessionSpec, finished: &FinishedSession) -> SessionSummary {
         nonfinite_fused,
         quarantined,
         flight_lines: finished.capture.flight_lines.len(),
+        poisoned: finished.poisoned.as_ref().map(std::string::ToString::to_string),
     }
+}
+
+impl ToJson for SessionSummary {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("lane".into(), Json::Int(self.spec.lane as i64)),
+            ("name".into(), Json::Str(self.spec.name.clone())),
+            ("scenario".into(), Json::Str(self.spec.scenario.clone())),
+            ("persona".into(), Json::Str(self.spec.persona.clone())),
+            ("device".into(), Json::Str(self.spec.device.clone())),
+            ("plan".into(), Json::Str(self.spec.plan.clone())),
+            ("seed".into(), Json::Str(format!("{:016x}", self.spec.seed))),
+            ("epochs".into(), Json::Int(self.epochs as i64)),
+            ("digest".into(), Json::Str(format!("{:016x}", self.digest))),
+            ("mean_error_m".into(), self.mean_error.map_or(Json::Null, Json::Num)),
+            ("nonfinite_fused".into(), Json::Int(self.nonfinite_fused as i64)),
+            (
+                "quarantined".into(),
+                Json::Arr(self.quarantined.iter().cloned().map(Json::Str).collect()),
+            ),
+            ("flight_lines".into(), Json::Int(self.flight_lines as i64)),
+            (
+                "poisoned".into(),
+                self.poisoned.as_ref().map_or(Json::Null, |p| Json::Str(p.clone())),
+            ),
+        ])
+    }
+}
+
+fn hex_field(json: &Json, name: &str) -> Result<u64, JsonError> {
+    let s: String = field(json, name)?;
+    u64::from_str_radix(&s, 16).map_err(|e| JsonError::new(format!("field `{name}` `{s}`: {e}")))
+}
+
+fn string_list(json: &Json, name: &str) -> Result<Vec<String>, JsonError> {
+    let items: Vec<Json> = field(json, name)?;
+    items
+        .iter()
+        .map(String::from_json)
+        .collect::<Result<_, _>>()
+        .map_err(|e| JsonError::new(format!("field `{name}`: {e}")))
+}
+
+/// A nullable field: `Null` (or an absent key) parses as `None`.
+fn opt_field<T: FromJson>(json: &Json, name: &str) -> Result<Option<T>, JsonError> {
+    match json.get(name) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => T::from_json(v)
+            .map(Some)
+            .map_err(|e| JsonError::new(format!("field `{name}`: {e}"))),
+    }
+}
+
+impl FromJson for SessionSummary {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(SessionSummary {
+            spec: SessionSpec {
+                lane: field::<u64>(json, "lane")?,
+                name: field(json, "name")?,
+                scenario: field(json, "scenario")?,
+                persona: field(json, "persona")?,
+                device: field(json, "device")?,
+                plan: field(json, "plan")?,
+                seed: hex_field(json, "seed")?,
+            },
+            epochs: field(json, "epochs")?,
+            digest: hex_field(json, "digest")?,
+            mean_error: opt_field(json, "mean_error_m")?,
+            nonfinite_fused: field(json, "nonfinite_fused")?,
+            quarantined: string_list(json, "quarantined")?,
+            flight_lines: field(json, "flight_lines")?,
+            poisoned: opt_field(json, "poisoned")?,
+        })
+    }
+}
+
+/// One resident (not yet retired) walker in a [`FleetCheckpoint`]: its
+/// recipe + cursor, plus the supervision state the scheduler carries for
+/// it (strikes accrued, backoff rounds still to serve).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidentEntry {
+    pub checkpoint: SessionCheckpoint,
+    pub strikes: u32,
+    pub backoff_rounds: u64,
+}
+
+impl ToJson for ResidentEntry {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("checkpoint".into(), self.checkpoint.to_json()),
+            ("strikes".into(), self.strikes.to_json()),
+            ("backoff_rounds".into(), self.backoff_rounds.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ResidentEntry {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(ResidentEntry {
+            checkpoint: field(json, "checkpoint")?,
+            strikes: field(json, "strikes")?,
+            backoff_rounds: field(json, "backoff_rounds")?,
+        })
+    }
+}
+
+/// The durable whole-fleet checkpoint: everything `uniloc fleet --resume`
+/// needs to reproduce an uninterrupted run's artifacts byte for byte.
+///
+/// The fleet is deterministic, so — like [`SessionCheckpoint`] — this is a
+/// *recipe*, not a state dump: the config echo pins the spec mix, each
+/// resident walker carries its recipe + cursor (its RNG streams are pure
+/// functions of the seed, so replay restores every stream position), and
+/// the already-retired rows plus the aggregate snapshot carry everything
+/// the dropped sessions contributed. Jobs and resident cap are deliberately
+/// absent: they never shape artifacts, so a resume may change them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetCheckpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]); restore rejects others.
+    pub version: u64,
+    /// Config echo — resume validates these against its own [`FleetConfig`].
+    pub seed: u64,
+    pub sessions: usize,
+    pub scenario_names: Vec<String>,
+    pub max_epochs: usize,
+    pub chaos_every: usize,
+    pub obs_stub: bool,
+    pub shards: usize,
+    pub top_k: usize,
+    pub panic_lane: Option<u64>,
+    pub panic_epoch: u64,
+    /// Scheduler rounds completed when the checkpoint was cut (the
+    /// scheduler cursor; diagnostics only — resume re-derives scheduling
+    /// from the restored session states).
+    pub round: u64,
+    /// Every retired walker's row — flushed or still buffered for
+    /// lane-order flushing — sorted by lane.
+    pub retired: Vec<SessionSummary>,
+    /// Every walker still being served, sorted by lane.
+    pub resident: Vec<ResidentEntry>,
+    /// The fleet observatory aggregate over exactly the `retired` rows
+    /// (`None` for an obs-stubbed fleet).
+    pub snapshot: Option<FleetSnapshot>,
+}
+
+impl ToJson for FleetCheckpoint {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("version".into(), Json::Int(self.version as i64)),
+            ("seed".into(), Json::Str(format!("{:016x}", self.seed))),
+            ("sessions".into(), self.sessions.to_json()),
+            (
+                "scenarios".into(),
+                Json::Arr(self.scenario_names.iter().cloned().map(Json::Str).collect()),
+            ),
+            ("max_epochs".into(), self.max_epochs.to_json()),
+            ("chaos_every".into(), self.chaos_every.to_json()),
+            ("obs_stub".into(), Json::Bool(self.obs_stub)),
+            ("shards".into(), self.shards.to_json()),
+            ("top_k".into(), self.top_k.to_json()),
+            ("panic_lane".into(), self.panic_lane.map_or(Json::Null, |l| l.to_json())),
+            ("panic_epoch".into(), self.panic_epoch.to_json()),
+            ("round".into(), self.round.to_json()),
+            ("retired".into(), Json::Arr(self.retired.iter().map(ToJson::to_json).collect())),
+            ("resident".into(), Json::Arr(self.resident.iter().map(ToJson::to_json).collect())),
+            ("snapshot".into(), self.snapshot.as_ref().map_or(Json::Null, ToJson::to_json)),
+        ])
+    }
+}
+
+impl FromJson for FleetCheckpoint {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let retired: Vec<Json> = field(json, "retired")?;
+        let resident: Vec<Json> = field(json, "resident")?;
+        Ok(FleetCheckpoint {
+            version: field::<u64>(json, "version")?,
+            seed: hex_field(json, "seed")?,
+            sessions: field(json, "sessions")?,
+            scenario_names: string_list(json, "scenarios")?,
+            max_epochs: field(json, "max_epochs")?,
+            chaos_every: field(json, "chaos_every")?,
+            obs_stub: field(json, "obs_stub")?,
+            shards: field(json, "shards")?,
+            top_k: field(json, "top_k")?,
+            panic_lane: opt_field(json, "panic_lane")?,
+            panic_epoch: field(json, "panic_epoch")?,
+            round: field(json, "round")?,
+            retired: retired
+                .iter()
+                .map(SessionSummary::from_json)
+                .collect::<Result<_, _>>()
+                .map_err(|e| JsonError::new(format!("field `retired`: {e}")))?,
+            resident: resident
+                .iter()
+                .map(ResidentEntry::from_json)
+                .collect::<Result<_, _>>()
+                .map_err(|e| JsonError::new(format!("field `resident`: {e}")))?,
+            snapshot: opt_field(json, "snapshot")?,
+        })
+    }
+}
+
+impl FleetCheckpoint {
+    /// Parses and *validates* a fleet checkpoint document, rejecting
+    /// foreign format versions — the typed restore entry point.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::VersionMismatch`] on a foreign version,
+    /// [`CheckpointError::Malformed`] on any other parse failure.
+    pub fn restore(json: &Json) -> Result<FleetCheckpoint, CheckpointError> {
+        check_checkpoint_version(json)?;
+        let ckpt: FleetCheckpoint =
+            FromJson::from_json(json).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        // The nested per-walker checkpoints share the document's format:
+        // a resident entry under a different version means a tampered or
+        // spliced document, not merely a stale one — reject it the same
+        // typed way.
+        for entry in &ckpt.resident {
+            if entry.checkpoint.version != CHECKPOINT_VERSION {
+                return Err(CheckpointError::VersionMismatch {
+                    found: entry.checkpoint.version,
+                    expected: CHECKPOINT_VERSION,
+                });
+            }
+        }
+        Ok(ckpt)
+    }
+
+    /// Validates that `cfg` regenerates the fleet this checkpoint was cut
+    /// from — every artifact-shaping knob must match (jobs and resident
+    /// cap are execution-only and free to change).
+    ///
+    /// # Errors
+    ///
+    /// Names the first mismatched knob.
+    pub fn check_config(&self, cfg: &FleetConfig) -> Result<(), String> {
+        let mismatch = |knob: &str, ckpt: String, now: String| -> Result<(), String> {
+            Err(format!(
+                "checkpoint was cut from a different fleet: {knob} was {ckpt}, resume asks {now}"
+            ))
+        };
+        if self.seed != cfg.seed {
+            return mismatch("seed", self.seed.to_string(), cfg.seed.to_string());
+        }
+        if self.sessions != cfg.sessions {
+            return mismatch("sessions", self.sessions.to_string(), cfg.sessions.to_string());
+        }
+        if self.scenario_names != cfg.scenario_names {
+            return mismatch(
+                "scenarios",
+                self.scenario_names.join(","),
+                cfg.scenario_names.join(","),
+            );
+        }
+        if self.max_epochs != cfg.max_epochs {
+            return mismatch("max_epochs", self.max_epochs.to_string(), cfg.max_epochs.to_string());
+        }
+        if self.chaos_every != cfg.chaos_every {
+            return mismatch(
+                "chaos_every",
+                self.chaos_every.to_string(),
+                cfg.chaos_every.to_string(),
+            );
+        }
+        if self.obs_stub != cfg.obs_stub {
+            return mismatch("obs_stub", self.obs_stub.to_string(), cfg.obs_stub.to_string());
+        }
+        if self.shards != cfg.shards {
+            return mismatch("shards", self.shards.to_string(), cfg.shards.to_string());
+        }
+        if self.top_k != cfg.top_k {
+            return mismatch("top_k", self.top_k.to_string(), cfg.top_k.to_string());
+        }
+        if self.panic_lane != cfg.panic_lane {
+            return mismatch(
+                "panic_lane",
+                format!("{:?}", self.panic_lane),
+                format!("{:?}", cfg.panic_lane),
+            );
+        }
+        if self.panic_epoch != cfg.panic_epoch {
+            return mismatch(
+                "panic_epoch",
+                self.panic_epoch.to_string(),
+                cfg.panic_epoch.to_string(),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Writes a JSON document durably: canonical bytes to a same-directory
+/// temp file, fsync'd, then atomically renamed over `path` — a crash
+/// mid-write leaves either the old checkpoint or the new one, never a
+/// torn file.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn atomic_write_json(path: &str, doc: &Json) -> std::io::Result<()> {
+    use std::io::Write;
+    let tmp = format!("{path}.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(doc.canonical().to_string_pretty().as_bytes())?;
+        f.write_all(b"\n")?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads and validates a [`FleetCheckpoint`] written by
+/// [`atomic_write_json`].
+///
+/// # Errors
+///
+/// Describes the read, parse, or version failure.
+pub fn load_fleet_checkpoint(path: &str) -> Result<FleetCheckpoint, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read checkpoint {path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("parse checkpoint {path}: {e}"))?;
+    FleetCheckpoint::restore(&json).map_err(|e| format!("restore checkpoint {path}: {e}"))
+}
+
+/// Durability knobs for [`run_fleet_durable`]. The default runs exactly
+/// like [`run_fleet`]: no checkpoints, no simulated crash, default
+/// supervision.
+#[derive(Debug, Clone, Default)]
+pub struct FleetRunOptions {
+    /// Cut a [`FleetCheckpoint`] every N scheduler rounds (`0` = never;
+    /// requires `checkpoint_path`).
+    pub checkpoint_every: u64,
+    /// Where checkpoints land (atomically replaced at each cut).
+    pub checkpoint_path: Option<String>,
+    /// Resume from this checkpoint instead of starting fresh.
+    pub resume_from: Option<FleetCheckpoint>,
+    /// Simulated process crash: abandon the run after this many rounds
+    /// (the crash-injection harness's kill switch).
+    pub crash_after_rounds: Option<u64>,
+    /// Panic supervision policy (strikes and retry backoff).
+    pub policy: SupervisionPolicy,
+}
+
+/// What [`run_fleet_durable`] produced.
+pub enum FleetOutcome {
+    /// The fleet ran to completion.
+    Completed(Box<FleetResult>),
+    /// The simulated crash cut the run short after `rounds` rounds; the
+    /// last checkpoint on disk (if any) is the resume point.
+    Crashed { rounds: u64 },
 }
 
 /// Runs the whole fleet to completion, summarizing and dropping each
@@ -384,38 +759,192 @@ pub fn run_fleet(
     base: &PipelineConfig,
     cfg: &FleetConfig,
 ) -> Result<FleetResult, String> {
+    match run_fleet_durable(models, base, cfg, FleetRunOptions::default())? {
+        FleetOutcome::Completed(result) => Ok(*result),
+        FleetOutcome::Crashed { .. } => unreachable!("no crash scheduled"),
+    }
+}
+
+/// [`run_fleet`] with the crash-safety machinery exposed: periodic
+/// durable checkpoints, resume, and the simulated-crash kill switch. A
+/// resumed run's `FLEET.json` / `FLEET_HEALTH.json` / profiler artifacts
+/// are byte-identical to an uninterrupted run's — the crash-recovery
+/// differential suite (`tests/fleet_crash_recovery.rs`) and the CI smoke
+/// hold that.
+///
+/// # Errors
+///
+/// Returns unknown scenario names, a resume config mismatch
+/// ([`FleetCheckpoint::check_config`]), and checkpoint write failures.
+pub fn run_fleet_durable(
+    models: &Arc<ErrorModelSet>,
+    base: &PipelineConfig,
+    cfg: &FleetConfig,
+    opts: FleetRunOptions,
+) -> Result<FleetOutcome, String> {
     let specs = fleet_specs(cfg)?;
+    if let Some(ckpt) = &opts.resume_from {
+        ckpt.check_config(cfg)?;
+    }
+    if opts.checkpoint_every > 0 && opts.checkpoint_path.is_none() {
+        return Err("checkpoint cadence set but no checkpoint path".to_owned());
+    }
     // The dump cap is per-run: earlier runs in this process (another fleet
     // round, a solo walk, a test) must not starve this fleet's postmortem
-    // budget on the process-wide recorder.
+    // budget on the process-wide recorder. (Session postmortems budget on
+    // each walker's own isolated recorder, so this cannot perturb
+    // resume byte-identity.)
     uniloc_obs::process_flight().rearm_dumps();
-    let resident = if cfg.resident == 0 { 64 } else { cfg.resident };
-    let mut scheduler = FleetScheduler::new(cfg.jobs, base.epoch_interval, resident);
+    let resident_cap = if cfg.resident == 0 { 64 } else { cfg.resident };
+    let mut scheduler = FleetScheduler::new(cfg.jobs, base.epoch_interval, resident_cap);
+
+    // Resume state: rows already retired (they skip admission entirely),
+    // the aggregate those rows folded into, and the supervision + cursor
+    // state of every walker that was still being served at the cut.
+    let (mut summaries, base_snap, mut restored) = match opts.resume_from {
+        Some(ckpt) => {
+            let restored: BTreeMap<u64, ResidentEntry> =
+                ckpt.resident.into_iter().map(|r| (r.checkpoint.lane, r)).collect();
+            (ckpt.retired, ckpt.snapshot, restored)
+        }
+        None => (Vec::with_capacity(cfg.sessions), None, BTreeMap::new()),
+    };
+    let retired_lanes: std::collections::BTreeSet<u64> =
+        summaries.iter().map(|s| s.spec.lane).collect();
+    let spec_by_lane: BTreeMap<u64, SessionSpec> =
+        specs.iter().map(|s| (s.lane, s.clone())).collect();
+
+    let mut admitted = 0usize;
     for spec in &specs {
+        if retired_lanes.contains(&spec.lane) {
+            continue;
+        }
+        admitted += 1;
         let (spec, models, base) = (spec.clone(), Arc::clone(models), base.clone());
         let (max_epochs, obs_stub) = (cfg.max_epochs, cfg.obs_stub);
-        scheduler.admit(spec.lane, move || {
-            build_session_with_obs(spec, models, base, max_epochs, obs_stub)
-        });
+        match restored.remove(&spec.lane) {
+            // A mid-flight walker: rebuild from its recipe and replay the
+            // already-served frames *with recording*, so its eventual row
+            // and capture match an uninterrupted serve byte for byte.
+            Some(entry) => {
+                let cursor = entry.checkpoint.cursor as usize;
+                scheduler.admit_restored(
+                    spec.lane,
+                    entry.strikes,
+                    entry.backoff_rounds,
+                    move || {
+                        let mut session =
+                            build_session_with_obs(spec, models, base, max_epochs, obs_stub);
+                        session.replay_recorded(cursor);
+                        session
+                    },
+                );
+            }
+            None => scheduler.admit(spec.lane, move || {
+                build_session_with_obs(spec, models, base, max_epochs, obs_stub)
+            }),
+        }
+    }
+    if !restored.is_empty() {
+        let lanes: Vec<u64> = restored.keys().copied().collect();
+        return Err(format!("checkpoint resident lane(s) {lanes:?} missing from the spec mix"));
     }
     uniloc_obs::info!(
-        "fleet: {} session(s) over {} scenario(s), resident cap {resident}",
-        specs.len(),
-        cfg.scenario_names.len()
+        "fleet: {} session(s) over {} scenario(s), resident cap {resident_cap}, {} resumed row(s)",
+        admitted,
+        cfg.scenario_names.len(),
+        summaries.len()
     );
-    let mut specs = specs.into_iter();
-    let mut summaries = Vec::with_capacity(cfg.sessions);
+
     let mut agg =
         (!cfg.obs_stub).then(|| FleetAggregator::with_exemplar_cap(cfg.shards, cfg.top_k));
-    let stats = scheduler.run(|finished| {
-        let spec = specs.next().expect("one spec per retired session");
-        assert_eq!(spec.lane, finished.lane, "fleet retired out of lane order");
-        let summary = summarize(spec, &finished);
-        if let Some(agg) = agg.as_mut() {
-            agg.observe(&session_meta(&summary), &finished.capture);
+    let control = RunControl {
+        checkpoint_every: opts.checkpoint_every,
+        stop_after_rounds: opts.crash_after_rounds,
+    };
+    let mut ckpt_error: Option<String> = None;
+    let stats = scheduler.run_supervised(&opts.policy, &control, |event| match event {
+        FleetEvent::Finished(finished) => {
+            let spec = spec_by_lane
+                .get(&finished.lane)
+                .unwrap_or_else(|| panic!("retired lane {} has no spec", finished.lane))
+                .clone();
+            let summary = summarize(spec, &finished);
+            if let Some(agg) = agg.as_mut() {
+                agg.observe(&session_meta(&summary), &finished.capture);
+            }
+            summaries.push(summary);
         }
-        summaries.push(summary);
+        FleetEvent::Checkpoint { round, resident, unflushed } => {
+            let Some(path) = opts.checkpoint_path.as_deref() else { return };
+            if ckpt_error.is_some() {
+                return;
+            }
+            // The checkpoint aggregate covers exactly its retired rows:
+            // the resumed base, everything folded since, and the
+            // finished-but-unflushed sessions folded in directly (the
+            // fold is associative and commutative, so folding them here
+            // and later in their own shard lands on the same snapshot).
+            let mut rows = summaries.clone();
+            let mut snap = match (&base_snap, &agg) {
+                (Some(b), Some(a)) => Some(b.merge(&a.snapshot())),
+                (None, Some(a)) => Some(a.snapshot()),
+                (b, None) => b.clone(),
+            };
+            for finished in unflushed {
+                let spec = spec_by_lane
+                    .get(&finished.lane)
+                    .unwrap_or_else(|| panic!("unflushed lane {} has no spec", finished.lane))
+                    .clone();
+                let summary = summarize(spec, finished);
+                if let Some(snap) = snap.as_mut() {
+                    snap.observe(&session_meta(&summary), &finished.capture);
+                }
+                rows.push(summary);
+            }
+            rows.sort_by_key(|s| s.spec.lane);
+            let ckpt = FleetCheckpoint {
+                version: CHECKPOINT_VERSION,
+                seed: cfg.seed,
+                sessions: cfg.sessions,
+                scenario_names: cfg.scenario_names.clone(),
+                max_epochs: cfg.max_epochs,
+                chaos_every: cfg.chaos_every,
+                obs_stub: cfg.obs_stub,
+                shards: cfg.shards,
+                top_k: cfg.top_k,
+                panic_lane: cfg.panic_lane,
+                panic_epoch: cfg.panic_epoch,
+                round,
+                retired: rows,
+                resident: resident
+                    .iter()
+                    .map(|r| ResidentEntry {
+                        checkpoint: spec_by_lane
+                            .get(&r.lane)
+                            .unwrap_or_else(|| panic!("resident lane {} has no spec", r.lane))
+                            .checkpoint(r.cursor as usize),
+                        strikes: r.strikes,
+                        backoff_rounds: r.backoff_rounds,
+                    })
+                    .collect(),
+                snapshot: snap,
+            };
+            if let Err(e) = atomic_write_json(path, &ckpt.to_json()) {
+                ckpt_error = Some(format!("write checkpoint {path}: {e}"));
+            }
+        }
     });
+    if let Some(e) = ckpt_error {
+        return Err(e);
+    }
+    if stats.aborted {
+        uniloc_obs::info!("fleet: simulated crash after {} round(s)", stats.rounds);
+        return Ok(FleetOutcome::Crashed { rounds: stats.rounds });
+    }
+    // Resumed rows arrive before this run's retirements; restore the
+    // canonical lane order.
+    summaries.sort_by_key(|s| s.spec.lane);
 
     // Resilience contract. Non-finite fused estimates are always a
     // violation — the defense stack scrubs them even under faults. A
@@ -461,8 +990,21 @@ pub fn run_fleet(
     }
 
     let report = fleet_report(cfg, &summaries);
-    let snapshot = agg.map(|a| a.snapshot());
-    Ok(FleetResult { report, summaries, stats, violations, snapshot })
+    // A resumed run's aggregate: the checkpoint's fold ⊕ this run's fold.
+    // Both operands use the same exact merge algebra, so this equals the
+    // uninterrupted fold byte for byte.
+    let snapshot = match (base_snap, agg) {
+        (Some(b), Some(a)) => Some(b.merge(&a.snapshot())),
+        (None, Some(a)) => Some(a.snapshot()),
+        (b, None) => b,
+    };
+    Ok(FleetOutcome::Completed(Box::new(FleetResult {
+        report,
+        summaries,
+        stats,
+        violations,
+        snapshot,
+    })))
 }
 
 /// The obs layer's measured cost: one fleet served twice per pass — obs
@@ -539,30 +1081,9 @@ pub fn measure_obs_overhead(
 /// Assembles the canonical fleet report. Deliberately excludes `jobs`,
 /// `resident` and all wall-clock numbers — see the module docs.
 fn fleet_report(cfg: &FleetConfig, summaries: &[SessionSummary]) -> Json {
-    let opt = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
-    let rows: Vec<Json> = summaries
-        .iter()
-        .map(|s| {
-            Json::Obj(vec![
-                ("lane".into(), Json::Int(s.spec.lane as i64)),
-                ("name".into(), Json::Str(s.spec.name.clone())),
-                ("scenario".into(), Json::Str(s.spec.scenario.clone())),
-                ("persona".into(), Json::Str(s.spec.persona.clone())),
-                ("device".into(), Json::Str(s.spec.device.clone())),
-                ("plan".into(), Json::Str(s.spec.plan.clone())),
-                ("seed".into(), Json::Str(format!("{:016x}", s.spec.seed))),
-                ("epochs".into(), Json::Int(s.epochs as i64)),
-                ("digest".into(), Json::Str(format!("{:016x}", s.digest))),
-                ("mean_error_m".into(), opt(s.mean_error)),
-                ("nonfinite_fused".into(), Json::Int(s.nonfinite_fused as i64)),
-                (
-                    "quarantined".into(),
-                    Json::Arr(s.quarantined.iter().cloned().map(Json::Str).collect()),
-                ),
-                ("flight_lines".into(), Json::Int(s.flight_lines as i64)),
-            ])
-        })
-        .collect();
+    // The row shape is the summary's JSON form — the same bytes the
+    // checkpoint carries, so a resumed row re-enters the report verbatim.
+    let rows: Vec<Json> = summaries.iter().map(ToJson::to_json).collect();
     // The fleet digest folds every session digest in lane order: one
     // number that two runs must share iff they served identical fleets.
     let mut fleet_digest: u64 = 0xcbf2_9ce4_8422_2325;
@@ -573,6 +1094,7 @@ fn fleet_report(cfg: &FleetConfig, summaries: &[SessionSummary]) -> Json {
     let total_epochs: usize = summaries.iter().map(|s| s.epochs).sum();
     let faulted = summaries.iter().filter(|s| s.spec.plan != "none").count();
     let quarantined_sessions = summaries.iter().filter(|s| !s.quarantined.is_empty()).count();
+    let poisoned_sessions = summaries.iter().filter(|s| s.poisoned.is_some()).count();
     Json::Obj(vec![
         ("fleet".into(), Json::Str("uniloc-fleet".into())),
         ("seed".into(), Json::Int(cfg.seed as i64)),
@@ -586,6 +1108,7 @@ fn fleet_report(cfg: &FleetConfig, summaries: &[SessionSummary]) -> Json {
         ("total_epochs".into(), Json::Int(total_epochs as i64)),
         ("faulted_sessions".into(), Json::Int(faulted as i64)),
         ("quarantined_sessions".into(), Json::Int(quarantined_sessions as i64)),
+        ("poisoned_sessions".into(), Json::Int(poisoned_sessions as i64)),
         ("fleet_digest".into(), Json::Str(format!("{fleet_digest:016x}"))),
         ("rows".into(), Json::Arr(rows)),
     ])
@@ -678,6 +1201,8 @@ mod tests {
             obs_stub: false,
             shards: 0,
             top_k: 0,
+            panic_lane: None,
+            panic_epoch: 0,
         }
     }
 
@@ -720,5 +1245,154 @@ mod tests {
     fn fnv_digest_is_stable_and_sensitive() {
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+    }
+
+    #[test]
+    fn panic_lane_overrides_the_spec_plan() {
+        let mut c = cfg(16);
+        c.panic_lane = Some(7);
+        c.panic_epoch = 5;
+        let specs = fleet_specs(&c).unwrap();
+        assert_eq!(specs[7].plan, "panic_at_epoch_5");
+        // Only the armed lane changes; its neighbors keep their mix.
+        let clean = fleet_specs(&cfg(16)).unwrap();
+        for lane in (0..16).filter(|&l| l != 7) {
+            assert_eq!(specs[lane], clean[lane]);
+        }
+    }
+
+    #[test]
+    fn fleet_checkpoint_round_trips_and_rejects_foreign_configs() {
+        let c = cfg(8);
+        let specs = fleet_specs(&c).unwrap();
+        let ckpt = FleetCheckpoint {
+            version: CHECKPOINT_VERSION,
+            seed: c.seed,
+            sessions: c.sessions,
+            scenario_names: c.scenario_names.clone(),
+            max_epochs: c.max_epochs,
+            chaos_every: c.chaos_every,
+            obs_stub: false,
+            shards: 0,
+            top_k: 0,
+            panic_lane: None,
+            panic_epoch: 0,
+            round: 3,
+            retired: vec![SessionSummary {
+                spec: specs[0].clone(),
+                epochs: 20,
+                digest: 0xdead_beef,
+                mean_error: Some(1.25),
+                nonfinite_fused: 0,
+                quarantined: vec!["gps".to_owned()],
+                flight_lines: 2,
+                poisoned: None,
+            }],
+            resident: vec![ResidentEntry {
+                checkpoint: specs[1].checkpoint(7),
+                strikes: 2,
+                backoff_rounds: 3,
+            }],
+            snapshot: None,
+        };
+        let text = ckpt.to_json().canonical().to_string();
+        let back = FleetCheckpoint::restore(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, ckpt);
+        assert!(back.check_config(&c).is_ok());
+        let mut other = c.clone();
+        other.seed += 1;
+        assert!(back.check_config(&other).unwrap_err().contains("seed"));
+        // A foreign format version fails loudly, not by misparse.
+        let mut doc = Json::parse(&text).unwrap();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "version" {
+                    *v = Json::Int(CHECKPOINT_VERSION as i64 + 9);
+                }
+            }
+        }
+        assert!(matches!(
+            FleetCheckpoint::restore(&doc),
+            Err(CheckpointError::VersionMismatch { .. })
+        ));
+        // So does a foreign version on a *nested* resident walker's
+        // checkpoint (a spliced document, not a stale one).
+        let mut spliced = ckpt.clone();
+        spliced.resident[0].checkpoint.version = CHECKPOINT_VERSION + 9;
+        let spliced = Json::parse(&spliced.to_json().canonical().to_string()).unwrap();
+        assert!(matches!(
+            FleetCheckpoint::restore(&spliced),
+            Err(CheckpointError::VersionMismatch { found, expected: CHECKPOINT_VERSION })
+                if found == CHECKPOINT_VERSION + 9
+        ));
+    }
+
+    /// The tentpole contract at unit scale: crash a checkpointing fleet
+    /// between rounds, resume from the file on disk, and the report and
+    /// snapshot come out byte-identical to the uninterrupted run —
+    /// including a poisoned lane whose strikes straddle the cut.
+    #[test]
+    fn crashed_fleet_resumes_byte_identically() {
+        let mut c = cfg(12);
+        c.jobs = 2;
+        c.resident = 3;
+        c.panic_lane = Some(5);
+        c.panic_epoch = 4;
+        let models = Arc::new(crate::trained_models(11));
+        let base = PipelineConfig::default();
+
+        let straight = run_fleet(&models, &base, &c).unwrap();
+        let report = straight.report.to_string();
+        assert_eq!(
+            straight.report.get("poisoned_sessions").unwrap().as_i64(),
+            Some(1),
+            "the armed lane must poison, and only it"
+        );
+        let snap = straight.snapshot.expect("obs-on fleet has a snapshot");
+        assert_eq!(snap.counter("fleet.poisoned"), 1);
+        assert_eq!(snap.counter("parallel.retries"), 2, "3 strikes = 2 retries");
+
+        let dir = std::env::temp_dir().join(format!("uniloc-fleet-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet.ckpt.json").to_string_lossy().into_owned();
+        for crash_after in [2u64, 5, 9] {
+            let outcome = run_fleet_durable(
+                &models,
+                &base,
+                &c,
+                FleetRunOptions {
+                    checkpoint_every: 2,
+                    checkpoint_path: Some(path.clone()),
+                    crash_after_rounds: Some(crash_after),
+                    ..FleetRunOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(matches!(outcome, FleetOutcome::Crashed { rounds } if rounds == crash_after));
+            let ckpt = load_fleet_checkpoint(&path).unwrap();
+            let resumed = match run_fleet_durable(
+                &models,
+                &base,
+                &c,
+                FleetRunOptions { resume_from: Some(ckpt), ..FleetRunOptions::default() },
+            )
+            .unwrap()
+            {
+                FleetOutcome::Completed(r) => *r,
+                FleetOutcome::Crashed { .. } => panic!("resume must complete"),
+            };
+            assert_eq!(
+                resumed.report.to_string(),
+                report,
+                "crash at round {crash_after}: resumed report diverged"
+            );
+            assert_eq!(
+                resumed.snapshot.as_ref(),
+                Some(&snap),
+                "crash at round {crash_after}: resumed snapshot diverged"
+            );
+            assert!(resumed.violations.is_empty(), "{:?}", resumed.violations);
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

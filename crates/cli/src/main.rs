@@ -117,6 +117,8 @@ const USAGE: &str = "usage:
                [--resident N] [--max-epochs N] [--chaos-every N] [--out DIR] [--bench]
                [--strict] [--shards N] [--obs-stub] [--top-k N] [--alloc-budget N]
                [--obs-overhead] [--overhead-budget X] [--overhead-passes N]
+               [--checkpoint-every N] [--checkpoint FILE] [--resume FILE]
+               [--crash-after-rounds N] [--panic-lane N] [--panic-epoch N]
   uniloc inspect-fleet [--file FILE] [--strict] [--json]
   uniloc inspect-alloc [--file FILE] [--json]
   uniloc scenarios
@@ -652,8 +654,22 @@ fn f64_flag(flags: &BTreeMap<String, String>, key: &str, default: f64) -> Result
 /// and fails if the epochs/s cost exceeds `--overhead-budget` (default
 /// 5%). `--strict` fails on any resilience violation (a non-finite fused
 /// estimate, or a clean walker that got quarantined).
+///
+/// Crash safety: `--checkpoint-every N` cuts a durable fleet checkpoint
+/// (atomic temp-file + rename) every N scheduler rounds to `--checkpoint
+/// FILE` (default `<out>/FLEET.ckpt.json`), and `--resume FILE` restores
+/// one and finishes the fleet — the artifacts come out byte-identical to
+/// an uninterrupted run. On resume, every artifact-shaping knob is taken
+/// from the checkpoint itself (only `--jobs`, `--resident`, `--out` and
+/// the gate flags still apply). `--crash-after-rounds N` simulates a
+/// `kill -9` between rounds N and N+1 (the crash-injection harness), and
+/// `--panic-lane L --panic-epoch E` arms a process-level panic fault in
+/// lane L at epoch E to exercise the supervisor's poison path.
 fn cmd_fleet(flags: &BTreeMap<String, String>) -> Result<(), String> {
-    use uniloc_bench::fleet::{measure_obs_overhead, run_fleet, write_fleet_bench, FleetConfig};
+    use uniloc_bench::fleet::{
+        load_fleet_checkpoint, measure_obs_overhead, run_fleet_durable, write_fleet_bench,
+        FleetConfig, FleetOutcome, FleetRunOptions,
+    };
     use uniloc_obs::fleet as obsfleet;
 
     let seed = seed_flag(flags)?;
@@ -661,24 +677,62 @@ fn cmd_fleet(flags: &BTreeMap<String, String>) -> Result<(), String> {
     let out_dir = flags.get("out").map(String::as_str).unwrap_or("results");
     let strict = flags.contains_key("strict");
     let cfg = PipelineConfig::default();
-    let models = Arc::new(models_or_train(flags, &cfg, seed)?);
 
-    let scenario_names: Vec<String> = flags
-        .get("scenarios")
-        .map(|s| s.split(',').map(str::to_owned).collect())
-        .unwrap_or_else(|| vec!["office".to_owned(), "open-space".to_owned()]);
-    let fleet_cfg = FleetConfig {
-        seed,
-        sessions: usize_flag(flags, "sessions", 1000)?,
-        scenario_names,
-        jobs,
-        resident: usize_flag(flags, "resident", 64)?,
-        max_epochs: usize_flag(flags, "max-epochs", 40)?,
-        chaos_every: usize_flag(flags, "chaos-every", 0)?,
-        obs_stub: flags.contains_key("obs-stub"),
-        shards: usize_flag(flags, "shards", 0)?,
-        top_k: usize_flag(flags, "top-k", 0)?,
+    let resume = match flags.get("resume") {
+        Some(path) => Some(load_fleet_checkpoint(path)?),
+        None => None,
     };
+    let fleet_cfg = match &resume {
+        // Resuming: the checkpoint pins every artifact-shaping knob (a
+        // mismatched flag would silently fork the fleet); only execution
+        // knobs come from the command line.
+        Some(ckpt) => FleetConfig {
+            seed: ckpt.seed,
+            sessions: ckpt.sessions,
+            scenario_names: ckpt.scenario_names.clone(),
+            jobs,
+            resident: usize_flag(flags, "resident", 64)?,
+            max_epochs: ckpt.max_epochs,
+            chaos_every: ckpt.chaos_every,
+            obs_stub: ckpt.obs_stub,
+            shards: ckpt.shards,
+            top_k: ckpt.top_k,
+            panic_lane: ckpt.panic_lane,
+            panic_epoch: ckpt.panic_epoch,
+        },
+        None => FleetConfig {
+            seed,
+            sessions: usize_flag(flags, "sessions", 1000)?,
+            scenario_names: flags
+                .get("scenarios")
+                .map(|s| s.split(',').map(str::to_owned).collect())
+                .unwrap_or_else(|| vec!["office".to_owned(), "open-space".to_owned()]),
+            jobs,
+            resident: usize_flag(flags, "resident", 64)?,
+            max_epochs: usize_flag(flags, "max-epochs", 40)?,
+            chaos_every: usize_flag(flags, "chaos-every", 0)?,
+            obs_stub: flags.contains_key("obs-stub"),
+            shards: usize_flag(flags, "shards", 0)?,
+            top_k: usize_flag(flags, "top-k", 0)?,
+            panic_lane: flags
+                .get("panic-lane")
+                .map(|_| usize_flag(flags, "panic-lane", 0))
+                .transpose()?
+                .map(|l| l as u64),
+            panic_epoch: usize_flag(flags, "panic-epoch", 0)? as u64,
+        },
+    };
+    let models = Arc::new(models_or_train(flags, &cfg, fleet_cfg.seed)?);
+    let checkpoint_every = usize_flag(flags, "checkpoint-every", 0)? as u64;
+    let checkpoint_path = flags
+        .get("checkpoint")
+        .cloned()
+        .or_else(|| (checkpoint_every > 0).then(|| format!("{out_dir}/FLEET.ckpt.json")));
+    let crash_after_rounds = flags
+        .get("crash-after-rounds")
+        .map(|_| usize_flag(flags, "crash-after-rounds", 0))
+        .transpose()?
+        .map(|r| r as u64);
     let alloc_budget = match flags.get("alloc-budget") {
         Some(_) => Some(f64_flag(flags, "alloc-budget", 0.0)?),
         None => None,
@@ -709,7 +763,37 @@ fn cmd_fleet(flags: &BTreeMap<String, String>) -> Result<(), String> {
     }
 
     std::fs::create_dir_all(out_dir).map_err(|e| format!("create {out_dir}: {e}"))?;
-    let result = run_fleet(&models, &cfg, &fleet_cfg)?;
+    let outcome = run_fleet_durable(
+        &models,
+        &cfg,
+        &fleet_cfg,
+        FleetRunOptions {
+            checkpoint_every,
+            checkpoint_path: checkpoint_path.clone(),
+            resume_from: resume,
+            crash_after_rounds,
+            ..FleetRunOptions::default()
+        },
+    )?;
+    let result = match outcome {
+        FleetOutcome::Completed(result) => *result,
+        FleetOutcome::Crashed { rounds } => {
+            let at = checkpoint_path.as_deref().unwrap_or("<no checkpoint written>");
+            println!(
+                "fleet crashed (simulated) after {rounds} round(s); \
+                 resume with: uniloc fleet --resume {at}"
+            );
+            return Ok(());
+        }
+    };
+
+    let poisoned = result.summaries.iter().filter(|s| s.poisoned.is_some()).count();
+    if poisoned > 0 {
+        uniloc_obs::info!(
+            "fleet: {poisoned} session(s) poisoned by the supervisor; \
+             the rest of the fleet completed normally"
+        );
+    }
 
     let path = format!("{out_dir}/FLEET.json");
     std::fs::write(&path, result.report.to_string_pretty())

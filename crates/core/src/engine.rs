@@ -230,6 +230,13 @@ impl UniLocEngine {
         self.quarantine.excluded()
     }
 
+    /// Every scheme's full quarantine standing (sentence remainder,
+    /// probation countdown, strikes) — see
+    /// [`QuarantineMachine::standings`](crate::quarantine::QuarantineMachine::standings).
+    pub fn quarantine_standings(&self) -> Vec<(SchemeId, crate::quarantine::QuarantineStanding)> {
+        self.quarantine.standings()
+    }
+
     /// The degraded output emitted when a frame fails validation outright
     /// (non-finite timestamp): no scheme runs, no state advances.
     fn rejected_output(&self, frame: &SensorFrame) -> UniLocOutput {

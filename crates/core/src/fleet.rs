@@ -38,14 +38,77 @@
 //! `DESIGN.md` §9.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::parallel::run_ordered_mut;
+use crate::parallel::{run_supervised_mut, JobFailure};
 use crate::pipeline::EpochRecord;
 use crate::session::Session;
 use uniloc_obs::session::{self as obs_session, ObsSession, SessionCapture};
 use uniloc_sensors::SensorFrame;
+
+/// Current checkpoint format version, embedded in every
+/// [`SessionCheckpoint`] (and the fleet-level checkpoint built on it).
+/// Restore APIs reject any other version with
+/// [`CheckpointError::VersionMismatch`] — a stale snapshot fails loudly
+/// instead of replaying garbage.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Why a checkpoint could not be restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The snapshot was written under a different format version.
+    VersionMismatch {
+        /// Version recorded in the document.
+        found: u64,
+        /// Version this build restores.
+        expected: u64,
+    },
+    /// The document is not a well-formed checkpoint.
+    Malformed(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::VersionMismatch { found, expected } => write!(
+                f,
+                "checkpoint version mismatch: found {found}, this build restores {expected}"
+            ),
+            CheckpointError::Malformed(e) => write!(f, "malformed checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Reads and validates the `version` field of a checkpoint document.
+///
+/// # Errors
+///
+/// [`CheckpointError::Malformed`] when the field is missing or not an
+/// integer, [`CheckpointError::VersionMismatch`] when it is not
+/// [`CHECKPOINT_VERSION`].
+pub fn check_checkpoint_version(
+    json: &uniloc_stats::json::Json,
+) -> Result<(), CheckpointError> {
+    let found = json
+        .get("version")
+        .and_then(uniloc_stats::json::Json::as_i64)
+        .ok_or_else(|| {
+            CheckpointError::Malformed("checkpoint needs an integer `version`".to_owned())
+        })?;
+    let found = u64::try_from(found)
+        .map_err(|_| CheckpointError::Malformed(format!("negative version {found}")))?;
+    if found != CHECKPOINT_VERSION {
+        return Err(CheckpointError::VersionMismatch {
+            found,
+            expected: CHECKPOINT_VERSION,
+        });
+    }
+    Ok(())
+}
 
 /// Simulation-time slack when deciding whether an epoch is due, in
 /// nanoseconds: absorbs float rounding in frame timestamps without ever
@@ -80,6 +143,9 @@ pub struct DueKey {
 /// (property-tested): `uniloc_stats::json::Json`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionCheckpoint {
+    /// Checkpoint format version ([`CHECKPOINT_VERSION`]); restore
+    /// rejects any other value.
+    pub version: u64,
     /// Unique session lane within its fleet.
     pub lane: u64,
     /// Display name (load-generator naming, e.g. `s00042-office-m-30s`).
@@ -106,6 +172,7 @@ impl uniloc_stats::json::ToJson for SessionCheckpoint {
     fn to_json(&self) -> uniloc_stats::json::Json {
         use uniloc_stats::json::Json;
         Json::Obj(vec![
+            ("version".to_owned(), Json::Int(self.version as i64)),
             ("lane".to_owned(), Json::Str(format!("{:016x}", self.lane))),
             ("name".to_owned(), Json::Str(self.name.clone())),
             ("scenario".to_owned(), Json::Str(self.scenario.clone())),
@@ -128,7 +195,10 @@ impl uniloc_stats::json::FromJson for SessionCheckpoint {
             u64::from_str_radix(&s, 16)
                 .map_err(|e| JsonError::new(format!("checkpoint {name} `{s}`: {e}")))
         };
+        let version: i64 = field(json, "version")?;
         Ok(SessionCheckpoint {
+            version: u64::try_from(version)
+                .map_err(|_| JsonError::new(format!("negative checkpoint version {version}")))?,
             lane: hex("lane")?,
             name: field(json, "name")?,
             scenario: field(json, "scenario")?,
@@ -138,6 +208,23 @@ impl uniloc_stats::json::FromJson for SessionCheckpoint {
             seed: hex("seed")?,
             cursor: hex("cursor")?,
         })
+    }
+}
+
+impl SessionCheckpoint {
+    /// Parses and *validates* a checkpoint document: the typed restore
+    /// entry point. Unlike the raw [`FromJson`] parse (which preserves
+    /// whatever version the document carries, for round-trip fidelity),
+    /// this rejects foreign versions.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::VersionMismatch`] on a foreign format version,
+    /// [`CheckpointError::Malformed`] on any other parse failure.
+    pub fn restore(json: &uniloc_stats::json::Json) -> Result<Self, CheckpointError> {
+        check_checkpoint_version(json)?;
+        uniloc_stats::json::FromJson::from_json(json)
+            .map_err(|e| CheckpointError::Malformed(e.to_string()))
     }
 }
 
@@ -154,6 +241,9 @@ pub struct FleetSession {
     cursor: usize,
     records: Vec<EpochRecord>,
     obs: Arc<ObsSession>,
+    /// Injected process-level fault: stepping this frame index panics
+    /// (the crash-injection harness's panic-at-epoch fault).
+    panic_at_epoch: Option<u64>,
 }
 
 impl FleetSession {
@@ -190,7 +280,15 @@ impl FleetSession {
             cursor: 0,
             records: Vec::new(),
             obs,
+            panic_at_epoch: None,
         }
+    }
+
+    /// Arms the injected panic-at-epoch process fault: the session panics
+    /// when it is about to *step* (not replay) frame `epoch`. The panic is
+    /// caught at the pool boundary and handled by the supervision policy.
+    pub fn set_panic_at_epoch(&mut self, epoch: Option<u64>) {
+        self.panic_at_epoch = epoch;
     }
 
     /// Serves frames `0..cursor` *without recording them* — the restore
@@ -206,9 +304,33 @@ impl FleetSession {
         drop(guard);
     }
 
+    /// Serves frames `0..cursor` *with recording* — the fleet-resume
+    /// restore: the replayed epochs re-enter `records` (and the walker's
+    /// isolated capture) exactly as an uninterrupted run would have
+    /// recorded them, so a resumed fleet's artifacts are byte-identical
+    /// to never having stopped. The injected panic-at-epoch fault is
+    /// deliberately *not* honored during replay: a checkpoint cursor can
+    /// never lie past the panic frame (the session never advances past
+    /// it), so replay stays strictly before the fault.
+    pub fn replay_recorded(&mut self, cursor: usize) {
+        let guard = obs_session::install(Arc::clone(&self.obs));
+        let end = cursor.min(self.frames.len());
+        while self.cursor < end {
+            let record = self.session.step(&self.frames[self.cursor]);
+            self.records.push(record);
+            self.cursor += 1;
+        }
+        drop(guard);
+    }
+
     /// Frames served so far.
     pub fn cursor(&self) -> usize {
         self.cursor
+    }
+
+    /// The underlying serving session, for introspection in tests.
+    pub fn session(&self) -> &Session {
+        &self.session
     }
 
     /// Total frames in the walk.
@@ -226,6 +348,12 @@ impl FleetSession {
         while self.cursor < self.frames.len()
             && start_ns + sim_ns(self.frames[self.cursor].t) <= now_ns + DUE_SLACK_NS
         {
+            if self.panic_at_epoch == Some(self.cursor as u64) {
+                panic!(
+                    "uniloc-faults: injected panic at epoch {} (lane {})",
+                    self.cursor, self.lane
+                );
+            }
             let t0 = Instant::now();
             let record = self.session.step(&self.frames[self.cursor]);
             epoch_ns.push(t0.elapsed().as_nanos() as u64);
@@ -245,8 +373,35 @@ impl FleetSession {
             lane: self.lane,
             name: self.name,
             epochs: self.records.len(),
+            frames_served: self.cursor,
             records: self.records,
             capture: self.obs.capture(),
+            poisoned: None,
+        }
+    }
+
+    /// Retires the session early as *poisoned*: it exhausted the
+    /// supervision policy's strikes. The records and capture cover the
+    /// epochs served before the fault. The supervision counters
+    /// (`fleet.poisoned`, `parallel.retries`) are emitted into the
+    /// walker's own capture here — once, at retirement, rather than
+    /// per-retry — so a resumed run reproduces them exactly from the
+    /// restored strike count.
+    fn poison(self, failure: JobFailure, retries: u64) -> FinishedSession {
+        {
+            let _guard = obs_session::install(Arc::clone(&self.obs));
+            let m = uniloc_obs::global_metrics();
+            m.counter("fleet.poisoned").inc();
+            m.counter("parallel.retries").add(retries);
+        }
+        FinishedSession {
+            lane: self.lane,
+            name: self.name,
+            epochs: self.records.len(),
+            frames_served: self.cursor,
+            records: self.records,
+            capture: self.obs.capture(),
+            poisoned: Some(failure),
         }
     }
 }
@@ -259,10 +414,16 @@ pub struct FinishedSession {
     /// Epochs *recorded* (equals the walk length unless the session was
     /// restored from a checkpoint, which replays silently).
     pub epochs: usize,
+    /// Frames served in total (the checkpoint cursor at retirement —
+    /// differs from `epochs` only after a silent [`FleetSession::replay_to`]).
+    pub frames_served: usize,
     pub records: Vec<EpochRecord>,
     /// The walker's private observability capture (metrics, calibration
     /// cells, flight lines).
     pub capture: SessionCapture,
+    /// `Some` when the session was retired early by the supervision
+    /// policy after exhausting its strikes.
+    pub poisoned: Option<JobFailure>,
 }
 
 /// Deterministic-plus-wall-clock accounting of one fleet run. `rounds`,
@@ -282,6 +443,93 @@ pub struct FleetRunStats {
     pub round_ns: Vec<u64>,
     /// Wall-clock duration of the whole run.
     pub run_ns: u64,
+    /// Whether the run was cut short by [`RunControl::stop_after_rounds`]
+    /// (the simulated-crash fault); unretired sessions were abandoned.
+    pub aborted: bool,
+}
+
+/// How the scheduler treats a session whose step panicked (the panic is
+/// caught at the pool boundary — [`run_supervised_mut`]).
+///
+/// Backoff is measured in scheduler *rounds*, not wall time, so retry
+/// scheduling is deterministic. A session that exhausts `max_strikes` is
+/// *poisoned*: retired early (lane-ordered like any retirement, so
+/// artifacts stay deterministic) with [`FinishedSession::poisoned`] set
+/// and the `fleet.poisoned` / `parallel.retries` counters emitted into
+/// its own capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisionPolicy {
+    /// Panics tolerated before the session is poisoned.
+    pub max_strikes: u32,
+    /// Rounds to wait before the first retry.
+    pub backoff_base_rounds: u64,
+    /// Retry backoff cap, in rounds.
+    pub backoff_cap_rounds: u64,
+}
+
+impl Default for SupervisionPolicy {
+    fn default() -> Self {
+        SupervisionPolicy { max_strikes: 3, backoff_base_rounds: 2, backoff_cap_rounds: 32 }
+    }
+}
+
+impl SupervisionPolicy {
+    /// Rounds to wait before the retry after the `strikes`-th failure:
+    /// bounded exponential (`base * 2^(strikes-1)`, capped), at least 1.
+    pub fn backoff_rounds(&self, strikes: u32) -> u64 {
+        let mut rounds = self.backoff_base_rounds.max(1);
+        for _ in 1..strikes {
+            rounds = rounds.saturating_mul(2).min(self.backoff_cap_rounds.max(1));
+            if rounds >= self.backoff_cap_rounds.max(1) {
+                break;
+            }
+        }
+        rounds.min(self.backoff_cap_rounds.max(1))
+    }
+}
+
+/// Checkpoint/crash knobs for [`FleetScheduler::run_supervised`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunControl {
+    /// Emit [`FleetEvent::Checkpoint`] every N rounds (`0` = never).
+    pub checkpoint_every: u64,
+    /// Abort the run (simulated process crash, for the crash-injection
+    /// harness) after this many rounds; skips the lost-session check.
+    pub stop_after_rounds: Option<u64>,
+}
+
+/// One resident walker's progress + supervision state at a checkpoint
+/// boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResidentState {
+    pub lane: u64,
+    /// Frames served so far (the [`SessionCheckpoint`] cursor; `0` for a
+    /// still-pending builder).
+    pub cursor: u64,
+    /// Supervision strikes accrued so far.
+    pub strikes: u32,
+    /// Rounds left on the current retry backoff.
+    pub backoff_rounds: u64,
+}
+
+/// What [`FleetScheduler::run_supervised`] reports to its callback.
+pub enum FleetEvent<'a> {
+    /// A retired session, strictly in lane order (boxed: a finished
+    /// session carries its full record/capture payload and would dwarf
+    /// the checkpoint variant inline).
+    Finished(Box<FinishedSession>),
+    /// A checkpoint boundary (every [`RunControl::checkpoint_every`]
+    /// rounds): the resident walkers' states (lane order) plus the
+    /// sessions that finished but have not yet flushed in lane order —
+    /// a durable checkpoint must persist both.
+    Checkpoint {
+        /// Rounds completed when the checkpoint was taken.
+        round: u64,
+        /// Resident walkers, in lane order.
+        resident: &'a [ResidentState],
+        /// Finished-but-unflushed sessions, in lane order.
+        unflushed: Vec<&'a FinishedSession>,
+    },
 }
 
 /// A session recipe awaiting admission: the builder runs on a worker
@@ -290,6 +538,9 @@ type SessionBuilder = Box<dyn FnOnce() -> FleetSession + Send>;
 
 struct Pending {
     lane: u64,
+    /// Supervision state carried over a checkpoint restore.
+    strikes: u32,
+    backoff_rounds: u64,
     build: SessionBuilder,
 }
 
@@ -305,6 +556,11 @@ struct Active {
     /// Fleet-clock time this session was admitted (its local `t = 0`).
     start_ns: u64,
     state: ActiveState,
+    /// Supervision strikes accrued (panics caught at the pool boundary).
+    strikes: u32,
+    /// Round before which the session must not be rescheduled (retry
+    /// backoff); `0` means schedulable now.
+    retry_at: u64,
 }
 
 impl Active {
@@ -315,7 +571,13 @@ impl Active {
             // round it is admitted.
             ActiveState::Pending(_) => Some(DueKey { due_ns: self.start_ns, lane: self.lane }),
             ActiveState::Live(fs) => {
-                let frame = fs.frames.get(fs.cursor)?;
+                // A finished session (possible when a checkpoint restore
+                // re-admits a walker that had completed but not flushed)
+                // is immediately due, so it retires next round instead of
+                // hanging the scheduler forever.
+                let Some(frame) = fs.frames.get(fs.cursor) else {
+                    return Some(DueKey { due_ns: self.start_ns, lane: self.lane });
+                };
                 Some(DueKey { due_ns: self.start_ns + sim_ns(frame.t), lane: self.lane })
             }
             ActiveState::Vacated => unreachable!("vacated slot left in active set"),
@@ -338,6 +600,26 @@ impl Active {
             unreachable!("stepping a vacated slot")
         };
         fs.step_due(self.start_ns, now_ns)
+    }
+
+    /// Retires the slot early as poisoned; see [`FleetSession::poison`].
+    /// A builder that panicked before producing a session (its `FnOnce`
+    /// recipe is consumed — nothing is left to retry) retires as an empty
+    /// poisoned shell.
+    fn poison(self, failure: JobFailure) -> FinishedSession {
+        let retries = u64::from(self.strikes.saturating_sub(1));
+        match self.state {
+            ActiveState::Live(fs) => fs.poison(failure, retries),
+            _ => FinishedSession {
+                lane: self.lane,
+                name: format!("lane{:05}", self.lane),
+                epochs: 0,
+                frames_served: 0,
+                records: Vec::new(),
+                capture: ObsSession::isolated().capture(),
+                poisoned: Some(failure),
+            },
+        }
     }
 }
 
@@ -377,7 +659,20 @@ impl FleetScheduler {
     /// scheduled. Call order is irrelevant — [`FleetScheduler::run`]
     /// canonicalizes by lane.
     pub fn admit(&mut self, lane: u64, build: impl FnOnce() -> FleetSession + Send + 'static) {
-        self.pending.push(Pending { lane, build: Box::new(build) });
+        self.admit_restored(lane, 0, 0, build);
+    }
+
+    /// [`admit`](Self::admit) with supervision state carried over from a
+    /// checkpoint: the session resumes with `strikes` already accrued and
+    /// `backoff_rounds` still to serve before its next step.
+    pub fn admit_restored(
+        &mut self,
+        lane: u64,
+        strikes: u32,
+        backoff_rounds: u64,
+        build: impl FnOnce() -> FleetSession + Send + 'static,
+    ) {
+        self.pending.push(Pending { lane, strikes, backoff_rounds, build: Box::new(build) });
     }
 
     /// Sessions queued and not yet run.
@@ -386,12 +681,39 @@ impl FleetScheduler {
     }
 
     /// Drives every admitted session to completion. `on_finish` receives
-    /// each retired session strictly in lane order.
+    /// each retired session strictly in lane order. Runs under the default
+    /// [`SupervisionPolicy`] with checkpoints and crash injection off.
     ///
     /// # Panics
     ///
     /// Panics when two admitted sessions share a lane.
     pub fn run(&mut self, mut on_finish: impl FnMut(FinishedSession)) -> FleetRunStats {
+        self.run_supervised(&SupervisionPolicy::default(), &RunControl::default(), |ev| {
+            if let FleetEvent::Finished(f) = ev {
+                on_finish(*f);
+            }
+        })
+    }
+
+    /// [`run`](Self::run) with the crash-safety machinery exposed: a
+    /// caller-chosen [`SupervisionPolicy`], periodic
+    /// [`FleetEvent::Checkpoint`] boundaries and the simulated-crash stop
+    /// ([`RunControl`]). Panicking jobs are caught at the pool boundary
+    /// ([`run_supervised_mut`]), retried with bounded exponential backoff
+    /// in scheduler rounds, and poisoned (retired early, still strictly
+    /// in lane order) after `max_strikes` failures — one bad session
+    /// never aborts the fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics when two admitted sessions share a lane, or when sessions
+    /// are lost on a non-aborted run (a scheduler bug, not a job panic).
+    pub fn run_supervised(
+        &mut self,
+        policy: &SupervisionPolicy,
+        control: &RunControl,
+        mut on_event: impl FnMut(FleetEvent),
+    ) -> FleetRunStats {
         let run_start = Instant::now();
         // Canonicalize admission: lane order, whatever order admit() ran.
         self.pending.sort_by_key(|p| p.lane);
@@ -417,6 +739,8 @@ impl FleetScheduler {
                     lane: p.lane,
                     start_ns: round * self.tick_ns,
                     state: ActiveState::Pending(p.build),
+                    strikes: p.strikes,
+                    retry_at: round + p.backoff_rounds,
                 }));
                 live += 1;
             }
@@ -428,7 +752,12 @@ impl FleetScheduler {
                 .iter()
                 .enumerate()
                 .filter_map(|(i, slot)| {
-                    let key = slot.as_ref()?.due_key()?;
+                    let slot = slot.as_ref()?;
+                    // Sessions serving a retry backoff sit the round out.
+                    if slot.retry_at > round {
+                        return None;
+                    }
+                    let key = slot.due_key()?;
                     (key.due_ns <= now_ns + DUE_SLACK_NS).then_some((key, i))
                 })
                 .collect();
@@ -437,22 +766,46 @@ impl FleetScheduler {
                 let round_start = Instant::now();
                 let batch: Vec<Active> =
                     due.iter().map(|&(_, i)| active[i].take().expect("due slot vanished")).collect();
-                let (batch, timings) =
-                    run_ordered_mut(batch, self.jobs, |_, a| a.step_due(now_ns));
-                for ((&(_, i), mut slot), epoch_ns) in due.iter().zip(batch).zip(timings) {
-                    stats.epochs += epoch_ns.len() as u64;
-                    stats.epoch_ns.extend(epoch_ns);
-                    let done = matches!(&slot.state, ActiveState::Live(fs) if fs.finished());
-                    if done {
-                        let ActiveState::Live(fs) =
-                            std::mem::replace(&mut slot.state, ActiveState::Vacated)
-                        else {
-                            unreachable!()
-                        };
-                        finish_buf.insert(slot.lane, fs.retire());
-                        live -= 1;
-                    } else {
-                        active[i] = Some(slot);
+                let (batch, outcomes) = run_supervised_mut(
+                    batch,
+                    self.jobs,
+                    "fleet.step",
+                    |a: &Active| Some(a.lane),
+                    |_, a| a.step_due(now_ns),
+                );
+                for ((&(_, i), mut slot), outcome) in due.iter().zip(batch).zip(outcomes) {
+                    match outcome {
+                        Ok(epoch_ns) => {
+                            stats.epochs += epoch_ns.len() as u64;
+                            stats.epoch_ns.extend(epoch_ns);
+                            let done =
+                                matches!(&slot.state, ActiveState::Live(fs) if fs.finished());
+                            if done {
+                                let ActiveState::Live(fs) =
+                                    std::mem::replace(&mut slot.state, ActiveState::Vacated)
+                                else {
+                                    unreachable!()
+                                };
+                                finish_buf.insert(slot.lane, fs.retire());
+                                live -= 1;
+                            } else {
+                                active[i] = Some(slot);
+                            }
+                        }
+                        Err(failure) => {
+                            slot.strikes += 1;
+                            // A builder that panicked mid-materialization
+                            // consumed its recipe — nothing left to retry.
+                            let retryable = matches!(slot.state, ActiveState::Live(_));
+                            if retryable && slot.strikes < policy.max_strikes {
+                                slot.retry_at = round + policy.backoff_rounds(slot.strikes);
+                                active[i] = Some(slot);
+                            } else {
+                                let fin = slot.poison(failure);
+                                finish_buf.insert(fin.lane, fin);
+                                live -= 1;
+                            }
+                        }
                     }
                 }
                 stats.round_ns.push(round_start.elapsed().as_nanos() as u64);
@@ -461,8 +814,35 @@ impl FleetScheduler {
             stats.rounds += 1;
             while flushed < lane_seq.len() {
                 let Some(f) = finish_buf.remove(&lane_seq[flushed]) else { break };
-                on_finish(f);
+                on_event(FleetEvent::Finished(Box::new(f)));
                 flushed += 1;
+            }
+            if control.checkpoint_every > 0 && round.is_multiple_of(control.checkpoint_every) {
+                let mut resident: Vec<ResidentState> = active
+                    .iter()
+                    .flatten()
+                    .map(|a| ResidentState {
+                        lane: a.lane,
+                        cursor: match &a.state {
+                            ActiveState::Pending(_) => 0,
+                            ActiveState::Live(fs) => fs.cursor as u64,
+                            ActiveState::Vacated => {
+                                unreachable!("vacated slot left in active set")
+                            }
+                        },
+                        strikes: a.strikes,
+                        backoff_rounds: a.retry_at.saturating_sub(round),
+                    })
+                    .collect();
+                resident.sort_by_key(|r| r.lane);
+                let unflushed: Vec<&FinishedSession> = finish_buf.values().collect();
+                on_event(FleetEvent::Checkpoint { round, resident: &resident, unflushed });
+            }
+            if control.stop_after_rounds.is_some_and(|stop| round >= stop) {
+                // Simulated process crash: abandon everything unretired.
+                stats.aborted = true;
+                stats.run_ns = run_start.elapsed().as_nanos() as u64;
+                return stats;
             }
         }
         assert!(finish_buf.is_empty() && flushed == lane_seq.len(), "fleet lost sessions");
@@ -489,6 +869,7 @@ mod tests {
     #[test]
     fn checkpoint_round_trips_through_canonical_json() {
         let ckpt = SessionCheckpoint {
+            version: CHECKPOINT_VERSION,
             lane: 42,
             name: "s00042-office-m-30s".to_owned(),
             scenario: "office".to_owned(),
@@ -503,6 +884,53 @@ mod tests {
         assert_eq!(parsed, ckpt);
         let again = uniloc_stats::json::ToJson::to_json(&parsed).canonical().to_string();
         assert_eq!(again, canonical);
+    }
+
+    #[test]
+    fn foreign_checkpoint_version_is_rejected_loudly() {
+        let ckpt = SessionCheckpoint {
+            version: CHECKPOINT_VERSION,
+            lane: 9,
+            name: "n".to_owned(),
+            scenario: "office".to_owned(),
+            persona: "m-30s".to_owned(),
+            device: "lgg3".to_owned(),
+            plan: "none".to_owned(),
+            seed: 1,
+            cursor: 0,
+        };
+        let json = uniloc_stats::json::ToJson::to_json(&ckpt);
+        assert_eq!(SessionCheckpoint::restore(&json), Ok(ckpt.clone()));
+        let stale = uniloc_stats::json::ToJson::to_json(&SessionCheckpoint {
+            version: CHECKPOINT_VERSION + 7,
+            ..ckpt
+        });
+        assert_eq!(
+            SessionCheckpoint::restore(&stale),
+            Err(CheckpointError::VersionMismatch {
+                found: CHECKPOINT_VERSION + 7,
+                expected: CHECKPOINT_VERSION
+            })
+        );
+        let missing = uniloc_stats::json::Json::Obj(vec![]);
+        assert!(matches!(
+            SessionCheckpoint::restore(&missing),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn backoff_rounds_grow_exponentially_and_cap() {
+        let p = SupervisionPolicy { max_strikes: 5, backoff_base_rounds: 2, backoff_cap_rounds: 12 };
+        assert_eq!(p.backoff_rounds(1), 2);
+        assert_eq!(p.backoff_rounds(2), 4);
+        assert_eq!(p.backoff_rounds(3), 8);
+        assert_eq!(p.backoff_rounds(4), 12);
+        assert_eq!(p.backoff_rounds(9), 12);
+        // Degenerate bases still wait at least one round.
+        let z = SupervisionPolicy { max_strikes: 3, backoff_base_rounds: 0, backoff_cap_rounds: 0 };
+        assert_eq!(z.backoff_rounds(1), 1);
+        assert_eq!(z.backoff_rounds(3), 1);
     }
 
     #[test]

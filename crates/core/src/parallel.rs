@@ -29,12 +29,96 @@
 //! checks the end-to-end corollary: chaos artifacts are byte-identical
 //! across `--jobs 1/2/4/8`.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use uniloc_obs::calib::CalibrationSnapshot;
 use uniloc_obs::metrics::MetricsSnapshot;
 use uniloc_obs::session::{self, ObsSession, SessionCapture};
+
+/// Which pool-boundary invariant broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolErrorKind {
+    /// A claimed job never wrote its result slot.
+    NoResult,
+    /// An ownership-passing job never returned its item.
+    LostItem,
+}
+
+/// A broken invariant at the worker-pool boundary. Unlike a panic string,
+/// the error names the job index, the lane the caller attached to it (when
+/// the pool ran supervised) and the phase label, so a failure deep in a
+/// 10k-session fleet is diagnosable from the message alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolError {
+    /// Index of the job in the batch (canonical input order).
+    pub job: usize,
+    /// The caller-attached lane, when the pool ran supervised.
+    pub lane: Option<u64>,
+    /// The caller's phase label (e.g. `fleet.step`).
+    pub phase: &'static str,
+    pub kind: PoolErrorKind,
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.kind {
+            PoolErrorKind::NoResult => "produced no result",
+            PoolErrorKind::LostItem => "lost its item",
+        };
+        write!(f, "parallel job {} (phase {}", self.job, self.phase)?;
+        if let Some(lane) = self.lane {
+            write!(f, ", lane {lane}")?;
+        }
+        write!(f, ") {what}")
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A supervised job that panicked: the panic was caught at the pool
+/// boundary ([`run_supervised_mut`]) and converted into this typed
+/// failure instead of unwinding through the scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Index of the job in the batch (canonical input order).
+    pub job: usize,
+    /// The caller-attached lane (the fleet scheduler passes the session's
+    /// lane so the failure names the walker, not just the batch slot).
+    pub lane: Option<u64>,
+    /// The caller's phase label (e.g. `fleet.step`).
+    pub phase: &'static str,
+    /// The panic payload, when it was a string (the common case).
+    pub panic: String,
+}
+
+impl fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parallel job {} (phase {}", self.job, self.phase)?;
+        if let Some(lane) = self.lane {
+            write!(f, ", lane {lane}")?;
+        }
+        write!(f, ") panicked: {}", self.panic)
+    }
+}
+
+impl std::error::Error for JobFailure {}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn pool_invariant(job: usize, phase: &'static str, kind: PoolErrorKind) -> ! {
+    panic!("{}", PoolError { job, lane: None, phase, kind })
+}
 
 /// A canonical sweep work unit: one walk of `scenario` under `fault_plan`
 /// with a dedicated RNG lane.
@@ -140,7 +224,9 @@ where
     results
         .into_iter()
         .enumerate()
-        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("parallel job {i} produced no result")))
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| pool_invariant(i, "run_ordered", PoolErrorKind::NoResult))
+        })
         .collect()
 }
 
@@ -199,9 +285,9 @@ where
         .into_iter()
         .enumerate()
         .map(|(i, slot)| {
-            slot.into_inner()
-                .expect("parallel item lock poisoned")
-                .unwrap_or_else(|| panic!("parallel job {i} lost its item"))
+            slot.into_inner().expect("parallel item lock poisoned").unwrap_or_else(|| {
+                pool_invariant(i, "run_ordered_mut", PoolErrorKind::LostItem)
+            })
         })
         .collect();
     let results = results
@@ -209,9 +295,52 @@ where
         .expect("parallel result lock poisoned")
         .into_iter()
         .enumerate()
-        .map(|(i, slot)| slot.unwrap_or_else(|| panic!("parallel job {i} produced no result")))
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| {
+                pool_invariant(i, "run_ordered_mut", PoolErrorKind::NoResult)
+            })
+        })
         .collect();
     (items, results)
+}
+
+/// Like [`run_ordered_mut`], but *supervised*: each job runs under
+/// [`catch_unwind`], so a panicking job surrenders its (possibly
+/// half-mutated) item back to its slot and yields a typed [`JobFailure`]
+/// naming the job, its lane (via `lane_of`) and the caller's `phase` —
+/// instead of unwinding through the pool and killing every sibling job.
+///
+/// This is the fleet scheduler's crash-safety boundary: one poisoned
+/// session's panic becomes a per-lane `Err` the scheduler can retry or
+/// quarantine, while the rest of the batch completes normally. The same
+/// determinism contract as [`run_ordered_mut`] applies — which jobs
+/// panic, and everything about the survivors, is a pure function of the
+/// input order.
+pub fn run_supervised_mut<I, T, F, L>(
+    items: Vec<I>,
+    jobs: usize,
+    phase: &'static str,
+    lane_of: L,
+    f: F,
+) -> (Vec<I>, Vec<Result<T, JobFailure>>)
+where
+    I: Send,
+    T: Send,
+    L: Fn(&I) -> Option<u64> + Sync,
+    F: Fn(usize, &mut I) -> T + Sync,
+{
+    let supervised = |idx: usize, item: &mut I| -> Result<T, JobFailure> {
+        // The item is only observably half-mutated on the Err path, where
+        // the caller's contract is "retry or quarantine", never "use the
+        // result" — hence AssertUnwindSafe.
+        catch_unwind(AssertUnwindSafe(|| f(idx, item))).map_err(|payload| JobFailure {
+            job: idx,
+            lane: lane_of(item),
+            phase,
+            panic: panic_text(payload),
+        })
+    };
+    run_ordered_mut(items, jobs, supervised)
 }
 
 /// Like [`run_ordered`], but each job runs under an isolated
@@ -369,6 +498,54 @@ mod tests {
             .find(|(n, _)| n == "par.test.leak")
             .map(|(_, v)| *v);
         assert_eq!(merged, Some(6));
+    }
+
+    #[test]
+    fn run_supervised_mut_converts_panics_into_typed_failures() {
+        for jobs in [1usize, 2, 4] {
+            let items: Vec<u64> = (0..12).collect();
+            let (items, results) =
+                run_supervised_mut(items, jobs, "test.phase", |x| Some(*x + 100), |_, x| {
+                    if *x % 5 == 3 {
+                        panic!("injected failure on {x}");
+                    }
+                    *x += 1;
+                    *x
+                });
+            // Panicking jobs keep their (unmutated) items; survivors mutate.
+            let expect_items: Vec<u64> =
+                (0..12).map(|x| if x % 5 == 3 { x } else { x + 1 }).collect();
+            assert_eq!(items, expect_items, "jobs={jobs}");
+            for (i, r) in results.iter().enumerate() {
+                if i as u64 % 5 == 3 {
+                    let err = r.as_ref().unwrap_err();
+                    assert_eq!(err.job, i);
+                    assert_eq!(err.lane, Some(i as u64 + 100));
+                    assert_eq!(err.phase, "test.phase");
+                    assert!(err.panic.contains("injected failure"), "{}", err.panic);
+                } else {
+                    assert_eq!(*r, Ok(i as u64 + 1), "jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_errors_name_job_lane_and_phase() {
+        let e = PoolError {
+            job: 7,
+            lane: Some(42),
+            phase: "fleet.step",
+            kind: PoolErrorKind::NoResult,
+        };
+        assert_eq!(e.to_string(), "parallel job 7 (phase fleet.step, lane 42) produced no result");
+        let f = JobFailure {
+            job: 3,
+            lane: None,
+            phase: "run_ordered_mut",
+            panic: "boom".to_owned(),
+        };
+        assert_eq!(f.to_string(), "parallel job 3 (phase run_ordered_mut) panicked: boom");
     }
 
     #[test]

@@ -305,6 +305,42 @@ impl QuarantineMachine {
             *standing = Standing::Active;
         }
     }
+
+    /// Every scheme's standing, in engine order — the introspection the
+    /// checkpoint/resume equivalence tests compare: a restored session
+    /// must land on the same sentence remainders, probation countdowns
+    /// and strike counts as the uninterrupted one.
+    pub fn standings(&self) -> Vec<(SchemeId, QuarantineStanding)> {
+        self.entries
+            .iter()
+            .map(|&(id, s)| {
+                let standing = match s {
+                    Standing::Active => QuarantineStanding::Active,
+                    Standing::Quarantined { remaining, strikes } => {
+                        QuarantineStanding::Quarantined { remaining, strikes }
+                    }
+                    Standing::Probation { sane, strikes } => {
+                        QuarantineStanding::Probation { sane, strikes }
+                    }
+                };
+                (id, standing)
+            })
+            .collect()
+    }
+}
+
+/// A scheme's standing in the quarantine lifecycle, as
+/// [`QuarantineMachine::standings`] reports it. A public mirror of the
+/// machine's private state — the machine stays the only writer, but
+/// checkpoint/resume equivalence tests need to *read* mid-sentence state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineStanding {
+    /// Participating normally.
+    Active,
+    /// Serving a sentence: `remaining` epochs left, `strikes` offenses.
+    Quarantined { remaining: u32, strikes: u32 },
+    /// Earning re-admission: `sane` consecutive sane epochs so far.
+    Probation { sane: u32, strikes: u32 },
 }
 
 #[cfg(test)]

@@ -96,6 +96,12 @@ impl Session {
         self.epochs
     }
 
+    /// The fusion engine serving this session, for introspection
+    /// (quarantine standings, scheme weights) in tests and harnesses.
+    pub fn engine(&self) -> &UniLocEngine {
+        &self.engine
+    }
+
     /// Serves one localization epoch: runs the engine on `frame`, feeds
     /// the calibration monitor and flight recorder, and returns the epoch
     /// record. This is the historical `run_walk_on_frames` loop body,

@@ -275,6 +275,10 @@ impl FaultInjector {
                     self.log(epoch, kind, 0.0);
                 }
             }
+            // Process-level faults never touch the frame stream: the fleet
+            // engine arms the panic out-of-band (`set_panic_at_epoch`), so
+            // injection is an exact pass-through, like `FaultPlan::none`.
+            FaultKind::ProcessPanic { .. } => {}
             FaultKind::ClockJitter { sigma_s } => {
                 let jitter = sigma_s * rng.standard_normal();
                 frame.t += jitter;

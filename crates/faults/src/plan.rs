@@ -87,6 +87,17 @@ pub enum FaultKind {
         /// Jitter standard deviation (s).
         sigma_s: f64,
     },
+    /// Process-level fault: the serving session *panics* when it is about
+    /// to step the given epoch. Unlike every sensor-level kind, this never
+    /// touches the frame stream — the injector passes frames through
+    /// untouched and the fleet engine arms the panic instead (caught at
+    /// the supervised pool boundary and handled by the supervision
+    /// policy). Deliberately excluded from [`FaultPlan::library`]: the
+    /// unsupervised batch/chaos paths would die on it.
+    ProcessPanic {
+        /// Epoch index at which the step panics.
+        epoch: u64,
+    },
 }
 
 impl FaultKind {
@@ -105,6 +116,7 @@ impl FaultKind {
             FaultKind::DuplicateFrame { .. } => "duplicate_frame",
             FaultKind::TimeRegression { .. } => "time_regression",
             FaultKind::ClockJitter { .. } => "clock_jitter",
+            FaultKind::ProcessPanic { .. } => "process_panic",
         }
     }
 }
@@ -273,11 +285,35 @@ impl FaultPlan {
             .collect()
     }
 
+    /// The process-level panic-at-epoch plan: the chosen session's step
+    /// panics at `epoch`. Named `panic_at_epoch_<N>` so it round-trips
+    /// through [`by_name`](Self::by_name) like any library plan, but it is
+    /// *not in* [`library`](Self::library) — only the supervised fleet
+    /// path may schedule it (the unsupervised batch/chaos paths would die).
+    pub fn panic_at_epoch(epoch: u64) -> FaultPlan {
+        FaultPlan::new(
+            format!("panic_at_epoch_{epoch}"),
+            vec![FaultClause::over(0.0, 1.0, FaultKind::ProcessPanic { epoch })],
+        )
+    }
+
+    /// The epoch a [`FaultKind::ProcessPanic`] clause arms, when the plan
+    /// carries one (the last such clause wins).
+    pub fn panic_epoch(&self) -> Option<u64> {
+        self.clauses.iter().rev().find_map(|c| match c.kind {
+            FaultKind::ProcessPanic { epoch } => Some(epoch),
+            _ => None,
+        })
+    }
+
     /// Looks a plan up by name in [`library`](Self::library) (plus
-    /// `"none"`).
+    /// `"none"` and the process-level `panic_at_epoch_<N>` family).
     pub fn by_name(name: &str) -> Option<FaultPlan> {
         if name == "none" {
             return Some(FaultPlan::none());
+        }
+        if let Some(epoch) = name.strip_prefix("panic_at_epoch_") {
+            return epoch.parse::<u64>().ok().map(FaultPlan::panic_at_epoch);
         }
         Self::library().into_iter().find(|p| p.name == name)
     }
@@ -313,6 +349,9 @@ impl ToJson for FaultKind {
                 fields.push(("prob", prob.to_json()));
             }
             FaultKind::ClockJitter { sigma_s } => fields.push(("sigma_s", sigma_s.to_json())),
+            FaultKind::ProcessPanic { epoch } => {
+                fields.push(("epoch", Json::Int(epoch as i64)));
+            }
         }
         obj(fields)
     }
@@ -358,6 +397,16 @@ impl FromJson for FaultKind {
                 prob: f("prob")?,
             }),
             "clock_jitter" => Ok(FaultKind::ClockJitter { sigma_s: f("sigma_s")? }),
+            "process_panic" => {
+                let epoch = json
+                    .get("epoch")
+                    .and_then(Json::as_i64)
+                    .and_then(|e| u64::try_from(e).ok())
+                    .ok_or_else(|| {
+                        JsonError::new("FaultKind `process_panic` needs a non-negative `epoch`")
+                    })?;
+                Ok(FaultKind::ProcessPanic { epoch })
+            }
             other => Err(JsonError::new(format!("unknown FaultKind `{other}`"))),
         }
     }
@@ -429,5 +478,23 @@ mod tests {
             let back: FaultPlan = uniloc_stats::json::from_str(&json).expect("parse plan");
             assert_eq!(back, p, "{} did not round-trip", p.name);
         }
+    }
+
+    #[test]
+    fn panic_plans_resolve_by_name_and_stay_out_of_the_library() {
+        let p = FaultPlan::panic_at_epoch(7);
+        assert_eq!(p.name, "panic_at_epoch_7");
+        assert_eq!(p.panic_epoch(), Some(7));
+        assert_eq!(FaultPlan::none().panic_epoch(), None);
+        assert_eq!(FaultPlan::by_name("panic_at_epoch_7"), Some(p.clone()));
+        assert_eq!(FaultPlan::by_name("panic_at_epoch_"), None);
+        assert_eq!(FaultPlan::by_name("panic_at_epoch_x"), None);
+        // Sensor-plan sweeps must never pick up a process fault: a panic
+        // plan in `library()` would kill every unsupervised chaos harness.
+        assert!(FaultPlan::library().iter().all(|l| l.panic_epoch().is_none()));
+        assert!(FaultPlan::smoke_library().iter().all(|l| l.panic_epoch().is_none()));
+        let json = uniloc_stats::json::to_string(&p);
+        let back: FaultPlan = uniloc_stats::json::from_str(&json).expect("parse panic plan");
+        assert_eq!(back, p);
     }
 }

@@ -1,0 +1,62 @@
+//! Process-level crash injection: simulated crashes *between* scheduler
+//! rounds, for the checkpoint/resume differential harness.
+//!
+//! A sensor-level fault corrupts what a session sees; a process-level
+//! fault kills the process serving it. The fleet engine simulates the
+//! latter deterministically — `RunControl::stop_after_rounds` aborts the
+//! scheduler loop after N rounds, abandoning every unretired session
+//! exactly as a `kill -9` between rounds would. This module supplies the
+//! schedule side: *where* to cut, swept deterministically so the
+//! differential suite exercises early, middle and late crash points
+//! without hand-picking rounds.
+
+/// One simulated crash point: kill the process after `after_rounds`
+/// scheduler rounds. The name keys the differential suite's diagnostics,
+/// like a [`FaultPlan`](crate::FaultPlan) name keys a chaos row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// Schedule name (`crash_after_<N>`).
+    pub name: String,
+    /// Rounds to complete before the simulated crash.
+    pub after_rounds: u64,
+}
+
+impl CrashPoint {
+    /// The crash point after `after_rounds` rounds.
+    pub fn after(after_rounds: u64) -> CrashPoint {
+        CrashPoint { name: format!("crash_after_{after_rounds}"), after_rounds }
+    }
+
+    /// A deterministic sweep of `points` crash points over a run expected
+    /// to take about `total_rounds` rounds: evenly spaced, never at round
+    /// zero (a crash before any work is just a fresh start), always
+    /// including a near-end cut. Aligning `total_rounds` to a multiple of
+    /// the checkpoint cadence sweeps both crash-on-checkpoint and
+    /// crash-between-checkpoint cases.
+    pub fn sweep(total_rounds: u64, points: usize) -> Vec<CrashPoint> {
+        let points = points.max(1) as u64;
+        let total = total_rounds.max(points);
+        (1..=points).map(|i| CrashPoint::after((total * i) / points)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_deterministic_spaced_and_never_at_zero() {
+        let s = CrashPoint::sweep(12, 4);
+        assert_eq!(
+            s.iter().map(|c| c.after_rounds).collect::<Vec<_>>(),
+            vec![3, 6, 9, 12]
+        );
+        assert_eq!(s, CrashPoint::sweep(12, 4));
+        assert_eq!(s[0].name, "crash_after_3");
+        // Degenerate requests still produce at least one nonzero cut.
+        for c in CrashPoint::sweep(0, 3) {
+            assert!(c.after_rounds >= 1);
+        }
+        assert_eq!(CrashPoint::sweep(5, 1), vec![CrashPoint::after(5)]);
+    }
+}

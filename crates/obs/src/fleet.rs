@@ -38,7 +38,7 @@
 use std::collections::BTreeMap;
 
 use crate::session::SessionCapture;
-use uniloc_stats::json::{Json, ToJson};
+use uniloc_stats::json::{field, FromJson, Json, JsonError, ToJson};
 
 /// Bucket upper bounds for per-session mean localization error, meters.
 pub const ERROR_BUCKETS_M: &[f64] =
@@ -399,6 +399,189 @@ impl FleetSnapshot {
             }
         }
         out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot serialization — the checkpoint-resident form
+// ---------------------------------------------------------------------------
+//
+// A fleet checkpoint must carry the aggregate of every *retired* session,
+// because resume only replays the *resident* ones. These impls are exact:
+// every count survives as an integer (`sum_micro` travels as a decimal
+// string — i128 overflows `Json::Int`), so
+// `restore(checkpoint).merge(post_resume)` equals the uninterrupted fold
+// byte for byte. Round-trip fidelity is property-tested in
+// `tests/fleet_properties.rs`.
+
+impl ToJson for SparseHist {
+    fn to_json(&self) -> Json {
+        let counts = self
+            .counts
+            .iter()
+            .map(|(&i, &c)| Json::Arr(vec![i.to_json(), c.to_json()]))
+            .collect();
+        Json::Obj(vec![
+            ("counts".into(), Json::Arr(counts)),
+            ("sum_micro".into(), Json::Str(self.sum_micro.to_string())),
+            ("dropped".into(), self.dropped.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SparseHist {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let pairs: Vec<Json> = field(json, "counts")?;
+        let mut counts = BTreeMap::new();
+        for p in &pairs {
+            let pair = p.as_arr().filter(|a| a.len() == 2).ok_or_else(|| {
+                JsonError::new("sparse histogram bucket must be an [index, count] pair")
+            })?;
+            counts.insert(usize::from_json(&pair[0])?, u64::from_json(&pair[1])?);
+        }
+        let sum: String = field(json, "sum_micro")?;
+        Ok(SparseHist {
+            counts,
+            sum_micro: sum
+                .parse::<i128>()
+                .map_err(|e| JsonError::new(format!("sum_micro `{sum}`: {e}")))?,
+            dropped: field(json, "dropped")?,
+        })
+    }
+}
+
+impl ToJson for CohortStats {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("sessions".into(), self.sessions.to_json()),
+            ("epochs".into(), self.epochs.to_json()),
+            ("faulted".into(), self.faulted.to_json()),
+            ("quarantined".into(), self.quarantined.to_json()),
+            ("drift_alarms".into(), self.drift_alarms.to_json()),
+            ("flight_dumps".into(), self.flight_dumps.to_json()),
+            ("nonfinite".into(), self.nonfinite.to_json()),
+            ("error_hist".into(), self.error_hist.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CohortStats {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(CohortStats {
+            sessions: field(json, "sessions")?,
+            epochs: field(json, "epochs")?,
+            faulted: field(json, "faulted")?,
+            quarantined: field(json, "quarantined")?,
+            drift_alarms: field(json, "drift_alarms")?,
+            flight_dumps: field(json, "flight_dumps")?,
+            nonfinite: field(json, "nonfinite")?,
+            error_hist: field(json, "error_hist")?,
+        })
+    }
+}
+
+impl ToJson for Exemplar {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("lane".into(), self.lane.to_json()),
+            ("name".into(), Json::Str(self.name.clone())),
+            ("mean_error_micro".into(), Json::Int(self.mean_error_micro)),
+            ("epochs".into(), self.epochs.to_json()),
+            ("flight_postmortems".into(), self.flight_postmortems.to_json()),
+            (
+                "quarantined".into(),
+                Json::Arr(self.quarantined.iter().cloned().map(Json::Str).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Exemplar {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let quarantined: Vec<Json> = field(json, "quarantined")?;
+        Ok(Exemplar {
+            lane: field(json, "lane")?,
+            name: field(json, "name")?,
+            mean_error_micro: field(json, "mean_error_micro")?,
+            epochs: field(json, "epochs")?,
+            flight_postmortems: field(json, "flight_postmortems")?,
+            quarantined: quarantined
+                .iter()
+                .map(String::from_json)
+                .collect::<Result<_, _>>()
+                .map_err(|e| JsonError::new(format!("field `quarantined`: {e}")))?,
+        })
+    }
+}
+
+fn str_map_to_json(map: &BTreeMap<String, u64>) -> Json {
+    Json::Obj(map.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+}
+
+fn str_map_from_json(json: &Json, name: &str) -> Result<BTreeMap<String, u64>, JsonError> {
+    let obj = json
+        .get(name)
+        .and_then(Json::as_obj)
+        .ok_or_else(|| JsonError::new(format!("missing object field `{name}`")))?;
+    obj.iter()
+        .map(|(k, v)| Ok((k.clone(), u64::from_json(v)?)))
+        .collect::<Result<_, JsonError>>()
+        .map_err(|e| JsonError::new(format!("field `{name}`: {e}")))
+}
+
+impl ToJson for FleetSnapshot {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("exemplar_cap".into(), self.exemplar_cap.to_json()),
+            ("sessions".into(), self.sessions.to_json()),
+            ("epochs".into(), self.epochs.to_json()),
+            ("faulted".into(), self.faulted.to_json()),
+            ("quarantined_sessions".into(), self.quarantined_sessions.to_json()),
+            ("nonfinite".into(), self.nonfinite.to_json()),
+            ("counters".into(), str_map_to_json(&self.counters)),
+            ("span_counts".into(), str_map_to_json(&self.span_counts)),
+            ("error_hist".into(), self.error_hist.to_json()),
+            (
+                "cohorts".into(),
+                Json::Obj(self.cohorts.iter().map(|(k, c)| (k.clone(), c.to_json())).collect()),
+            ),
+            (
+                "exemplars".into(),
+                Json::Arr(self.exemplars.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for FleetSnapshot {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        let cohorts_obj = json
+            .get("cohorts")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| JsonError::new("missing object field `cohorts`"))?;
+        let cohorts = cohorts_obj
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), CohortStats::from_json(v)?)))
+            .collect::<Result<_, JsonError>>()
+            .map_err(|e| JsonError::new(format!("field `cohorts`: {e}")))?;
+        let exemplars: Vec<Json> = field(json, "exemplars")?;
+        Ok(FleetSnapshot {
+            exemplar_cap: field(json, "exemplar_cap")?,
+            sessions: field(json, "sessions")?,
+            epochs: field(json, "epochs")?,
+            faulted: field(json, "faulted")?,
+            quarantined_sessions: field(json, "quarantined_sessions")?,
+            nonfinite: field(json, "nonfinite")?,
+            counters: str_map_from_json(json, "counters")?,
+            span_counts: str_map_from_json(json, "span_counts")?,
+            error_hist: field(json, "error_hist")?,
+            cohorts,
+            exemplars: exemplars
+                .iter()
+                .map(Exemplar::from_json)
+                .collect::<Result<_, _>>()
+                .map_err(|e| JsonError::new(format!("field `exemplars`: {e}")))?,
+        })
     }
 }
 
@@ -1014,6 +1197,31 @@ mod tests {
         assert_eq!(dense, vec![1, 0, 1, 1]);
         assert!((mean.unwrap() - (103.5 / 3.0)).abs() < 1e-9);
         assert_eq!(a.merge(&b), b.merge(&a), "merge commutes");
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json_exactly() {
+        let mut snap = FleetSnapshot::with_exemplar_cap(3);
+        for lane in 0..6u64 {
+            snap.observe(
+                &meta(lane, 0.4 + lane as f64),
+                &capture(
+                    &[("pipeline.epochs", 10), ("alloc.steady.allocs", 123)],
+                    &[("engine.update", 10), ("engine.fuse", 10)],
+                ),
+            );
+        }
+        // Push sum_micro past i64 to prove the decimal-string path.
+        snap.error_hist.sum_micro += i64::MAX as i128 * 3;
+        let text = snap.to_json().canonical().to_string();
+        let back: FleetSnapshot = uniloc_stats::json::from_str(&text).expect("parse snapshot");
+        assert_eq!(back, snap, "snapshot JSON round-trip must be exact");
+        assert_eq!(back.to_json().canonical().to_string(), text, "canonical stability");
+        // The restored snapshot must keep merging exactly: fold-then-split
+        // equals split-then-fold.
+        let mut more = FleetSnapshot::with_exemplar_cap(3);
+        more.observe(&meta(7, 9.5), &capture(&[("pipeline.epochs", 10)], &[]));
+        assert_eq!(back.merge(&more), snap.merge(&more));
     }
 
     #[test]

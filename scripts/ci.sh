@@ -225,6 +225,57 @@ target/release/uniloc fleet --models "$smoke/models.json" --sessions 200 \
     --quiet --jobs 4 --obs-overhead --overhead-budget 0.05
 echo "    ok: observability overhead within the 5% epochs/s budget"
 
+# Crash recovery: the same smoke fleet is killed (simulated kill -9
+# between scheduler rounds) after cutting durable checkpoints, then
+# resumed under a different worker count. A crashed run must leave only
+# the checkpoint behind, and the resumed run's artifacts must be
+# byte-identical to the uninterrupted fleet above — an operator cannot
+# tell a recovered fleet from one that never died (DESIGN.md §12).
+echo "==> crash-recovery smoke (uniloc fleet --crash-after-rounds / --resume)"
+target/release/uniloc fleet --models "$smoke/models.json" --sessions 200 \
+    --scenarios office,open-space --max-epochs 12 --chaos-every 10 --seed 17 \
+    --out "$smoke/fleet-crash" --strict --quiet --jobs 4 --resident 9 \
+    --checkpoint-every 2 --crash-after-rounds 5
+if [ ! -s "$smoke/fleet-crash/FLEET.ckpt.json" ]; then
+    echo "ERROR: crashed fleet left no FLEET.ckpt.json checkpoint" >&2
+    exit 1
+fi
+if [ -e "$smoke/fleet-crash/FLEET.json" ]; then
+    echo "ERROR: crashed fleet wrote FLEET.json (artifacts must only come" >&2
+    echo "       from completed runs)" >&2
+    exit 1
+fi
+target/release/uniloc fleet --resume "$smoke/fleet-crash/FLEET.ckpt.json" \
+    --models "$smoke/models.json" --out "$smoke/fleet-crash" --strict --quiet \
+    --jobs 2 --resident 16
+if ! diff -r --exclude=FLEET.ckpt.json "$smoke/fleet" "$smoke/fleet-crash" >/dev/null; then
+    echo "ERROR: resumed fleet artifacts differ from the uninterrupted run" >&2
+    diff -r --exclude=FLEET.ckpt.json "$smoke/fleet" "$smoke/fleet-crash" >&2 || true
+    exit 1
+fi
+echo "    ok: killed fleet resumed byte-identical to the uninterrupted run"
+
+# Poison isolation: arm a process-level panic fault in one lane. The
+# supervisor must retry it, give up, quarantine just that session, and
+# let the other 199 finish — the fleet completes (exit 0 under --strict)
+# and the report counts exactly one poisoned session.
+echo "==> poison smoke (uniloc fleet --panic-lane)"
+# stderr is captured: the injected panic legitimately prints its panic
+# message three times (one per strike) before the supervisor poisons it.
+if ! target/release/uniloc fleet --models "$smoke/models.json" --sessions 200 \
+    --scenarios office,open-space --max-epochs 12 --chaos-every 10 --seed 17 \
+    --out "$smoke/fleet-poison" --strict --quiet --jobs 4 --resident 9 \
+    --panic-lane 7 --panic-epoch 3 2> "$smoke/fleet-poison.stderr"; then
+    echo "ERROR: the poison fleet failed instead of completing:" >&2
+    cat "$smoke/fleet-poison.stderr" >&2
+    exit 1
+fi
+if ! grep -qF '"poisoned_sessions": 1' "$smoke/fleet-poison/FLEET.json"; then
+    echo "ERROR: poison fleet did not report exactly one poisoned session" >&2
+    exit 1
+fi
+echo "    ok: one panicking session poisoned itself; the fleet completed"
+
 # --- 6. bench-regression gate --------------------------------------------
 # Strict self-diff first: re-parses every committed results/BENCH_*.json
 # with the in-repo JSON reader (malformed or duplicate-key files are hard

@@ -93,6 +93,8 @@ fn fleet_matches_legacy_batch_and_is_jobs_invariant() {
         obs_stub: false,
         shards: 0,
         top_k: 0,
+        panic_lane: None,
+        panic_epoch: 0,
     };
     let specs = fleet_specs(&cfg).unwrap();
     let in_order: Vec<usize> = (0..specs.len()).collect();
@@ -210,6 +212,8 @@ fn fault_and_quarantine_state_never_leaks_between_sessions() {
         obs_stub: false,
         shards: 0,
         top_k: 0,
+        panic_lane: None,
+        panic_epoch: 0,
     };
     let specs = fleet_specs(&cfg).unwrap();
     assert_eq!(specs.iter().filter(|s| s.plan != "none").count(), 6);
@@ -274,6 +278,8 @@ fn checkpoint_restore_resumes_byte_identically() {
         obs_stub: false,
         shards: 0,
         top_k: 0,
+        panic_lane: None,
+        panic_epoch: 0,
     };
     let specs = fleet_specs(&cfg).unwrap();
     for spec in &specs {
@@ -314,6 +320,8 @@ fn spec_frames_match_legacy_walk_frames() {
         obs_stub: false,
         shards: 0,
         top_k: 0,
+        panic_lane: None,
+        panic_epoch: 0,
     };
     let base = PipelineConfig::default();
     for spec in fleet_specs(&cfg).unwrap() {
@@ -378,6 +386,8 @@ fn observatory_artifacts_are_jobs_and_shard_invariant() {
         obs_stub,
         shards,
         top_k: 0,
+        panic_lane: None,
+        panic_epoch: 0,
     };
     let digest_of = |report: &uniloc::stats::json::Json| {
         report.get("fleet_digest").unwrap().as_str().unwrap().to_owned()
@@ -441,6 +451,8 @@ fn load_generator_is_seed_deterministic() {
         obs_stub: false,
         shards: 0,
         top_k: 0,
+        panic_lane: None,
+        panic_epoch: 0,
     };
     let a = fleet_specs(&mk(1)).unwrap();
     let b = fleet_specs(&mk(1)).unwrap();

@@ -4,10 +4,21 @@
 //! per-session streams, and a session checkpoint round-trips
 //! byte-identically through canonical JSON.
 
+use std::cell::Cell;
+use std::sync::Arc;
+
+use uniloc::core::error_model::{train, ErrorModelSet};
 use uniloc::core::fleet::{DueKey, SessionCheckpoint};
+use uniloc::core::pipeline::{self, PipelineConfig};
+use uniloc::core::quarantine::QuarantineStanding;
+use uniloc::core::session::Session;
+use uniloc::env::venues;
 use uniloc::rng::check::Checker;
 use uniloc::rng::{require, require_eq, split_seed, Rng};
 use uniloc::stats::json::{from_str, ToJson};
+use uniloc_bench::fleet::{
+    restore_session, spec_frames, spec_pipeline_config, spec_scenario, SessionSpec,
+};
 
 const REGRESSIONS: &str =
     concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fleet_properties.regressions");
@@ -131,6 +142,8 @@ fn arbitrary_name(rng: &mut Rng, scale: f64) -> String {
 fn checkpoint_canonical_json_round_trips() {
     checker("checkpoint_canonical_json_round_trips").run(
         |rng, scale| SessionCheckpoint {
+            // Version travels as a JSON integer, so it spans 0..=i64::MAX.
+            version: rng.next_u64() >> 1,
             // Full-range u64s on purpose: real seeds come from
             // `split_seed` and routinely exceed i64::MAX.
             lane: rng.next_u64(),
@@ -151,5 +164,81 @@ fn checkpoint_canonical_json_round_trips() {
             require_eq!(again, canonical);
             Ok(())
         },
+    );
+}
+
+fn trained_models(seed: u64) -> Arc<ErrorModelSet> {
+    let cfg = PipelineConfig::default();
+    let mut samples =
+        pipeline::collect_training(&venues::training_office(seed), &cfg, seed + 10);
+    samples.extend(pipeline::collect_training(
+        &venues::training_open_space(seed + 1),
+        &cfg,
+        seed + 11,
+    ));
+    Arc::new(train(&samples).expect("training venues produce enough samples"))
+}
+
+/// A session checkpointed *mid-quarantine-sentence* resumes with the same
+/// backoff state and probation countdown. The checkpoint stores only
+/// `(spec, cursor)` — restore rebuilds the session and replays — so the
+/// restored engine's full quarantine standings (sentence remainder,
+/// probation countdown, strike counts) must equal the live session's at
+/// the cut, for arbitrary cuts, not just clean scheme boundaries.
+///
+/// The specs walk the campus daily path under `gps_multipath` — the one
+/// library plan whose 900 m jumps convict a scheme outright (the smoke
+/// plans are caught upstream by the frame gate and never strike), with the
+/// conviction landing in the walk's open-sky tail quarter. Cuts are
+/// tail-weighted so the sweep crosses sentences and probations, and the
+/// test fails if no case actually cut mid-sentence.
+#[test]
+fn quarantined_session_resumes_mid_sentence() {
+    let models = trained_models(47);
+    let base = PipelineConfig::default();
+    let personas = ["m-30s", "f-20s", "m-50s"];
+    let specs: Vec<SessionSpec> = (0..personas.len() as u64)
+        .map(|lane| SessionSpec {
+            lane,
+            name: format!("q-resume-{lane}"),
+            scenario: "path1".to_owned(),
+            persona: personas[lane as usize].to_owned(),
+            device: if lane % 2 == 0 { "nexus5x" } else { "lgg3" }.to_owned(),
+            plan: "gps_multipath".to_owned(),
+            seed: split_seed(47, lane),
+        })
+        .collect();
+    let mid_sentence = Cell::new(0u32);
+    checker("quarantined_session_resumes_mid_sentence").cases(10).run(
+        |rng, _| (rng.gen_range(0..specs.len()), rng.gen_range(0..140usize)),
+        |&(which, back)| {
+            let spec = &specs[which];
+            let scenario = spec_scenario(spec);
+            let scfg = spec_pipeline_config(&base, spec);
+            let frames = spec_frames(&scenario, &scfg, spec, 0);
+            // Tail-weighted cut: the multipath window (and its sentence)
+            // sits in the last quarter of the walk.
+            let cut = frames.len().saturating_sub(back).max(1);
+            // Live path: serve straight through to the cut.
+            let mut live = Session::new(Arc::new(scenario), &models, &scfg, spec.seed);
+            for frame in &frames[..cut] {
+                live.step(frame);
+            }
+            let lived = live.engine().quarantine_standings();
+            if lived.iter().any(|(_, s)| *s != QuarantineStanding::Active) {
+                mid_sentence.set(mid_sentence.get() + 1);
+            }
+            // Resume path: rebuild from the checkpoint and replay.
+            let restored =
+                restore_session(&spec.checkpoint(cut), Arc::clone(&models), base.clone(), 0);
+            require_eq!(restored.cursor(), cut);
+            require_eq!(restored.session().epochs(), cut);
+            require_eq!(restored.session().engine().quarantine_standings(), lived);
+            Ok(())
+        },
+    );
+    assert!(
+        mid_sentence.get() > 0,
+        "no case cut a session mid-sentence; widen the cut window"
     );
 }
