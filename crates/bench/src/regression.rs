@@ -280,11 +280,21 @@ pub struct DiffConfig {
     /// means are far more stable than the single-walk stages and can hold
     /// a stricter line without flaking across machines.
     pub fleet_latency_tolerance: f64,
+    /// Tighter budget for `pipeline.*` stages, same rationale: pipeline
+    /// stage samples amortize whole training/walk passes, and since the
+    /// indexed-matching work landed they no longer hide O(survey)
+    /// fingerprint scans, so a large mean increase is a real regression,
+    /// not machine noise.
+    pub pipeline_latency_tolerance: f64,
 }
 
 impl Default for DiffConfig {
     fn default() -> Self {
-        DiffConfig { latency_tolerance: 4.0, fleet_latency_tolerance: 2.0 }
+        DiffConfig {
+            latency_tolerance: 4.0,
+            fleet_latency_tolerance: 2.0,
+            pipeline_latency_tolerance: 2.0,
+        }
     }
 }
 
@@ -293,6 +303,8 @@ impl DiffConfig {
     pub fn tolerance_for(&self, stage: &str) -> f64 {
         if stage.starts_with("fleet.") {
             self.fleet_latency_tolerance
+        } else if stage.starts_with("pipeline.") {
+            self.pipeline_latency_tolerance
         } else {
             self.latency_tolerance
         }
@@ -566,6 +578,7 @@ mod tests {
     fn fleet_stages_hold_a_tighter_latency_line() {
         let cfg = DiffConfig::default();
         assert_eq!(cfg.tolerance_for("fleet.epoch"), 2.0);
+        assert_eq!(cfg.tolerance_for("pipeline.collect_training"), 2.0);
         assert_eq!(cfg.tolerance_for("run_walk"), 4.0);
         // 4x is within the general 5x budget but beyond the fleet 3x one.
         let base = report(&[("fleet.epoch", stats(10, 1e6)), ("run_walk", stats(10, 1e6))]);

@@ -97,6 +97,69 @@ impl UniLocOutput {
     }
 }
 
+/// Pre-rendered per-scheme metric and span names: the per-epoch loop must
+/// not `format!`, so every name a scheme can emit is built once at engine
+/// construction (index-aligned with the scheme list).
+struct SchemeNames {
+    estimate_span: String,
+    available: String,
+    unavailable: String,
+    nonfinite: String,
+    selected: String,
+    teleport: String,
+    divergence: String,
+    tripped: String,
+    readmitted: String,
+}
+
+impl SchemeNames {
+    fn new(id: SchemeId) -> Self {
+        SchemeNames {
+            estimate_span: format!("scheme.estimate.{id}"),
+            available: format!("engine.scheme.available.{id}"),
+            unavailable: format!("engine.scheme.unavailable.{id}"),
+            nonfinite: format!("faults.validation.nonfinite_estimate.{id}"),
+            selected: format!("engine.uniloc1.selected.{id}"),
+            teleport: format!("quarantine.signal.teleport.{id}"),
+            divergence: format!("quarantine.signal.divergence.{id}"),
+            tripped: format!("quarantine.tripped.{id}"),
+            readmitted: format!("quarantine.readmitted.{id}"),
+        }
+    }
+}
+
+/// The `engine.ladder.*` counter for a ladder state, as a static string.
+fn ladder_counter_name(ladder: DegradationLadder) -> &'static str {
+    match ladder {
+        DegradationLadder::Nominal => "engine.ladder.nominal",
+        DegradationLadder::Degraded(_) => "engine.ladder.degraded",
+        DegradationLadder::DeadReckoningOnly => "engine.ladder.dead_reckoning_only",
+        DegradationLadder::Lost => "engine.ladder.lost",
+    }
+}
+
+/// Per-epoch working buffers, recycled across [`UniLocEngine::update`]
+/// calls so the steady-state epoch loop performs no heap allocation (the
+/// allocation observatory's `alloc.steady.allocs` meter pins this at
+/// zero). Purely capacity caches: contents are dead between epochs.
+#[derive(Default)]
+struct EpochScratch {
+    /// Per-scheme posterior means (Eq. 4 component means).
+    posterior_means: Vec<Option<Point>>,
+    /// Per-scheme non-finite-estimate strikes.
+    nonfinite: Vec<bool>,
+    /// Predictions of available, participating schemes (adaptive tau).
+    usable: Vec<ErrorPrediction>,
+    /// Non-GPS `(id, has_features)` pairs, index-aligned with `feats`.
+    prelim: Vec<(SchemeId, bool)>,
+    /// Non-GPS feature vectors, index-aligned with `prelim`.
+    feats: Vec<Vec<f64>>,
+    /// GPS feature vector.
+    gps_feats: Vec<f64>,
+    /// Fingerprint-lookup scratch for feature extraction.
+    matches: Vec<uniloc_schemes::FingerprintMatch>,
+}
+
 /// The UniLoc ensemble engine.
 ///
 /// Owns the scheme instances, the shared feature context (fingerprint
@@ -126,6 +189,16 @@ pub struct UniLocEngine {
     /// IODetector verdict of the last admitted frame (reported when a
     /// frame is rejected outright).
     last_io: IoState,
+    /// Pre-rendered metric/span names, index-aligned with `schemes`.
+    names: Vec<SchemeNames>,
+    /// Per-epoch working buffers (see [`EpochScratch`]).
+    scratch: EpochScratch,
+    /// Pool for the output's `reports` vector; refilled by
+    /// [`recycle`](Self::recycle).
+    reports_pool: Vec<SchemeReport>,
+    /// Pool for the output's `quarantined` vector; refilled by
+    /// [`recycle`](Self::recycle).
+    excluded_pool: Vec<SchemeId>,
 }
 
 impl std::fmt::Debug for UniLocEngine {
@@ -167,6 +240,7 @@ impl UniLocEngine {
         assert!(!schemes.is_empty(), "UniLoc needs at least one scheme");
         let extractor = FeatureExtractor::with_predictor(&ctx, predictor);
         let ids: Vec<SchemeId> = schemes.iter().map(|s| s.id()).collect();
+        let names: Vec<SchemeNames> = ids.iter().map(|&id| SchemeNames::new(id)).collect();
         let n = schemes.len();
         UniLocEngine {
             schemes,
@@ -182,7 +256,23 @@ impl UniLocEngine {
             prev_fused: None,
             frozen_streak: 0,
             last_io: IoState::Outdoor,
+            names,
+            scratch: EpochScratch::default(),
+            reports_pool: Vec::new(),
+            excluded_pool: Vec::new(),
         }
+    }
+
+    /// Returns a spent output's buffers to the engine's pools so the next
+    /// [`update`](Self::update) runs allocation-free in steady state.
+    /// Optional: an output that is dropped instead is simply reallocated
+    /// next epoch.
+    pub fn recycle(&mut self, out: UniLocOutput) {
+        let UniLocOutput { mut reports, mut quarantined, .. } = out;
+        reports.clear();
+        quarantined.clear();
+        self.reports_pool = reports;
+        self.excluded_pool = quarantined;
     }
 
     /// The integrated schemes.
@@ -336,7 +426,9 @@ impl UniLocEngine {
         // Tick quarantine sentences; snapshot the exclusion set that
         // governs this epoch's fusion.
         self.quarantine.begin_epoch();
-        let excluded_now = self.quarantine.excluded();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut excluded_now = std::mem::take(&mut self.excluded_pool);
+        self.quarantine.excluded_into(&mut excluded_now);
 
         let io = self.iodetector.classify_frame(frame);
         self.last_io = io;
@@ -345,24 +437,47 @@ impl UniLocEngine {
         // GPS duty cycling: predict GPS error without the receiver and
         // compare with every other scheme's prediction.
         let predict_span = obs.span("engine.predict");
-        let gps_prediction = self
-            .extractor
-            .features(&self.ctx, SchemeId::Gps, io, frame, None)
-            .and_then(|f| self.models.predict(SchemeId::Gps, io, &f));
+        let has_gps_feats = self.extractor.features_into(
+            &self.ctx,
+            SchemeId::Gps,
+            io,
+            frame,
+            None,
+            &mut scratch.matches,
+            &mut scratch.gps_feats,
+        );
+        let gps_prediction = if has_gps_feats {
+            self.models.predict(SchemeId::Gps, io, &scratch.gps_feats)
+        } else {
+            None
+        };
         let mut non_gps_best = f64::INFINITY;
-        let mut prelim: Vec<(SchemeId, Option<Vec<f64>>)> = Vec::new();
+        scratch.prelim.clear();
+        let mut j = 0usize;
         for s in &self.schemes {
             let id = s.id();
             if id == SchemeId::Gps {
                 continue;
             }
-            let feats = self.extractor.features(&self.ctx, id, io, frame, None);
-            if let Some(f) = feats.as_ref() {
-                if let Some(p) = self.models.predict(id, io, f) {
+            if scratch.feats.len() <= j {
+                scratch.feats.push(Vec::new());
+            }
+            let has = self.extractor.features_into(
+                &self.ctx,
+                id,
+                io,
+                frame,
+                None,
+                &mut scratch.matches,
+                &mut scratch.feats[j],
+            );
+            if has {
+                if let Some(p) = self.models.predict(id, io, &scratch.feats[j]) {
                     non_gps_best = non_gps_best.min(p.mean);
                 }
             }
-            prelim.push((id, feats));
+            scratch.prelim.push((id, has));
+            j += 1;
         }
         let gps_enabled = match gps_prediction {
             Some(p) => p.mean <= non_gps_best || !non_gps_best.is_finite(),
@@ -376,13 +491,16 @@ impl UniLocEngine {
         // whether *UniLoc* powers the receiver and lets GPS participate in
         // the ensemble; the standalone scheme's output is still reported
         // for evaluation.
-        let mut reports: Vec<SchemeReport> = Vec::with_capacity(self.schemes.len());
-        let mut posterior_means: Vec<Option<Point>> = Vec::with_capacity(self.schemes.len());
-        let mut nonfinite_strike = vec![false; self.schemes.len()];
+        let mut reports = std::mem::take(&mut self.reports_pool);
+        reports.clear();
+        reports.reserve(self.schemes.len());
+        scratch.posterior_means.clear();
+        scratch.nonfinite.clear();
+        scratch.nonfinite.resize(self.schemes.len(), false);
         for (idx, s) in self.schemes.iter_mut().enumerate() {
             let id = s.id();
             let estimate = {
-                let _s = obs.span(&format!("scheme.estimate.{id}"));
+                let _s = obs.span(&self.names[idx].estimate_span);
                 s.update(frame)
             };
             // Output-side validation: a non-finite estimate is treated as
@@ -394,40 +512,41 @@ impl UniLocEngine {
                         || !e.position.y.is_finite()
                         || e.spread.is_some_and(|s| !s.is_finite()) =>
                 {
-                    nonfinite_strike[idx] = true;
-                    metrics
-                        .counter(&format!("faults.validation.nonfinite_estimate.{id}"))
-                        .inc();
+                    scratch.nonfinite[idx] = true;
+                    metrics.counter(&self.names[idx].nonfinite).inc();
                     None
                 }
                 other => other,
             };
             metrics
-                .counter(&format!(
-                    "engine.scheme.{}.{id}",
-                    if estimate.is_some() { "available" } else { "unavailable" }
-                ))
+                .counter(if estimate.is_some() {
+                    &self.names[idx].available
+                } else {
+                    &self.names[idx].unavailable
+                })
                 .inc();
             // The posterior mean of P(l | M_n, s_t) — the component mean
-            // the literal Eq. 4 integrates.
-            posterior_means.push(estimate.and(s.posterior()).and_then(|cand| {
-                let w: f64 = cand.iter().map(|(_, w)| w).sum();
-                if w > 0.0 {
-                    let x = cand.iter().map(|(p, cw)| cw * p.x).sum::<f64>() / w;
-                    let y = cand.iter().map(|(p, cw)| cw * p.y).sum::<f64>() / w;
-                    Some(Point::new(x, y))
-                } else {
-                    None
-                }
-            }));
+            // the literal Eq. 4 integrates. `posterior_mean` is the
+            // allocation-free form of the historical "materialize
+            // `posterior()`, then average" computation (same arithmetic,
+            // same order — see the trait contract).
+            scratch
+                .posterior_means
+                .push(if estimate.is_some() { s.posterior_mean() } else { None });
             let prediction = if id == SchemeId::Gps {
                 gps_prediction
             } else {
-                prelim
+                scratch
+                    .prelim
                     .iter()
-                    .find(|(pid, _)| *pid == id)
-                    .and_then(|(_, f)| f.as_ref())
-                    .and_then(|f| self.models.predict(id, io, f))
+                    .position(|&(pid, _)| pid == id)
+                    .and_then(|k| {
+                        if scratch.prelim[k].1 {
+                            self.models.predict(id, io, &scratch.feats[k])
+                        } else {
+                            None
+                        }
+                    })
             };
             reports.push(SchemeReport { id, estimate, prediction, confidence: 0.0, weight: 0.0 });
         }
@@ -438,12 +557,14 @@ impl UniLocEngine {
         // Adaptive tau over schemes that are available, predictable and
         // participating.
         let confidence_span = obs.span("engine.confidence");
-        let usable: Vec<ErrorPrediction> = reports
-            .iter()
-            .filter(|r| r.estimate.is_some() && participates(r))
-            .filter_map(|r| r.prediction)
-            .collect();
-        let tau = adaptive_tau(&usable);
+        scratch.usable.clear();
+        scratch.usable.extend(
+            reports
+                .iter()
+                .filter(|r| r.estimate.is_some() && participates(r))
+                .filter_map(|r| r.prediction),
+        );
+        let tau = adaptive_tau(&scratch.usable);
 
         // Confidences and weights.
         if let Some(tau) = tau {
@@ -470,12 +591,13 @@ impl UniLocEngine {
         // confidence (already gated upstream) from panicking mid-walk.
         let best = reports
             .iter()
-            .filter(|r| r.estimate.is_some() && r.confidence > 0.0)
-            .max_by(|a, b| a.confidence.total_cmp(&b.confidence));
+            .enumerate()
+            .filter(|(_, r)| r.estimate.is_some() && r.confidence > 0.0)
+            .max_by(|(_, a), (_, b)| a.confidence.total_cmp(&b.confidence));
         // `carrier` is the scheme that actually produced the headline
         // position (for the degradation ladder when nothing fused).
-        let (best_selection, selected, carrier) = match best {
-            Some(r) => (r.estimate.map(|e| e.position), Some(r.id), Some(r.id)),
+        let (best_selection, selected, selected_idx, carrier) = match best {
+            Some((i, r)) => (r.estimate.map(|e| e.position), Some(r.id), Some(i), Some(r.id)),
             None => {
                 // No model-backed scheme: fall back to any available
                 // estimate so UniLoc still reports a position, preferring
@@ -486,6 +608,7 @@ impl UniLocEngine {
                     .or_else(|| reports.iter().find(|r| r.estimate.is_some()));
                 (
                     fallback.and_then(|r| r.estimate).map(|e| e.position),
+                    None,
                     None,
                     fallback.map(|r| r.id),
                 )
@@ -512,8 +635,8 @@ impl UniLocEngine {
             metrics.counter("engine.fusion.mode.fallback").inc();
             best_selection
         };
-        if let Some(id) = selected {
-            metrics.counter(&format!("engine.uniloc1.selected.{id}")).inc();
+        if let Some(i) = selected_idx {
+            metrics.counter(&self.names[i].selected).inc();
         }
 
         // The mixture-mean variant: identical weights, but each component
@@ -521,7 +644,7 @@ impl UniLocEngine {
         let mut mw = 0.0;
         let mut mx = 0.0;
         let mut my = 0.0;
-        for (r, pm) in reports.iter().zip(&posterior_means) {
+        for (r, pm) in reports.iter().zip(&scratch.posterior_means) {
             if r.weight > 0.0 {
                 if let Some(p) = pm.or_else(|| r.estimate.map(|e| e.position)) {
                     mw += r.weight;
@@ -577,7 +700,7 @@ impl UniLocEngine {
         let fused_finite =
             fused.filter(|p| p.x.is_finite() && p.y.is_finite());
         for (i, r) in reports.iter().enumerate() {
-            let mut strike = nonfinite_strike[i];
+            let mut strike = scratch.nonfinite[i];
             if let Some(e) = r.estimate {
                 if let Some((pt, pp)) = self.prev_scheme[i] {
                     let dt = frame.t - pt;
@@ -590,9 +713,7 @@ impl UniLocEngine {
                         }
                         if self.teleport_streak[i] >= trip::TELEPORT_CONSECUTIVE {
                             strike = true;
-                            metrics
-                                .counter(&format!("quarantine.signal.teleport.{}", r.id))
-                                .inc();
+                            metrics.counter(&self.names[i].teleport).inc();
                         }
                     }
                 }
@@ -606,9 +727,7 @@ impl UniLocEngine {
                     }
                     if self.diverge_streak[i] >= trip::DIVERGE_CONSECUTIVE {
                         strike = true;
-                        metrics
-                            .counter(&format!("quarantine.signal.divergence.{}", r.id))
-                            .inc();
+                        metrics.counter(&self.names[i].divergence).inc();
                     }
                 }
                 self.prev_scheme[i] = Some((frame.t, e.position));
@@ -622,7 +741,7 @@ impl UniLocEngine {
             };
             match self.quarantine.observe(r.id, scheme_verdict) {
                 Some(QuarantineTransition::Tripped(id, strikes)) => {
-                    metrics.counter(&format!("quarantine.tripped.{id}")).inc();
+                    metrics.counter(&self.names[i].tripped).inc();
                     obs.event(
                         uniloc_obs::TraceLevel::Warn,
                         "quarantine.tripped",
@@ -634,7 +753,7 @@ impl UniLocEngine {
                     );
                 }
                 Some(QuarantineTransition::Readmitted(id)) => {
-                    metrics.counter(&format!("quarantine.readmitted.{id}")).inc();
+                    metrics.counter(&self.names[i].readmitted).inc();
                     obs.event(
                         uniloc_obs::TraceLevel::Info,
                         "quarantine.readmitted",
@@ -694,29 +813,35 @@ impl UniLocEngine {
 
         // Degradation ladder: a pure function of this epoch's outputs and
         // the exclusion set — reported, never fed back.
-        let contributors: Vec<SchemeId> = reports
-            .iter()
-            .filter(|r| r.weight > 0.0 && r.estimate.is_some())
-            .map(|r| r.id)
-            .collect();
+        let mut contributing = 0u32;
+        let mut all_motion = true;
+        for r in &reports {
+            if r.weight > 0.0 && r.estimate.is_some() {
+                contributing += 1;
+                if r.id != SchemeId::Motion {
+                    all_motion = false;
+                }
+            }
+        }
         let total = reports.len() as u32;
         let ladder = if fused_finite.is_none() || frozen {
             DegradationLadder::Lost
-        } else if contributors.is_empty() {
+        } else if contributing == 0 {
             match carrier {
                 Some(SchemeId::Motion) => DegradationLadder::DeadReckoningOnly,
                 Some(_) => DegradationLadder::Degraded(total.saturating_sub(1)),
                 None => DegradationLadder::Lost,
             }
-        } else if contributors.iter().all(|&id| id == SchemeId::Motion) {
+        } else if all_motion {
             DegradationLadder::DeadReckoningOnly
-        } else if contributors.len() as u32 == total {
+        } else if contributing == total {
             DegradationLadder::Nominal
         } else {
-            DegradationLadder::Degraded(total - contributors.len() as u32)
+            DegradationLadder::Degraded(total - contributing)
         };
-        metrics.counter(&format!("engine.ladder.{}", ladder.name())).inc();
+        metrics.counter(ladder_counter_name(ladder)).inc();
 
+        self.scratch = scratch;
         UniLocOutput {
             t: frame.t,
             best_selection,

@@ -234,61 +234,91 @@ impl FeatureExtractor {
         frame: &SensorFrame,
         location_hint: Option<Point>,
     ) -> Option<Vec<f64>> {
+        let mut matches = Vec::new();
+        let mut out = Vec::new();
+        self.features_into(ctx, scheme, io, frame, location_hint, &mut matches, &mut out)
+            .then_some(out)
+    }
+
+    /// [`features`](Self::features) into caller-owned buffers — the hot-path
+    /// form the per-epoch loop uses to stay allocation-free. Returns whether
+    /// the scheme can be evaluated; on `true`, `out` holds the feature
+    /// vector (possibly empty, e.g. GPS). `matches` is fingerprint-lookup
+    /// scratch; its contents are meaningless to the caller.
+    #[allow(clippy::too_many_arguments)]
+    pub fn features_into(
+        &self,
+        ctx: &SharedContext,
+        scheme: SchemeId,
+        io: IoState,
+        frame: &SensorFrame,
+        location_hint: Option<Point>,
+        matches: &mut Vec<uniloc_schemes::FingerprintMatch>,
+        out: &mut Vec<f64>,
+    ) -> bool {
+        out.clear();
         let loc = location_hint.or_else(|| self.predicted_location());
         match scheme {
             SchemeId::Gps => {
                 // Constant model, outdoors only; no input features — which
                 // is what lets UniLoc predict GPS error without powering
                 // the receiver.
-                (io == IoState::Outdoor).then(Vec::new)
+                io == IoState::Outdoor
             }
             SchemeId::Wifi => {
-                let scan = frame.wifi.as_ref()?;
+                let Some(scan) = frame.wifi.as_ref() else { return false };
                 // "When the number of audible APs is less than 3, it is
                 // unlikely for the RSSI fingerprinting scheme to provide a
                 // meaningful result" — below that, WiFi counts as
                 // unavailable (and the scheme itself is gated identically).
                 if scan.len() < 3 {
-                    return None;
+                    return false;
                 }
-                let matches = ctx.wifi_db.match_scan(scan, TOP_K);
+                ctx.wifi_db.match_scan_into(scan, TOP_K, matches);
                 if matches.is_empty() {
-                    return None;
+                    return false;
                 }
-                let density = self.density(&ctx.wifi_db, loc);
-                let deviation = match_deviation(matches.iter().map(|m| m.distance));
-                Some(vec![density, deviation])
+                out.push(self.density(&ctx.wifi_db, loc));
+                out.push(match_deviation(matches.iter().map(|m| m.distance)));
+                true
             }
             SchemeId::Cellular => {
-                let scan = frame.cell.as_ref()?;
+                let Some(scan) = frame.cell.as_ref() else { return false };
                 if scan.is_empty() {
-                    return None;
+                    return false;
                 }
-                let matches = ctx.cell_db.match_scan(scan, TOP_K);
+                ctx.cell_db.match_scan_into(scan, TOP_K, matches);
                 if matches.is_empty() {
-                    return None;
+                    return false;
                 }
-                let density = self.density(&ctx.cell_db, loc);
-                let deviation = match_deviation(matches.iter().map(|m| m.distance));
-                Some(vec![density, deviation, scan.len() as f64])
+                out.push(self.density(&ctx.cell_db, loc));
+                out.push(match_deviation(matches.iter().map(|m| m.distance)));
+                out.push(scan.len() as f64);
+                true
             }
             SchemeId::Motion => {
-                Some(vec![self.dist_since_landmark, self.width(ctx, io, loc)])
+                out.push(self.dist_since_landmark);
+                out.push(self.width(ctx, io, loc));
+                true
             }
             SchemeId::Fusion => {
-                let mut f = vec![self.dist_since_landmark, self.width(ctx, io, loc)];
+                out.push(self.dist_since_landmark);
+                out.push(self.width(ctx, io, loc));
                 if io == IoState::Indoor {
                     // Indoors, fingerprint density constrains the fusion
                     // particles (beta_3); outdoors the model reduces to the
                     // motion model.
-                    f.push(self.density(&ctx.wifi_db, loc));
+                    out.push(self.density(&ctx.wifi_db, loc));
                 }
-                Some(f)
+                true
             }
-            other => self
-                .custom
-                .get(&other)
-                .and_then(|f| f(ctx, io, frame, loc)),
+            other => match self.custom.get(&other).and_then(|f| f(ctx, io, frame, loc)) {
+                Some(v) => {
+                    out.extend_from_slice(&v);
+                    true
+                }
+                None => false,
+            },
         }
     }
 
@@ -313,13 +343,24 @@ impl FeatureExtractor {
 /// `beta_2`: "if the deviation is small, the fingerprints at these
 /// locations are more similar, and in turn the estimated location is more
 /// likely to be wrong".
-fn match_deviation(distances: impl Iterator<Item = f64>) -> f64 {
-    let d: Vec<f64> = distances.collect();
-    if d.len() < 2 {
+fn match_deviation(distances: impl Iterator<Item = f64> + Clone) -> f64 {
+    // Two passes over the (cloneable) iterator instead of collecting: this
+    // runs every epoch and must not allocate.
+    let mut n = 0usize;
+    let mut sum = 0.0;
+    for d in distances.clone() {
+        n += 1;
+        sum += d;
+    }
+    if n < 2 {
         return 0.0;
     }
-    let mean = d.iter().sum::<f64>() / d.len() as f64;
-    (d.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (d.len() - 1) as f64).sqrt()
+    let mean = sum / n as f64;
+    let mut ss = 0.0;
+    for x in distances {
+        ss += (x - mean) * (x - mean);
+    }
+    (ss / (n - 1) as f64).sqrt()
 }
 
 #[cfg(test)]

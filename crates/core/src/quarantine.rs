@@ -242,11 +242,21 @@ impl QuarantineMachine {
 
     /// The schemes currently excluded, in engine order.
     pub fn excluded(&self) -> Vec<SchemeId> {
-        self.entries
-            .iter()
-            .filter(|(_, s)| !matches!(s, Standing::Active))
-            .map(|(id, _)| *id)
-            .collect()
+        let mut out = Vec::new();
+        self.excluded_into(&mut out);
+        out
+    }
+
+    /// [`excluded`](Self::excluded) into a caller-owned buffer — the
+    /// hot-path form the per-epoch loop uses to stay allocation-free.
+    pub fn excluded_into(&self, out: &mut Vec<SchemeId>) {
+        out.clear();
+        out.extend(
+            self.entries
+                .iter()
+                .filter(|(_, s)| !matches!(s, Standing::Active))
+                .map(|(id, _)| *id),
+        );
     }
 
     /// Ticks sentences at the start of an epoch: a quarantined scheme

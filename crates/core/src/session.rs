@@ -188,7 +188,7 @@ impl Session {
         let oracle_input: Vec<_> = out.reports.iter().map(|r| (r.id, r.estimate)).collect();
         let oracle = Oracle::select(&oracle_input, truth);
         self.epochs += 1;
-        EpochRecord {
+        let record = EpochRecord {
             t: frame.t,
             station,
             truth,
@@ -208,7 +208,11 @@ impl Session {
             tau: out.tau,
             ladder: out.ladder,
             quarantined: out.quarantined.clone(),
-        }
+        };
+        // Hand the report / exclusion vectors back to the engine so the
+        // next epoch reuses their capacity instead of reallocating.
+        self.engine.recycle(out);
+        record
     }
 }
 

@@ -33,9 +33,34 @@ pub struct Particle<S> {
 /// let est = pf.estimate(|&x| x);
 /// assert!((est - 5.0).abs() < 0.5);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct ParticleFilter<S> {
     particles: Vec<Particle<S>>,
+    /// Resampling scratch: the next cloud is built here and swapped in, so
+    /// steady-state resampling reuses one buffer instead of allocating a
+    /// fresh `Vec` per resample. Empty between calls.
+    spare: Vec<Particle<S>>,
+    /// Reweighting scratch: the pre-update weights, kept for the
+    /// total-collapse rollback. Cleared between calls.
+    prior_weights: Vec<f64>,
+}
+
+/// Scratch buffers are transient: a clone starts with empty (but
+/// pre-sized) scratch, and equality compares the cloud only.
+impl<S: Clone> Clone for ParticleFilter<S> {
+    fn clone(&self) -> Self {
+        ParticleFilter {
+            particles: self.particles.clone(),
+            spare: Vec::with_capacity(self.particles.len()),
+            prior_weights: Vec::with_capacity(self.particles.len()),
+        }
+    }
+}
+
+impl<S: PartialEq> PartialEq for ParticleFilter<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.particles == other.particles
+    }
 }
 
 impl<S: Clone> ParticleFilter<S> {
@@ -50,7 +75,12 @@ impl<S: Clone> ParticleFilter<S> {
             .map(|state| Particle { state, weight: 1.0 })
             .collect();
         assert!(!particles.is_empty(), "particle filter needs at least one particle");
-        let mut pf = ParticleFilter { particles };
+        let n = particles.len();
+        let mut pf = ParticleFilter {
+            particles,
+            spare: Vec::with_capacity(n),
+            prior_weights: Vec::with_capacity(n),
+        };
         pf.normalize();
         pf
     }
@@ -90,7 +120,8 @@ impl<S: Clone> ParticleFilter<S> {
     where
         F: FnMut(&S) -> f64,
     {
-        let old: Vec<f64> = self.particles.iter().map(|p| p.weight).collect();
+        self.prior_weights.clear();
+        self.prior_weights.extend(self.particles.iter().map(|p| p.weight));
         let mut total = 0.0;
         for p in &mut self.particles {
             let l = likelihood(&p.state).max(0.0);
@@ -98,7 +129,7 @@ impl<S: Clone> ParticleFilter<S> {
             total += p.weight;
         }
         if total <= 0.0 || !total.is_finite() {
-            for (p, w) in self.particles.iter_mut().zip(old) {
+            for (p, &w) in self.particles.iter_mut().zip(&self.prior_weights) {
                 p.weight = w;
             }
             return false;
@@ -142,16 +173,18 @@ impl<S: Clone> ParticleFilter<S> {
         let mut u = rng.gen_range(0.0..step);
         let mut cum = self.particles[0].weight;
         let mut i = 0usize;
-        let mut next: Vec<Particle<S>> = Vec::with_capacity(n);
+        self.spare.clear();
+        self.spare.reserve(n);
         for _ in 0..n {
             while u > cum && i + 1 < n {
                 i += 1;
                 cum += self.particles[i].weight;
             }
-            next.push(Particle { state: self.particles[i].state.clone(), weight: step });
+            self.spare.push(Particle { state: self.particles[i].state.clone(), weight: step });
             u += step;
         }
-        self.particles = next;
+        std::mem::swap(&mut self.particles, &mut self.spare);
+        self.spare.clear();
     }
 
     /// Stratified resampling: one uniform draw per stratum of width `1/n`.
@@ -163,16 +196,18 @@ impl<S: Clone> ParticleFilter<S> {
         let step = 1.0 / n as f64;
         let mut cum = self.particles[0].weight;
         let mut i = 0usize;
-        let mut next: Vec<Particle<S>> = Vec::with_capacity(n);
+        self.spare.clear();
+        self.spare.reserve(n);
         for k in 0..n {
             let u = k as f64 * step + rng.gen_range(0.0..step);
             while u > cum && i + 1 < n {
                 i += 1;
                 cum += self.particles[i].weight;
             }
-            next.push(Particle { state: self.particles[i].state.clone(), weight: step });
+            self.spare.push(Particle { state: self.particles[i].state.clone(), weight: step });
         }
-        self.particles = next;
+        std::mem::swap(&mut self.particles, &mut self.spare);
+        self.spare.clear();
     }
 
     /// Resamples only when the effective sample size falls below
@@ -221,6 +256,10 @@ impl<S: Clone> ParticleFilter<S> {
             .collect();
         assert!(!particles.is_empty(), "cannot reinitialize with zero particles");
         self.particles = particles;
+        self.spare.clear();
+        self.spare.reserve(self.particles.len());
+        self.prior_weights.clear();
+        self.prior_weights.reserve(self.particles.len());
         self.normalize();
     }
 }

@@ -128,27 +128,29 @@ impl IoDetector {
     /// magnetometer disturbance (0-1) and the mean cellular RSSI (dBm) if a
     /// scan is available. Returns the (hysteresis-filtered) state.
     pub fn classify(&mut self, light_lux: f64, magnetic: f64, mean_cell_dbm: Option<f64>) -> IoState {
-        let mut votes = Vec::with_capacity(3);
+        // One fixed slot per sub-detector (`None` = abstain) — this runs
+        // every epoch, so the vote set lives on the stack.
+        let mut votes: [Option<Vote>; 3] = [None; 3];
         // Light sub-detector.
         if light_lux >= self.config.outdoor_lux {
-            votes.push(Vote { state: IoState::Outdoor, confidence: 0.9 });
+            votes[0] = Some(Vote { state: IoState::Outdoor, confidence: 0.9 });
         } else if light_lux <= self.config.indoor_lux {
-            votes.push(Vote { state: IoState::Indoor, confidence: 0.7 });
+            votes[0] = Some(Vote { state: IoState::Indoor, confidence: 0.7 });
         }
         // Magnetism sub-detector.
         if magnetic >= self.config.magnetic_indoor {
-            votes.push(Vote { state: IoState::Indoor, confidence: 0.5 });
+            votes[1] = Some(Vote { state: IoState::Indoor, confidence: 0.5 });
         } else if magnetic <= self.config.magnetic_outdoor {
-            votes.push(Vote { state: IoState::Outdoor, confidence: 0.4 });
+            votes[1] = Some(Vote { state: IoState::Outdoor, confidence: 0.4 });
         }
         // Cellular sub-detector: level shift vs. baseline.
         if let Some(rssi) = mean_cell_dbm {
             if let Some(base) = self.cell_baseline {
                 let delta = rssi - base;
                 if delta <= -self.config.cell_drop_db {
-                    votes.push(Vote { state: IoState::Indoor, confidence: 0.5 });
+                    votes[2] = Some(Vote { state: IoState::Indoor, confidence: 0.5 });
                 } else if delta >= self.config.cell_drop_db {
-                    votes.push(Vote { state: IoState::Outdoor, confidence: 0.5 });
+                    votes[2] = Some(Vote { state: IoState::Outdoor, confidence: 0.5 });
                 }
                 self.cell_baseline =
                     Some(base + self.config.cell_ema * (rssi - base));
@@ -159,11 +161,13 @@ impl IoDetector {
 
         let indoor: f64 = votes
             .iter()
+            .flatten()
             .filter(|v| v.state == IoState::Indoor)
             .map(|v| v.confidence)
             .sum();
         let outdoor: f64 = votes
             .iter()
+            .flatten()
             .filter(|v| v.state == IoState::Outdoor)
             .map(|v| v.confidence)
             .sum();

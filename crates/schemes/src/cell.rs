@@ -42,17 +42,16 @@ impl LocalizationScheme for CellFingerprintScheme {
         if scan.is_empty() {
             return None;
         }
-        let matches = self.db.match_scan(scan, TOP_K);
-        self.last_matches = matches.clone();
-        let best = matches.first()?;
-        let spread = if matches.len() > 1 {
+        self.db.match_scan_into(scan, TOP_K, &mut self.last_matches);
+        let best = *self.last_matches.first()?;
+        let spread = if self.last_matches.len() > 1 {
             Some(
-                matches
+                self.last_matches
                     .iter()
                     .skip(1)
                     .map(|c| c.position.distance(best.position))
                     .sum::<f64>()
-                    / (matches.len() - 1) as f64,
+                    / (self.last_matches.len() - 1) as f64,
             )
         } else {
             None
@@ -71,6 +70,22 @@ impl LocalizationScheme for CellFingerprintScheme {
                 .map(|m| (m.position, (-(m.distance - d0) / 3.0).exp()))
                 .collect(),
         )
+    }
+
+    fn posterior_mean(&self) -> Option<uniloc_geom::Point> {
+        if self.last_matches.is_empty() {
+            return None;
+        }
+        let d0 = self.last_matches[0].distance;
+        let weight = |m: &crate::fingerprint::FingerprintMatch| (-(m.distance - d0) / 3.0).exp();
+        let w: f64 = self.last_matches.iter().map(weight).sum();
+        if w > 0.0 {
+            let x = self.last_matches.iter().map(|m| weight(m) * m.position.x).sum::<f64>() / w;
+            let y = self.last_matches.iter().map(|m| weight(m) * m.position.y).sum::<f64>() / w;
+            Some(uniloc_geom::Point::new(x, y))
+        } else {
+            None
+        }
     }
 }
 

@@ -103,6 +103,26 @@ pub trait LocalizationScheme: Send {
         None
     }
 
+    /// The weighted mean of [`posterior`](Self::posterior), or `None` when
+    /// there is no posterior (or its total weight is not positive). The
+    /// ensemble consumes this instead of materializing the candidate list
+    /// every epoch; schemes that can compute the mean without building the
+    /// list override it (the default allocates via `posterior()`).
+    ///
+    /// Overrides must be *bit-identical* to this default: sum the weights,
+    /// then the weighted x's, then the weighted y's, in candidate order.
+    fn posterior_mean(&self) -> Option<Point> {
+        let cand = self.posterior()?;
+        let w: f64 = cand.iter().map(|(_, w)| w).sum();
+        if w > 0.0 {
+            let x = cand.iter().map(|(p, cw)| cw * p.x).sum::<f64>() / w;
+            let y = cand.iter().map(|(p, cw)| cw * p.y).sum::<f64>() / w;
+            Some(Point::new(x, y))
+        } else {
+            None
+        }
+    }
+
     /// Resets internal state (new walk).
     fn reset(&mut self) {}
 }

@@ -6,6 +6,7 @@
 //! fingerprint has one sample from each audible AP". The same machinery
 //! serves the cellular scheme over tower RSSIs.
 
+use crate::index::SignalIndex;
 use uniloc_geom::Point;
 use uniloc_sensors::{CellScan, SensorHub, WifiScan};
 
@@ -19,6 +20,13 @@ pub trait RssiLike: Clone {
     fn fingerprint_distance(&self, other: &Self, missing_penalty: f64) -> Option<f64>;
     /// Whether nothing was audible.
     fn no_signal(&self) -> bool;
+    /// Number of raw `(id, RSSI)` readings in the scan.
+    fn reading_count(&self) -> usize;
+    /// The `i`-th reading as a plain `(u32 id, RSSI)` pair, in the scan's
+    /// own reading order. The `u32` must order exactly like the typed id
+    /// (true for `ApId`/`TowerId` newtypes over `u32`), so the flat index
+    /// slabs reproduce the typed merge bit-for-bit.
+    fn reading(&self, i: usize) -> (u32, f64);
 }
 
 impl RssiLike for WifiScan {
@@ -28,6 +36,13 @@ impl RssiLike for WifiScan {
     fn no_signal(&self) -> bool {
         self.is_empty()
     }
+    fn reading_count(&self) -> usize {
+        self.readings.len()
+    }
+    fn reading(&self, i: usize) -> (u32, f64) {
+        let (id, r) = self.readings[i];
+        (id.0, r)
+    }
 }
 
 impl RssiLike for CellScan {
@@ -36,6 +51,13 @@ impl RssiLike for CellScan {
     }
     fn no_signal(&self) -> bool {
         self.is_empty()
+    }
+    fn reading_count(&self) -> usize {
+        self.readings.len()
+    }
+    fn reading(&self, i: usize) -> (u32, f64) {
+        let (id, r) = self.readings[i];
+        (id.0, r)
     }
 }
 
@@ -49,10 +71,17 @@ pub struct FingerprintMatch {
 }
 
 /// An offline fingerprint database over scans of type `S`.
+///
+/// Construction builds a [`SignalIndex`] (RSSI-quantized inverted index +
+/// struct-of-arrays slabs) over the entries once, so every online
+/// [`match_scan`](Self::match_scan) prunes candidates instead of scoring
+/// the whole survey — with output proven identical to the linear scan
+/// (see the `index` module docs and `tests/index_differential.rs`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FingerprintDb<S> {
     entries: Vec<(Point, S)>,
     missing_penalty: f64,
+    index: SignalIndex,
 }
 
 /// WiFi fingerprint database.
@@ -65,11 +94,18 @@ impl<S: RssiLike> FingerprintDb<S> {
     /// Builds a database from raw `(position, scan)` pairs, dropping empty
     /// scans (a fingerprint without any audible AP cannot be matched).
     pub fn from_entries(entries: impl IntoIterator<Item = (Point, S)>) -> Self {
-        let entries = entries
+        let entries: Vec<(Point, S)> = entries
             .into_iter()
             .filter(|(_, s)| !s.no_signal())
             .collect();
-        FingerprintDb { entries, missing_penalty: DEFAULT_MISSING_PENALTY_DBM }
+        Self::with_entries(entries, DEFAULT_MISSING_PENALTY_DBM)
+    }
+
+    /// Internal constructor: every database goes through here so the
+    /// signal index is always built from exactly the stored entries.
+    fn with_entries(entries: Vec<(Point, S)>, missing_penalty: f64) -> Self {
+        let index = SignalIndex::build(&entries);
+        FingerprintDb { entries, missing_penalty, index }
     }
 
     /// Overrides the missing-AP penalty.
@@ -102,6 +138,23 @@ impl<S: RssiLike> FingerprintDb<S> {
     /// sorted by ascending distance. Empty when the scan or the database is
     /// empty or no fingerprint shares an AP with the scan.
     pub fn match_scan(&self, scan: &S, k: usize) -> Vec<FingerprintMatch> {
+        let mut out = Vec::new();
+        self.match_scan_into(scan, k, &mut out);
+        out
+    }
+
+    /// [`match_scan`](Self::match_scan) into a caller-owned buffer — the
+    /// hot-path form the per-epoch loop uses to stay allocation-free.
+    pub fn match_scan_into(&self, scan: &S, k: usize, out: &mut Vec<FingerprintMatch>) {
+        self.index.match_into(scan, k, self.missing_penalty, out);
+    }
+
+    /// The retained linear-scan reference implementation of
+    /// [`match_scan`](Self::match_scan): scores every entry, ranks with the
+    /// same stable `total_cmp` sort. The differential suite asserts the
+    /// indexed path returns exactly this on every input; it is not used on
+    /// the hot path.
+    pub fn match_scan_linear(&self, scan: &S, k: usize) -> Vec<FingerprintMatch> {
         if scan.no_signal() || k == 0 {
             return Vec::new();
         }
@@ -129,34 +182,7 @@ impl<S: RssiLike> FingerprintDb<S> {
     /// within `radius` of `p`. Returns `None` when fewer than two
     /// fingerprints are in range (density undefined — treat as very sparse).
     pub fn local_density(&self, p: Point, radius: f64) -> Option<f64> {
-        let mut nearby: Vec<Point> = self
-            .entries
-            .iter()
-            .map(|(q, _)| *q)
-            .filter(|q| q.distance(p) <= radius)
-            .collect();
-        if nearby.len() < 2 {
-            return None;
-        }
-        // Mean nearest-neighbor distance. For dense surveys the full
-        // O(n^2) pass is wasteful; probing the K fingerprints closest to
-        // `p` against the whole neighborhood gives the same estimate (the
-        // local grid is homogeneous) at O(K*n).
-        const PROBES: usize = 40;
-        nearby.sort_by(|a, b| a.distance_sq(p).total_cmp(&b.distance_sq(p)));
-        let probes = nearby.len().min(PROBES);
-        let mut total = 0.0;
-        for i in 0..probes {
-            let a = nearby[i];
-            let mut best = f64::INFINITY;
-            for (j, b) in nearby.iter().enumerate() {
-                if i != j {
-                    best = best.min(a.distance_sq(*b));
-                }
-            }
-            total += best.sqrt();
-        }
-        Some(total / probes as f64)
+        self.index.local_density(p, radius)
     }
 
     /// Thins the database so remaining fingerprints are at least
@@ -170,7 +196,7 @@ impl<S: RssiLike> FingerprintDb<S> {
                 kept.push((*p, s.clone()));
             }
         }
-        FingerprintDb { entries: kept, missing_penalty: self.missing_penalty }
+        Self::with_entries(kept, self.missing_penalty)
     }
 }
 

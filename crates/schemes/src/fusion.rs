@@ -15,64 +15,15 @@
 //! not the baseline's.
 
 use crate::estimate::{LocalizationScheme, LocationEstimate, SchemeId};
-use crate::fingerprint::WifiFingerprintDb;
+use crate::fingerprint::{FingerprintMatch, WifiFingerprintDb};
+use crate::index::SpatialGrid;
 use crate::pdr::{PdrConfig, PdrCore};
-use std::collections::HashMap;
 use uniloc_geom::{FloorPlan, Point};
 use uniloc_sensors::{SensorFrame, WifiScan};
 
-/// Spatial hash over fingerprint positions for O(1) nearest lookups (the
-/// per-particle inner loop would otherwise be quadratic).
-#[derive(Debug, Clone)]
-struct FingerprintIndex {
-    cell: f64,
-    buckets: HashMap<(i64, i64), Vec<usize>>,
-    positions: Vec<Point>,
-}
-
-impl FingerprintIndex {
-    fn build(positions: Vec<Point>, cell: f64) -> Self {
-        let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
-        for (i, p) in positions.iter().enumerate() {
-            buckets
-                .entry(((p.x / cell).floor() as i64, (p.y / cell).floor() as i64))
-                .or_default()
-                .push(i);
-        }
-        FingerprintIndex { cell, buckets, positions }
-    }
-
-    /// Index of the fingerprint nearest to `p`, searching expanding rings
-    /// (up to 3 cells; beyond that no fingerprint can constrain anything).
-    fn nearest(&self, p: Point) -> Option<usize> {
-        let cx = (p.x / self.cell).floor() as i64;
-        let cy = (p.y / self.cell).floor() as i64;
-        let mut best: Option<(usize, f64)> = None;
-        for ring in 0..=3i64 {
-            for dx in -ring..=ring {
-                for dy in -ring..=ring {
-                    if dx.abs() != ring && dy.abs() != ring {
-                        continue; // only the ring boundary
-                    }
-                    if let Some(ids) = self.buckets.get(&(cx + dx, cy + dy)) {
-                        for &i in ids {
-                            let d = self.positions[i].distance_sq(p);
-                            if best.is_none_or(|(_, bd)| d < bd) {
-                                best = Some((i, d));
-                            }
-                        }
-                    }
-                }
-            }
-            if let Some((_, d)) = best {
-                if d.sqrt() < (ring as f64) * self.cell {
-                    break;
-                }
-            }
-        }
-        best.map(|(i, _)| i)
-    }
-}
+/// Grid cell size (m) of the spatial hash over fingerprint positions (the
+/// per-particle nearest-fingerprint loop would otherwise be quadratic).
+const GRID_CELL_M: f64 = 5.0;
 
 /// Candidates retained for availability checks.
 const FUSION_TOP_K: usize = 5;
@@ -89,8 +40,11 @@ const RSSI_SIGMA_DB: f64 = 8.0;
 pub struct FusionScheme {
     core: PdrCore,
     db: WifiFingerprintDb,
-    index: FingerprintIndex,
+    index: SpatialGrid,
     fingerprints: Vec<WifiScan>,
+    /// Match scratch, recycled across epochs so steady-state reweighting
+    /// performs no heap allocation.
+    match_buf: Vec<FingerprintMatch>,
 }
 
 impl FusionScheme {
@@ -105,8 +59,14 @@ impl FusionScheme {
     ) -> Self {
         let (positions, fingerprints): (Vec<Point>, Vec<WifiScan>) =
             db.entries().map(|(p, s)| (p, s.clone())).unzip();
-        let index = FingerprintIndex::build(positions, 5.0);
-        FusionScheme { core: PdrCore::new(plan, start, config, seed), db, index, fingerprints }
+        let index = SpatialGrid::build(positions, GRID_CELL_M);
+        FusionScheme {
+            core: PdrCore::new(plan, start, config, seed),
+            db,
+            index,
+            fingerprints,
+            match_buf: Vec::new(),
+        }
     }
 
     /// The offline database (shared with UniLoc's feature extractor).
@@ -124,8 +84,8 @@ impl FusionScheme {
         if scan.is_empty() || self.db.is_empty() {
             return;
         }
-        let matches = self.db.match_scan(scan, FUSION_TOP_K);
-        if matches.is_empty() {
+        self.db.match_scan_into(scan, FUSION_TOP_K, &mut self.match_buf);
+        if self.match_buf.is_empty() {
             return;
         }
         // Travi-Navi weighting: each particle is scored by the RSSI
@@ -184,6 +144,10 @@ impl LocalizationScheme for FusionScheme {
 
     fn posterior(&self) -> Option<Vec<(Point, f64)>> {
         Some(self.core.posterior())
+    }
+
+    fn posterior_mean(&self) -> Option<Point> {
+        self.core.posterior_mean()
     }
 
     fn reset(&mut self) {

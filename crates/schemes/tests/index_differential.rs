@@ -1,0 +1,243 @@
+//! Differential equivalence suite: the indexed fingerprint matcher IS the
+//! linear scan.
+//!
+//! The `SignalIndex` behind [`FingerprintDb::match_scan`] is a pure
+//! accelerator — an RSSI-quantized inverted index that prunes which
+//! entries get scored, never *how* they are scored or ranked. The whole
+//! pipeline (golden traces, chaos artifacts, the fleet differential
+//! harness) depends on that being exactly true, so this suite drives both
+//! paths with adversarial random inputs and asserts bit-level equality,
+//! element for element:
+//!
+//! * random databases × random scans × random `k` × random missing-AP
+//!   penalties;
+//! * empty scans, scans over a disjoint AP universe, databases with
+//!   duplicated survey positions and duplicated fingerprints (distance
+//!   ties), `k = 0`, `k > len`;
+//! * non-finite RSSIs (NaN, ±inf) in the online scan and in the stored
+//!   fingerprints — both paths must rank them identically via `total_cmp`
+//!   tie-breaking, not panic;
+//! * build determinism: constructing the index twice from the same
+//!   entries, or matching twice through the same database (scratch
+//!   reuse), yields identical output.
+//!
+//! Equality is asserted on `f64::to_bits`, not `==`: a NaN distance must
+//! match a NaN distance, and `-0.0` must not pass for `0.0`.
+
+use std::collections::BTreeMap;
+use uniloc_env::ApId;
+use uniloc_geom::Point;
+use uniloc_rng::check::Checker;
+use uniloc_rng::{require, require_eq, Rng};
+use uniloc_schemes::fingerprint::{FingerprintDb, FingerprintMatch};
+use uniloc_sensors::WifiScan;
+
+const REGRESSIONS: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/index_differential.regressions");
+
+fn checker(name: &str) -> Checker {
+    Checker::new(name).cases(128).regressions(REGRESSIONS)
+}
+
+/// Draws an RSSI that is usually physical but occasionally NaN or ±inf —
+/// corrupt readings that slipped past upstream validation must rank
+/// identically on both paths, not differently-or-panic.
+fn gen_rssi(rng: &mut Rng) -> f64 {
+    match rng.gen_range(0..20u32) {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        _ => rng.gen_range(-95.0..-25.0),
+    }
+}
+
+/// A scan over AP ids `[base, base + universe)`: shifting `base` between
+/// the database and the online scan produces partially or fully disjoint
+/// AP sets. Sometimes empty.
+fn gen_scan(rng: &mut Rng, base: u32, universe: u32) -> WifiScan {
+    let n = rng.gen_range(0..8usize);
+    let m: BTreeMap<u32, f64> =
+        (0..n).map(|_| (base + rng.gen_range(0..universe), gen_rssi(rng))).collect();
+    WifiScan { readings: m.into_iter().map(|(a, r)| (ApId(a), r)).collect() }
+}
+
+/// Raw database entries: duplicated survey positions, occasional exact
+/// fingerprint duplicates (guaranteed distance ties), and the occasional
+/// empty scan (dropped at construction).
+fn gen_entries(rng: &mut Rng, scale: f64) -> Vec<(Point, WifiScan)> {
+    let n = (rng.gen_range(0..60usize) as f64 * scale) as usize;
+    let mut entries: Vec<(Point, WifiScan)> = Vec::with_capacity(n);
+    for _ in 0..n {
+        // A coarse grid of survey positions, so duplicates are common.
+        let p = Point::new(
+            rng.gen_range(0..8u32) as f64 * 3.0,
+            rng.gen_range(0..4u32) as f64 * 3.0,
+        );
+        if !entries.is_empty() && rng.gen_range(0..6u32) == 0 {
+            // Exact duplicate of an earlier fingerprint: a tied distance
+            // that must resolve by entry order on both paths.
+            let i = rng.gen_range(0..entries.len());
+            let scan = entries[i].1.clone();
+            entries.push((p, scan));
+        } else {
+            entries.push((p, gen_scan(rng, 0, 12)));
+        }
+    }
+    entries
+}
+
+fn gen_db(rng: &mut Rng, scale: f64) -> FingerprintDb<WifiScan> {
+    let db = FingerprintDb::from_entries(gen_entries(rng, scale));
+    match rng.gen_range(0..3u32) {
+        0 => db,
+        1 => db.with_missing_penalty(rng.gen_range(0.0..30.0)),
+        _ => db.with_missing_penalty(rng.gen_range(-5.0..5.0)),
+    }
+}
+
+/// An online scan that overlaps the database's AP universe fully,
+/// partially, or not at all.
+fn gen_online(rng: &mut Rng) -> WifiScan {
+    let base = match rng.gen_range(0..4u32) {
+        0 => 100, // fully disjoint AP universe
+        1 => 8,   // partial overlap
+        _ => 0,   // same universe
+    };
+    gen_scan(rng, base, 12)
+}
+
+/// Element-for-element bit equality, with the index of the first
+/// divergence in the error.
+fn require_identical(
+    indexed: &[FingerprintMatch],
+    linear: &[FingerprintMatch],
+) -> Result<(), String> {
+    require_eq!(indexed.len(), linear.len());
+    for (i, (a, b)) in indexed.iter().zip(linear).enumerate() {
+        if a.position.x.to_bits() != b.position.x.to_bits()
+            || a.position.y.to_bits() != b.position.y.to_bits()
+            || a.distance.to_bits() != b.distance.to_bits()
+        {
+            return Err(format!("first divergence at rank {i}: indexed {a:?} vs linear {b:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// The core differential property: for every database, scan, `k` and
+/// penalty, the indexed path returns exactly what scoring every entry
+/// returns.
+#[test]
+fn indexed_match_equals_linear_scan() {
+    checker("indexed_match_equals_linear_scan").run(
+        |rng, scale| {
+            let db = gen_db(rng, scale);
+            let scan = gen_online(rng);
+            let k = rng.gen_range(0..10usize);
+            (db, scan, k)
+        },
+        |(db, scan, k)| {
+            require_identical(&db.match_scan(scan, *k), &db.match_scan_linear(scan, *k))
+        },
+    );
+}
+
+/// `match_scan_into` reuses whatever garbage is in the output buffer —
+/// stale capacity, stale contents — without it leaking into the result.
+#[test]
+fn buffer_reuse_never_leaks_stale_matches() {
+    checker("buffer_reuse_never_leaks_stale_matches").run(
+        |rng, scale| {
+            let db = gen_db(rng, scale);
+            let scans: Vec<WifiScan> = (0..4).map(|_| gen_online(rng)).collect();
+            let k = rng.gen_range(0..10usize);
+            (db, scans, k)
+        },
+        |(db, scans, k)| {
+            let mut buf: Vec<FingerprintMatch> = Vec::new();
+            for scan in scans {
+                db.match_scan_into(scan, *k, &mut buf);
+                require_identical(&buf, &db.match_scan_linear(scan, *k))?;
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Building the database (and with it the signal index) twice from the
+/// same entries is deterministic: both copies answer every query with
+/// bit-identical output.
+#[test]
+fn index_build_is_deterministic() {
+    checker("index_build_is_deterministic").run(
+        |rng, scale| {
+            let entries = gen_entries(rng, scale);
+            let scans: Vec<WifiScan> = (0..3).map(|_| gen_online(rng)).collect();
+            let k = rng.gen_range(1..8usize);
+            (entries, scans, k)
+        },
+        |(entries, scans, k)| {
+            let a = FingerprintDb::from_entries(entries.clone());
+            let b = FingerprintDb::from_entries(entries.clone());
+            require_eq!(a.len(), b.len());
+            for scan in scans {
+                require_identical(&a.match_scan(scan, *k), &b.match_scan(scan, *k))?;
+                // Matching through the same database twice (thread-local
+                // scratch reuse) is also stable.
+                require_identical(&a.match_scan(scan, *k), &a.match_scan(scan, *k))?;
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Degenerate inputs: empty database, empty scan, `k = 0`, `k` far beyond
+/// the database size. Both paths agree (and agree on emptiness where the
+/// contract demands it).
+#[test]
+fn degenerate_inputs_agree() {
+    checker("degenerate_inputs_agree").run(
+        |rng, scale| {
+            let db = gen_db(rng, scale);
+            let scan = gen_online(rng);
+            (db, scan)
+        },
+        |(db, scan)| {
+            let empty_scan = WifiScan::default();
+            require!(db.match_scan(&empty_scan, 5).is_empty());
+            require!(db.match_scan_linear(&empty_scan, 5).is_empty());
+            require!(db.match_scan(scan, 0).is_empty());
+            require!(db.match_scan_linear(scan, 0).is_empty());
+            for k in [1usize, db.len(), db.len() + 7, 1000] {
+                require_identical(&db.match_scan(scan, k), &db.match_scan_linear(scan, k))?;
+            }
+            let empty_db = FingerprintDb::from_entries(Vec::<(Point, WifiScan)>::new());
+            require!(empty_db.match_scan(scan, 5).is_empty());
+            require!(empty_db.match_scan_linear(scan, 5).is_empty());
+            Ok(())
+        },
+    );
+}
+
+/// Tied distances resolve identically: a database of exact-duplicate
+/// fingerprints at distinct positions must come back in entry order on
+/// both paths, for every `k`.
+#[test]
+fn tied_distances_resolve_by_entry_order() {
+    checker("tied_distances_resolve_by_entry_order").run(
+        |rng, scale| {
+            let fp = gen_scan(rng, 0, 6);
+            let n = 2 + (rng.gen_range(0..20usize) as f64 * scale) as usize;
+            let entries: Vec<(Point, WifiScan)> = (0..n)
+                .map(|i| (Point::new(i as f64, rng.gen_range(0.0..30.0)), fp.clone()))
+                .collect();
+            let scan = gen_scan(rng, 0, 6);
+            let k = rng.gen_range(1..8usize);
+            (entries, scan, k)
+        },
+        |(entries, scan, k)| {
+            let db = FingerprintDb::from_entries(entries.clone());
+            require_identical(&db.match_scan(scan, *k), &db.match_scan_linear(scan, *k))
+        },
+    );
+}

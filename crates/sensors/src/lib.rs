@@ -47,4 +47,4 @@ pub use accel::{detect_steps, synthesize_accel_trace, AccelSample, DetectedStep}
 pub use calibrate::RssiCalibration;
 pub use device::{DeviceModel, DeviceProfile};
 pub use hub::{LandmarkObservation, SensorFrame, SensorHub, StepMeasurement};
-pub use scans::{CellScan, GpsFix, WifiScan};
+pub use scans::{merge_distance, CellScan, GpsFix, WifiScan};

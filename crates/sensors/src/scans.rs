@@ -3,6 +3,49 @@
 use uniloc_env::{ApId, TowerId};
 use uniloc_geom::GeoCoord;
 
+/// The RADAR fingerprint distance over any id-sorted `(id, RSSI)` reading
+/// slices: Euclidean over common ids, a `missing_penalty_dbm` charge per
+/// id audible in only one side, `None` when no id is shared. Generic over
+/// the id type so WiFi APs, cell towers and the flat index slabs all run
+/// the exact same merge (and therefore produce bit-identical distances).
+pub fn merge_distance<K: Ord + Copy>(
+    a: &[(K, f64)],
+    b: &[(K, f64)],
+    missing_penalty_dbm: f64,
+) -> Option<f64> {
+    let mut sum_sq = 0.0;
+    let mut common = 0usize;
+    let mut i = 0;
+    let mut j = 0;
+    let mut missing = 0usize;
+    while i < a.len() && j < b.len() {
+        let (ka, ra) = a[i];
+        let (kb, rb) = b[j];
+        match ka.cmp(&kb) {
+            std::cmp::Ordering::Equal => {
+                sum_sq += (ra - rb) * (ra - rb);
+                common += 1;
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                missing += 1;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                missing += 1;
+                j += 1;
+            }
+        }
+    }
+    missing += a.len() - i + b.len() - j;
+    if common == 0 {
+        return None;
+    }
+    sum_sq += missing as f64 * missing_penalty_dbm * missing_penalty_dbm;
+    Some((sum_sq / (common + missing) as f64).sqrt())
+}
+
 /// A WiFi scan: RSSI per audible access point, in dBm, as measured by the
 /// scanning device (device offset already applied).
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -34,37 +77,7 @@ impl WifiScan {
     ///
     /// Returns `None` when the scans share no APs at all.
     pub fn distance(&self, other: &WifiScan, missing_penalty_dbm: f64) -> Option<f64> {
-        let mut sum_sq = 0.0;
-        let mut common = 0usize;
-        let mut i = 0;
-        let mut j = 0;
-        let mut missing = 0usize;
-        while i < self.readings.len() && j < other.readings.len() {
-            let (a, ra) = self.readings[i];
-            let (b, rb) = other.readings[j];
-            match a.cmp(&b) {
-                std::cmp::Ordering::Equal => {
-                    sum_sq += (ra - rb) * (ra - rb);
-                    common += 1;
-                    i += 1;
-                    j += 1;
-                }
-                std::cmp::Ordering::Less => {
-                    missing += 1;
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    missing += 1;
-                    j += 1;
-                }
-            }
-        }
-        missing += self.readings.len() - i + other.readings.len() - j;
-        if common == 0 {
-            return None;
-        }
-        sum_sq += missing as f64 * missing_penalty_dbm * missing_penalty_dbm;
-        Some((sum_sq / (common + missing) as f64).sqrt())
+        merge_distance(&self.readings, &other.readings, missing_penalty_dbm)
     }
 }
 
@@ -86,15 +99,13 @@ impl CellScan {
         self.readings.is_empty()
     }
 
-    /// Same fingerprint distance as [`WifiScan::distance`].
+    /// Same fingerprint distance as [`WifiScan::distance`]. `TowerId`
+    /// orders exactly like its inner `u32` (as `ApId` does), so running
+    /// the shared merge directly over tower readings is bit-identical to
+    /// the former remap-through-`WifiScan` path — without allocating two
+    /// temporary scans per comparison.
     pub fn distance(&self, other: &CellScan, missing_penalty_dbm: f64) -> Option<f64> {
-        let a = WifiScan {
-            readings: self.readings.iter().map(|(t, r)| (ApId(t.0), *r)).collect(),
-        };
-        let b = WifiScan {
-            readings: other.readings.iter().map(|(t, r)| (ApId(t.0), *r)).collect(),
-        };
-        a.distance(&b, missing_penalty_dbm)
+        merge_distance(&self.readings, &other.readings, missing_penalty_dbm)
     }
 }
 
